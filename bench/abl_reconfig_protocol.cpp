@@ -1,0 +1,133 @@
+// Ablation: why the Fig.-4 reconfiguration barrier exists.
+//
+// Two identical workloads issue back-to-back AllReduces while the provider
+// fires reconfiguration commands with adversarially staggered per-rank
+// delays. With the MCCS protocol (sequence-number barrier over the control
+// ring) every collective completes and every sum is exact. With the naive
+// ablation (apply-on-receipt), ranks execute the same collective under
+// different ring configurations: transfers address the wrong peers, step
+// machines wait for tags that never come, and the run wedges or corrupts.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+namespace {
+
+using namespace mccs;
+
+struct Outcome {
+  int completed = 0;
+  int expected = 0;
+  bool numerically_correct = true;
+  bool wedged = false;
+};
+
+Outcome run(bool use_protocol, int rounds) {
+  svc::Fabric::Options options;
+  options.seed = 5;
+  options.config.unsafe_immediate_reconfig = !use_protocol;
+  svc::Fabric fabric{cluster::make_testbed(), options};
+
+  const AppId app{1};
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  const CommId comm = bench::bench_create_comm(fabric, app, gpus);
+
+  struct Rank {
+    svc::Shim* shim;
+    gpu::Stream* stream;
+    gpu::DevicePtr buf;
+  };
+  std::vector<Rank> ranks;
+  const std::size_t count = 4096;
+  // Asymmetric inputs: each rank contributes a distinct per-element value, so
+  // any chunk delivered to the wrong peer produces a detectably wrong sum
+  // (symmetric inputs would mask mixed-configuration corruption).
+  std::vector<float> expected(count, 0.0f);
+  for (std::size_t rk = 0; rk < gpus.size(); ++rk) {
+    svc::Shim& shim = fabric.connect(app, gpus[rk]);
+    Rank r{&shim, &shim.create_app_stream(), shim.alloc(count * sizeof(float))};
+    auto span = fabric.gpus().typed<float>(r.buf, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      span[i] = static_cast<float>((rk + 1) * 16 + i % 13);
+      expected[i] += span[i];
+    }
+    ranks.push_back(r);
+  }
+
+  Outcome out;
+  // A long burst of back-to-back collectives, with one staggered
+  // reconfiguration per round landing mid-burst: each rank's strategy swap
+  // (in the naive ablation) falls between different collectives, so some
+  // sequence number executes under mixed configurations.
+  const int burst = 12;
+  for (int round = 0; round < rounds; ++round) {
+    for (int b = 0; b < burst; ++b) {
+      out.expected += 4;
+      for (Rank& r : ranks) {
+        r.shim->all_reduce(comm, r.buf, r.buf, count, coll::DataType::kFloat32,
+                           coll::ReduceOp::kSum, *r.stream,
+                           [&](Time) { ++out.completed; });
+      }
+    }
+    svc::CommStrategy rev = fabric.strategy_of(comm);
+    for (auto& o : rev.channel_orders) o = o.reversed();
+    // Delays spanning several collective durations, rotated per round.
+    std::vector<Time> delays{micros(0), micros(150), micros(350), micros(650)};
+    std::rotate(delays.begin(), delays.begin() + round % 4, delays.end());
+    fabric.reconfigure(comm, std::move(rev), delays);
+    // Let this round's burst drain before the next (the protocol run needs
+    // no such care, but keeps both runs comparable).
+    fabric.loop().run_until(fabric.loop().now() + millis(50));
+  }
+
+  // Bounded drive: a correct run drains well before the deadline.
+  fabric.loop().run_until(seconds(30));
+  out.wedged = out.completed < out.expected;
+
+  // Each in-place AllReduce multiplies the (already reduced) values by 4;
+  // the first produces the elementwise sum.
+  const int total_colls = rounds * burst;
+  float scale = 1.0f;
+  for (int i = 1; i < total_colls; ++i) scale *= 4.0f;
+  for (const Rank& r : ranks) {
+    auto span = fabric.gpus().typed<float>(r.buf, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const float want = expected[i] * scale;
+      // Relative comparison: repeated x4 scaling leaves exact powers of two,
+      // but allow for float rounding of the large magnitudes.
+      if (!out.wedged && std::abs(span[i] - want) > 1e-4f * std::abs(want)) {
+        out.numerically_correct = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: Fig.-4 reconfiguration barrier vs naive apply ===\n\n");
+  constexpr int kRounds = 4;
+  const Outcome with = run(/*use_protocol=*/true, kRounds);
+  const Outcome naive = run(/*use_protocol=*/false, kRounds);
+
+  auto show = [](const char* name, const Outcome& o) {
+    std::printf("%-18s collectives %d/%d%s%s\n", name, o.completed, o.expected,
+                o.wedged ? "  WEDGED (mixed-configuration deadlock)" : "",
+                !o.wedged && !o.numerically_correct ? "  DATA CORRUPTED" : "");
+  };
+  show("MCCS protocol:", with);
+  show("naive apply:", naive);
+
+  const bool protocol_ok = !with.wedged && with.numerically_correct &&
+                           with.completed == with.expected;
+  std::printf("\n%s\n",
+              protocol_ok && (naive.wedged || !naive.numerically_correct)
+                  ? "The barrier protocol is necessary AND sufficient here: the"
+                    " naive variant fails, MCCS completes with exact sums."
+                  : "UNEXPECTED: see counters above.");
+  return protocol_ok ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// Figure 6: single-application algorithm bandwidth of AllGather and
+// AllReduce on the testbed, 4-GPU (one GPU + one 50G vNIC per host) and
+// 8-GPU (both GPUs + both vNICs) setups, data sizes 32 KB - 512 MB, for
+// NCCL / NCCL(OR) / MCCS(-FA) / MCCS. Shaded areas in the paper are 95%
+// intervals; we print mean and the 2.5/97.5 percentiles across ECMP-seed
+// trials.
+//
+// Also prints the §6.2 in-text claims derived from the sweep:
+//   * NCCL(OR) vs NCCL at 512 MB AllReduce (paper: +56% on 4 GPUs, +78% on 8);
+//   * MCCS(-FA) overhead vs NCCL(OR) at 512 KB and 8 MB (paper: large at
+//     512 KB, <=10% at 8 MB);
+//   * MCCS vs NCCL average speedup over 8 MB-512 MB (paper: 1.6x / 2.4x).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace {
+
+using namespace mccs;
+using bench::Scheme;
+
+const std::vector<Bytes> kSizes = {32_KB, 128_KB, 512_KB, 2_MB,
+                                   8_MB,  32_MB,  128_MB, 512_MB};
+const std::vector<Scheme> kSchemes = {Scheme::kNccl, Scheme::kNcclOr,
+                                      Scheme::kMccsNoFa, Scheme::kMccs};
+
+struct Cell {
+  double mean = 0, lo = 0, hi = 0;
+};
+
+using Table = std::map<std::pair<int, Bytes>, Cell>;  // (scheme idx, size)
+
+Table sweep(const std::vector<GpuId>& gpus, coll::CollectiveKind kind) {
+  Table table;
+  for (std::size_t si = 0; si < kSchemes.size(); ++si) {
+    for (Bytes size : kSizes) {
+      auto samples = bench::algbw_samples(kSchemes[si], cluster::make_testbed,
+                                          gpus, kind, size, /*trials=*/10,
+                                          /*iters=*/6);
+      Cell c;
+      c.mean = mccs::mean(samples);
+      c.lo = percentile(samples, 2.5);
+      c.hi = percentile(samples, 97.5);
+      table[{static_cast<int>(si), size}] = c;
+    }
+  }
+  return table;
+}
+
+void print_table(const char* title, const Table& table) {
+  std::printf("--- %s (algorithm bandwidth, GB/s; mean [p2.5, p97.5]) ---\n",
+              title);
+  std::printf("%-10s", "size");
+  for (Scheme s : kSchemes) std::printf("  %-26s", bench::scheme_name(s));
+  std::printf("\n");
+  for (Bytes size : kSizes) {
+    if (size >= 1_MB) {
+      std::printf("%-10s", (std::to_string(size / 1_MB) + "MB").c_str());
+    } else {
+      std::printf("%-10s", (std::to_string(size / 1_KB) + "KB").c_str());
+    }
+    for (std::size_t si = 0; si < kSchemes.size(); ++si) {
+      const Cell& c = table.at({static_cast<int>(si), size});
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%6.2f [%5.2f,%5.2f]", c.mean, c.lo, c.hi);
+      std::printf("  %-26s", buf);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+double cell(const Table& t, Scheme s, Bytes size) {
+  for (std::size_t si = 0; si < kSchemes.size(); ++si) {
+    if (kSchemes[si] == s) return t.at({static_cast<int>(si), size}).mean;
+  }
+  return 0;
+}
+
+void print_claims(const char* setup, const Table& ar, const Table& ag) {
+  std::printf("[%s] NCCL(OR) vs NCCL @512MB AllReduce: %+.0f%%\n", setup,
+              100.0 * (cell(ar, Scheme::kNcclOr, 512_MB) /
+                           cell(ar, Scheme::kNccl, 512_MB) -
+                       1.0));
+  std::printf("[%s] MCCS(-FA) vs NCCL(OR) @512KB AllReduce: %+.0f%%, @8MB: %+.1f%%\n",
+              setup,
+              100.0 * (cell(ar, Scheme::kMccsNoFa, 512_KB) /
+                           cell(ar, Scheme::kNcclOr, 512_KB) -
+                       1.0),
+              100.0 * (cell(ar, Scheme::kMccsNoFa, 8_MB) /
+                           cell(ar, Scheme::kNcclOr, 8_MB) -
+                       1.0));
+  double speedup = 0;
+  int count = 0;
+  for (Bytes size : {8_MB, 32_MB, 128_MB, 512_MB}) {
+    speedup += cell(ar, Scheme::kMccs, size) / cell(ar, Scheme::kNccl, size);
+    speedup += cell(ag, Scheme::kMccs, size) / cell(ag, Scheme::kNccl, size);
+    count += 2;
+  }
+  std::printf("[%s] MCCS vs NCCL average speedup (8MB-512MB, AR+AG): %.2fx\n\n",
+              setup, speedup / count);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: single-application collective bandwidth ===\n\n");
+
+  // User-assigned rank order: per-host ranks are contiguous (one process
+  // group per host) but the host order interleaves the racks — the arbitrary
+  // assignment a topology-blind tenant ends up with (§2.2). Hosts: H0,H1 in
+  // rack 0; H2,H3 in rack 1; rank order visits H0,H2,H1,H3.
+  const std::vector<GpuId> gpus4{GpuId{0}, GpuId{4}, GpuId{2}, GpuId{6}};
+  const std::vector<GpuId> gpus8{GpuId{0}, GpuId{1}, GpuId{4}, GpuId{5},
+                                 GpuId{2}, GpuId{3}, GpuId{6}, GpuId{7}};
+
+  const Table ag4 = sweep(gpus4, coll::CollectiveKind::kAllGather);
+  print_table("(a) AllGather, 4-GPU", ag4);
+  const Table ar4 = sweep(gpus4, coll::CollectiveKind::kAllReduce);
+  print_table("(b) AllReduce, 4-GPU", ar4);
+  const Table ag8 = sweep(gpus8, coll::CollectiveKind::kAllGather);
+  print_table("(c) AllGather, 8-GPU", ag8);
+  const Table ar8 = sweep(gpus8, coll::CollectiveKind::kAllReduce);
+  print_table("(d) AllReduce, 8-GPU", ar8);
+
+  std::printf("--- In-text claims (§6.2) ---\n");
+  print_claims("4-GPU", ar4, ag4);
+  print_claims("8-GPU", ar8, ag8);
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Figure 8: multiple applications sharing the testbed — 128 MB AllReduce bus
+// bandwidth per application in 4 setups, under NCCL / NCCL(OR) / MCCS(-FFA)
+// / MCCS. Bus bandwidth (= algbw * 2(n-1)/n) reflects per-app hardware
+// bandwidth independent of participant count; the aggregated value shows
+// network utilisation and the per-app split shows fairness (§6.3).
+//
+// Setups (Fig. 5b; exact letter grids are ambiguous in the paper text — the
+// interpretation below satisfies every constraint §6.3 states, see
+// DESIGN.md):
+//   S1: A and B each use 1 GPU + 1 vNIC on every host.
+//   S2: A uses 1 GPU on every host; B the second GPUs of rack 0; C the
+//       second GPUs of rack 1.
+//   S3: A uses both GPUs + both vNICs of one host per rack; B and C use one
+//       GPU each on the remaining hosts (A's per-host NIC share is 2x).
+//   S4: A and B each use both GPUs of one host per rack.
+//
+// GPU lists are given in the tenants' (rack-interleaved) rank order; the
+// provider-side schemes re-order them.
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace {
+
+using namespace mccs;
+using bench::Scheme;
+
+constexpr Bytes kSize = 128_MB;
+constexpr int kIters = 8;
+constexpr int kWarmup = 2;
+constexpr int kTrials = 6;
+
+struct AppSpec {
+  std::string name;
+  AppId id;
+  std::vector<GpuId> gpus;
+};
+
+struct SetupSpec {
+  std::string name;
+  std::vector<AppSpec> apps;
+};
+
+std::vector<SetupSpec> make_setups() {
+  std::vector<SetupSpec> setups;
+  // Hosts: H0{0,1} H1{2,3} rack0; H2{4,5} H3{6,7} rack1. User rank order
+  // interleaves the racks (H0, H2, H1, H3).
+  setups.push_back({"Setup 1",
+                    {{"A", AppId{1}, {GpuId{0}, GpuId{4}, GpuId{2}, GpuId{6}}},
+                     {"B", AppId{2}, {GpuId{1}, GpuId{5}, GpuId{3}, GpuId{7}}}}});
+  setups.push_back({"Setup 2",
+                    {{"A", AppId{1}, {GpuId{0}, GpuId{4}, GpuId{2}, GpuId{6}}},
+                     {"B", AppId{2}, {GpuId{1}, GpuId{3}}},
+                     {"C", AppId{3}, {GpuId{5}, GpuId{7}}}}});
+  setups.push_back({"Setup 3",
+                    {{"A", AppId{1}, {GpuId{0}, GpuId{1}, GpuId{4}, GpuId{5}}},
+                     {"B", AppId{2}, {GpuId{2}, GpuId{6}}},
+                     {"C", AppId{3}, {GpuId{3}, GpuId{7}}}}});
+  setups.push_back({"Setup 4",
+                    {{"A", AppId{1}, {GpuId{0}, GpuId{1}, GpuId{4}, GpuId{5}}},
+                     {"B", AppId{2}, {GpuId{2}, GpuId{3}, GpuId{6}, GpuId{7}}}}});
+  return setups;
+}
+
+/// One application's back-to-back AllReduce loop running concurrently with
+/// the other tenants.
+class AppLoop {
+ public:
+  AppLoop(svc::Fabric& fabric, const AppSpec& spec) : fabric_(&fabric), spec_(spec) {}
+
+  void init() {
+    comm_ = bench::bench_create_comm(*fabric_, spec_.id, spec_.gpus);
+    const std::size_t count = kSize / sizeof(float);
+    for (GpuId g : spec_.gpus) {
+      svc::Shim& shim = fabric_->connect(spec_.id, g);
+      ranks_.push_back(Rank{&shim, &shim.create_app_stream(),
+                            shim.alloc(count * sizeof(float))});
+    }
+  }
+
+  void run() {
+    issue_round();
+  }
+
+  /// Keep issuing after our own measurement quota so slower tenants stay
+  /// under realistic contention; the driver stops everyone at once.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool done() const {
+    return static_cast<int>(durations_.size()) >= kIters;
+  }
+
+  [[nodiscard]] std::vector<double> busbw_samples() const {
+    std::vector<double> out;
+    const int n = static_cast<int>(spec_.gpus.size());
+    for (int i = 0; i < kIters && i < static_cast<int>(durations_.size()); ++i) {
+      out.push_back(to_gibps(coll::bus_bandwidth(coll::CollectiveKind::kAllReduce,
+                                                 n, kSize, durations_[static_cast<std::size_t>(i)])));
+    }
+    return out;
+  }
+
+ private:
+  struct Rank {
+    svc::Shim* shim;
+    gpu::Stream* stream;
+    gpu::DevicePtr buf;
+  };
+
+  void issue_round() {
+    if (stopped_) return;
+    round_start_ = fabric_->loop().now();
+    completions_ = 0;
+    const std::size_t count = kSize / sizeof(float);
+    for (Rank& r : ranks_) {
+      r.shim->all_reduce(comm_, r.buf, r.buf, count, coll::DataType::kFloat32,
+                         coll::ReduceOp::kSum, *r.stream, [this](Time done) {
+                           if (++completions_ ==
+                               static_cast<int>(ranks_.size())) {
+                             if (iter_ >= kWarmup) {
+                               durations_.push_back(done - round_start_);
+                             }
+                             ++iter_;
+                             issue_round();
+                           }
+                         });
+    }
+  }
+
+  svc::Fabric* fabric_;
+  AppSpec spec_;
+  CommId comm_;
+  std::vector<Rank> ranks_;
+  int iter_ = 0;
+  int completions_ = 0;
+  bool stopped_ = false;
+  Time round_start_ = 0.0;
+  std::vector<Time> durations_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: multi-application bus bandwidth (128 MB AllReduce) ===\n\n");
+  const std::vector<Scheme> schemes = {Scheme::kNccl, Scheme::kNcclOr,
+                                       Scheme::kMccsNoFa, Scheme::kMccs};
+
+  for (const SetupSpec& setup : make_setups()) {
+    std::printf("--- %s (bus bandwidth, GB/s; mean [p2.5, p97.5]) ---\n",
+                setup.name.c_str());
+    std::printf("%-10s", "scheme");
+    for (const AppSpec& a : setup.apps) std::printf("  %-22s", a.name.c_str());
+    std::printf("  %s\n", "aggregate");
+
+    for (Scheme scheme : schemes) {
+      std::map<std::string, std::vector<double>> samples;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        bench::Harness h =
+            bench::make_harness(scheme, cluster::make_testbed(), 500 + 13 * trial);
+        std::vector<std::unique_ptr<AppLoop>> loops;
+        for (const AppSpec& a : setup.apps) {
+          loops.push_back(std::make_unique<AppLoop>(*h.fabric, a));
+          loops.back()->init();
+        }
+        for (auto& l : loops) l->run();
+        const bool ok = h.fabric->loop().run_while_pending([&] {
+          for (const auto& l : loops) {
+            if (!l->done()) return false;
+          }
+          return true;
+        });
+        MCCS_CHECK(ok, "multi-app loop stalled");
+        for (auto& l : loops) l->stop();
+        h.fabric->loop().run();  // drain in-flight rounds
+        for (std::size_t i = 0; i < loops.size(); ++i) {
+          auto s = loops[i]->busbw_samples();
+          auto& dst = samples[setup.apps[i].name];
+          dst.insert(dst.end(), s.begin(), s.end());
+        }
+      }
+
+      std::printf("%-10s", bench::scheme_name(scheme));
+      double aggregate = 0.0;
+      for (const AppSpec& a : setup.apps) {
+        const auto& s = samples[a.name];
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%6.2f [%5.2f,%5.2f]", mean(s),
+                      percentile(s, 2.5), percentile(s, 97.5));
+        std::printf("  %-22s", buf);
+        aggregate += mean(s);
+      }
+      std::printf("  %6.2f\n", aggregate);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper claims (§6.3): MCCS has the highest aggregate and a fair split\n"
+      "(equal shares in setups 1/2/4; 2:1:1 in setup 3, where ECMP-based\n"
+      "MCCS(-FFA) drifts to ~1.7:1); MCCS outperforms NCCL by ~75%% on average.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Microbenchmark: MCCS datapath latency overhead (§6.2).
+//
+// The paper attributes the small-message penalty to 50-80 us of added
+// latency between the application, the service, and the service's internal
+// engines. This bench measures the end-to-end latency of a minimal (4 KB)
+// cross-rack AllReduce under the library (NCCL) and service (MCCS) timing
+// models, and reports the difference — the modelled IPC + engine-hop cost.
+// (google-benchmark measures host wall time per simulated collective; the
+// reported VirtualLatencyUs counter is the simulated latency, which is the
+// figure of interest.)
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+using namespace mccs;
+
+double collective_latency_us(bench::Scheme scheme) {
+  bench::Harness h = bench::make_harness(scheme, cluster::make_testbed(), 1);
+  const AppId app{1};
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{4}};
+  const CommId comm = bench::bench_create_comm(*h.fabric, app, gpus);
+  const auto durations = bench::run_collective_loop(
+      *h.fabric, app, gpus, comm, coll::CollectiveKind::kAllReduce, 4_KB, 2, 6);
+  return mean(std::vector<double>(durations.begin(), durations.end())) * 1e6;
+}
+
+void BM_SmallCollectiveLatency_Nccl(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) us = collective_latency_us(bench::Scheme::kNccl);
+  state.counters["VirtualLatencyUs"] = us;
+}
+BENCHMARK(BM_SmallCollectiveLatency_Nccl);
+
+void BM_SmallCollectiveLatency_Mccs(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) us = collective_latency_us(bench::Scheme::kMccsNoFa);
+  state.counters["VirtualLatencyUs"] = us;
+}
+BENCHMARK(BM_SmallCollectiveLatency_Mccs);
+
+void BM_MccsDatapathOverhead(benchmark::State& state) {
+  double delta = 0;
+  for (auto _ : state) {
+    delta = collective_latency_us(bench::Scheme::kMccsNoFa) -
+            collective_latency_us(bench::Scheme::kNccl);
+  }
+  // Paper: 50-80 us overall added latency.
+  state.counters["OverheadUs"] = delta;
+}
+BENCHMARK(BM_MccsDatapathOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

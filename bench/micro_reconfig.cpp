@@ -1,0 +1,83 @@
+// Microbenchmark: runtime reconfiguration cost (§4.2 / §6.2).
+//
+// Two properties the design argues for:
+//  * zero overhead on the fast path when no reconfiguration is issued;
+//  * a bounded stall (control-ring barrier + connection re-setup) when one
+//    is.
+// Reported counters are virtual (simulated) times.
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace {
+
+using namespace mccs;
+
+struct Setup {
+  bench::Harness h;
+  CommId comm;
+  std::vector<GpuId> gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  AppId app{1};
+
+  Setup() : h(bench::make_harness(bench::Scheme::kMccsNoFa, cluster::make_testbed(), 1)) {
+    comm = bench::bench_create_comm(*h.fabric, app, gpus);
+  }
+
+  /// Virtual time for `iters` back-to-back 8 MB AllReduces.
+  double loop_time(int iters) {
+    const Time t0 = h.fabric->loop().now();
+    auto d = bench::run_collective_loop(*h.fabric, app, gpus, comm,
+                                        coll::CollectiveKind::kAllReduce, 8_MB,
+                                        0, iters);
+    return h.fabric->loop().now() - t0;
+  }
+};
+
+void BM_ReconfigStall(benchmark::State& state) {
+  double stall_us = 0;
+  for (auto _ : state) {
+    Setup s;
+    const double baseline = s.loop_time(6);
+    // Reconfigure (reverse the ring), then run the same loop again.
+    svc::CommStrategy rev = s.h.fabric->strategy_of(s.comm);
+    for (auto& o : rev.channel_orders) o = o.reversed();
+    s.h.fabric->reconfigure(s.comm, std::move(rev));
+    const double with_reconfig = s.loop_time(6);
+    stall_us = (with_reconfig - baseline) * 1e6;
+  }
+  state.counters["VirtualStallUs"] = stall_us;
+}
+BENCHMARK(BM_ReconfigStall);
+
+void BM_FastPathNoOverhead(benchmark::State& state) {
+  double delta_us = 0;
+  for (auto _ : state) {
+    Setup s;
+    const double first = s.loop_time(6);
+    const double second = s.loop_time(6);
+    delta_us = (second - first) * 1e6;
+  }
+  // Should be ~0: sequence numbering adds no fast-path cost.
+  state.counters["VirtualDeltaUs"] = delta_us;
+}
+BENCHMARK(BM_FastPathNoOverhead);
+
+void BM_ReconfigBarrierOnIdleComm(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    Setup s;
+    svc::CommStrategy rev = s.h.fabric->strategy_of(s.comm);
+    for (auto& o : rev.channel_orders) o = o.reversed();
+    const Time t0 = s.h.fabric->loop().now();
+    s.h.fabric->reconfigure(s.comm, std::move(rev));
+    s.h.fabric->loop().run();
+    us = (s.h.fabric->loop().now() - t0) * 1e6;
+  }
+  state.counters["VirtualBarrierUs"] = us;
+}
+BENCHMARK(BM_ReconfigBarrierOnIdleComm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Microbenchmark: controller schedule-computation cost (§6.5).
+//
+// "We observed that the schedule computation takes within 1ms on average
+// for a job size of 32 GPUs and scales linearly with the job size." This
+// bench measures assign_flows (FFA) wall time on the 768-GPU cluster for
+// job sizes 8..512 GPUs.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "netsim/routing.h"
+#include "policy/flow_assign.h"
+#include "policy/ring_config.h"
+
+namespace {
+
+using namespace mccs;
+
+void BM_FfaScheduleCost(benchmark::State& state) {
+  static const cluster::Cluster cl = cluster::make_large_sim_cluster();
+  static net::Routing routing(cl.topology());
+
+  const int ngpus = static_cast<int>(state.range(0));
+  std::vector<GpuId> gpus;
+  for (int g = 0; g < ngpus; ++g) gpus.push_back(GpuId{static_cast<std::uint32_t>(g)});
+  const auto strategy = policy::locality_aware_strategy(gpus, cl);
+  policy::AssignItem item;
+  item.comm = CommId{0};
+  item.app = AppId{1};
+  item.gpus_by_rank = &gpus;
+  item.strategy = &strategy;
+
+  for (auto _ : state) {
+    auto routes = policy::assign_flows({item}, cl, routing);
+    benchmark::DoNotOptimize(routes);
+  }
+}
+BENCHMARK(BM_FfaScheduleCost)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_LocalityRingCost(benchmark::State& state) {
+  static const cluster::Cluster cl = cluster::make_large_sim_cluster();
+  const int ngpus = static_cast<int>(state.range(0));
+  std::vector<GpuId> gpus;
+  for (int g = 0; g < ngpus; ++g) gpus.push_back(GpuId{static_cast<std::uint32_t>(g)});
+  for (auto _ : state) {
+    auto order = policy::locality_aware_order(gpus, cl);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_LocalityRingCost)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

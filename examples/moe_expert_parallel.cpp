@@ -1,0 +1,69 @@
+// Mixture-of-Experts example: an expert-parallel training job whose dominant
+// traffic is AllToAll (token dispatch + combine around expert compute),
+// running through the MCCS service.
+//
+// Demonstrates the extension primitives end to end: the MoE workload uses
+// AllToAll via the shim, the provider's FFA policy pins the dense pairwise
+// flows to distinct spine paths, and the same job under the NCCL library
+// model (ECMP) shows the cost of hash collisions on AllToAll-heavy traffic.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/nccl_model.h"
+#include "cluster/cluster.h"
+#include "mccs/fabric.h"
+#include "policy/controller.h"
+#include "workload/models.h"
+#include "workload/traffic_gen.h"
+
+using namespace mccs;
+
+namespace {
+
+double run(bool use_mccs, std::uint64_t seed) {
+  svc::Fabric::Options options;
+  options.seed = seed;
+  if (!use_mccs) options.config = baseline::nccl_library_config();
+  options.config.move_data = false;
+  options.gpu_config.materialize_memory = false;
+  svc::Fabric fabric{cluster::make_testbed(), options};
+
+  policy::Controller controller(fabric);
+  controller.set_ring_policy(use_mccs
+                                 ? policy::Controller::RingPolicy::kLocalityAware
+                                 : policy::Controller::RingPolicy::kUserOrder);
+  controller.set_flow_policy(use_mccs ? policy::Controller::FlowPolicy::kFfa
+                                      : policy::Controller::FlowPolicy::kEcmp);
+  controller.set_route_pairwise_mesh(use_mccs);  // AllToAll mesh on routes
+  controller.attach();
+
+  workload::TrainingModelSpec m = workload::moe_expert_parallel();
+  m.moe_tokens_per_peer_bytes = 4_MB;  // chunky expert dispatch
+  // 4-way expert parallelism, one GPU per host (experts span the racks).
+  workload::TrainingJob job(fabric, AppId{1},
+                            {GpuId{0}, GpuId{4}, GpuId{2}, GpuId{6}}, m,
+                            {.iterations = 12});
+  double jct = 0;
+  job.start([&](Time t) { jct = t; });
+  fabric.loop().run();
+  return jct;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== MoE expert-parallel training: AllToAll through MCCS ===\n\n");
+  double nccl = 0, mccs = 0;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    nccl += run(false, s);
+    mccs += run(true, s);
+  }
+  nccl /= 5;
+  mccs /= 5;
+  std::printf("NCCL model (ECMP):        JCT %6.2f s\n", nccl);
+  std::printf("MCCS (locality + FFA):    JCT %6.2f s\n", mccs);
+  std::printf("\nMCCS speedup on AllToAll-dominated traffic: %.2fx\n",
+              nccl / mccs);
+  return 0;
+}

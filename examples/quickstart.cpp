@@ -1,0 +1,97 @@
+// Quickstart: the MCCS programming model end to end.
+//
+// A tenant application connects its per-GPU processes to the MCCS service
+// through the shim, allocates service-managed GPU buffers, creates a
+// communicator via the UniqueId rendezvous, and issues an AllReduce — the
+// exact NCCL-style flow of §4.1. The provider side (a Controller) picks the
+// collective strategy; the tenant never sees the topology.
+//
+// Everything runs on a simulated 4-node testbed (2 racks, 2x50G vNICs per
+// host), with real bytes moving through the collective datapath.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mccs/fabric.h"
+#include "policy/controller.h"
+
+using namespace mccs;
+
+int main() {
+  // --- provider side: bring up the fabric and attach the controller -------
+  svc::Fabric fabric{cluster::make_testbed()};
+  policy::Controller controller(fabric);
+  controller.set_ring_policy(policy::Controller::RingPolicy::kLocalityAware);
+  controller.set_flow_policy(policy::Controller::FlowPolicy::kFfa);
+  controller.attach();
+
+  // --- tenant side: one process per GPU, one GPU per host ------------------
+  const AppId app{1};
+  const std::vector<GpuId> my_gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  const int nranks = static_cast<int>(my_gpus.size());
+  const std::size_t count = 1 << 20;  // 1M floats = 4 MB
+
+  struct Rank {
+    svc::Shim* shim;
+    gpu::Stream* stream;
+    gpu::DevicePtr send;
+    gpu::DevicePtr recv;
+  };
+  std::vector<Rank> ranks;
+
+  const svc::UniqueId uid = fabric.new_unique_id();
+  CommId comm;
+  int ready = 0;
+  for (int r = 0; r < nranks; ++r) {
+    svc::Shim& shim = fabric.connect(app, my_gpus[static_cast<std::size_t>(r)]);
+    Rank rank;
+    rank.shim = &shim;
+    rank.stream = &shim.create_app_stream();
+    // Memory is allocated *by the service* and returned through an
+    // inter-process handle; the tenant uses the pointer like any device
+    // pointer.
+    rank.send = shim.alloc(count * sizeof(float));
+    rank.recv = shim.alloc(count * sizeof(float));
+    auto in = fabric.gpus().typed<float>(rank.send, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      in[i] = static_cast<float>(r + 1);
+    }
+    shim.comm_init_rank(uid, nranks, r, [&](CommId id) {
+      comm = id;
+      ++ready;
+    });
+    ranks.push_back(rank);
+  }
+  fabric.loop().run_while_pending([&] { return ready == nranks; });
+  std::printf("communicator ready: %d ranks\n", nranks);
+
+  // --- issue the collective --------------------------------------------------
+  int remaining = nranks;
+  Time completed = 0;
+  for (Rank& r : ranks) {
+    r.shim->all_reduce(comm, r.send, r.recv, count, coll::DataType::kFloat32,
+                       coll::ReduceOp::kSum, *r.stream, [&](Time t) {
+                         completed = t;
+                         --remaining;
+                       });
+  }
+  fabric.loop().run_while_pending([&] { return remaining == 0; });
+
+  // --- verify -------------------------------------------------------------------
+  const float expected = static_cast<float>(nranks * (nranks + 1) / 2);  // 1+2+3+4
+  auto out = fabric.gpus().typed<float>(ranks[0].recv, count);
+  std::printf("AllReduce of %zu floats finished at t=%.3f ms (virtual)\n",
+              count, completed * 1e3);
+  std::printf("result[0] = %.1f (expected %.1f) -> %s\n", out[0], expected,
+              out[0] == expected ? "OK" : "WRONG");
+
+  // The provider can inspect what its service did:
+  const auto& strategy = fabric.strategy_of(comm);
+  std::printf("provider strategy: %d channel(s), ring order:", strategy.num_channels());
+  for (int p = 0; p < nranks; ++p) {
+    std::printf(" %d", strategy.channel_orders[0].rank_at(p));
+  }
+  std::printf(", %zu explicit route(s)\n", strategy.routes.size());
+  return out[0] == expected ? 0 : 1;
+}

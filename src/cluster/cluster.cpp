@@ -1,0 +1,158 @@
+#include "cluster/cluster.h"
+
+#include <string>
+
+namespace mccs::cluster {
+
+Cluster make_spine_leaf(const SpineLeafSpec& spec) {
+  MCCS_EXPECTS(spec.num_spines >= 1 && spec.num_leaves >= 1);
+  MCCS_EXPECTS(spec.hosts_per_leaf >= 1 && spec.gpus_per_host >= 1);
+  MCCS_EXPECTS(spec.nics_per_host >= 1);
+
+  Cluster c;
+  net::Topology& topo = c.mutable_topology();
+
+  std::vector<NodeId> spines;
+  spines.reserve(static_cast<std::size_t>(spec.num_spines));
+  for (int s = 0; s < spec.num_spines; ++s) {
+    spines.push_back(topo.add_switch(net::NodeKind::kSpineSwitch,
+                                     "spine" + std::to_string(s)));
+  }
+
+  for (int l = 0; l < spec.num_leaves; ++l) {
+    const NodeId leaf = topo.add_switch(net::NodeKind::kLeafSwitch,
+                                        "leaf" + std::to_string(l));
+    for (NodeId spine : spines) {
+      topo.add_duplex_link(leaf, spine, spec.fabric_link);
+    }
+    const RackId rack{static_cast<std::uint32_t>(l)};
+    const PodId pod{0};
+    for (int h = 0; h < spec.hosts_per_leaf; ++h) {
+      const int host_index = l * spec.hosts_per_leaf + h;
+      std::vector<NodeId> nics;
+      nics.reserve(static_cast<std::size_t>(spec.nics_per_host));
+      for (int n = 0; n < spec.nics_per_host; ++n) {
+        const NodeId nic = topo.add_host(
+            "host" + std::to_string(host_index) + "/nic" + std::to_string(n),
+            rack, pod);
+        topo.add_duplex_link(nic, leaf, spec.nic_link);
+        nics.push_back(nic);
+      }
+      c.add_host(rack, pod, spec.gpus_per_host, std::move(nics));
+    }
+  }
+  return c;
+}
+
+Cluster make_testbed() {
+  SpineLeafSpec spec;
+  spec.num_spines = 2;
+  spec.num_leaves = 2;
+  spec.hosts_per_leaf = 2;
+  spec.gpus_per_host = 2;
+  spec.nics_per_host = 2;
+  spec.nic_link = gbps(50);
+  spec.fabric_link = gbps(50);
+  return make_spine_leaf(spec);
+}
+
+Cluster make_large_sim_cluster() {
+  SpineLeafSpec spec;
+  spec.num_spines = 16;
+  spec.num_leaves = 24;
+  spec.hosts_per_leaf = 4;
+  spec.gpus_per_host = 8;
+  spec.nics_per_host = 8;
+  spec.nic_link = gbps(200);
+  spec.fabric_link = gbps(200);
+  return make_spine_leaf(spec);
+}
+
+Cluster make_switch_ring(int num_switches, int gpus_per_host, int nics_per_host,
+                         Bandwidth link_bw) {
+  MCCS_EXPECTS(num_switches >= 3);
+  Cluster c;
+  net::Topology& topo = c.mutable_topology();
+
+  std::vector<NodeId> switches;
+  switches.reserve(static_cast<std::size_t>(num_switches));
+  for (int s = 0; s < num_switches; ++s) {
+    switches.push_back(topo.add_switch(net::NodeKind::kGenericSwitch,
+                                       "sw" + std::to_string(s)));
+  }
+  for (int s = 0; s < num_switches; ++s) {
+    topo.add_duplex_link(switches[static_cast<std::size_t>(s)],
+                         switches[static_cast<std::size_t>((s + 1) % num_switches)],
+                         link_bw);
+  }
+  for (int s = 0; s < num_switches; ++s) {
+    std::vector<NodeId> nics;
+    for (int n = 0; n < nics_per_host; ++n) {
+      const NodeId nic = topo.add_host(
+          "host" + std::to_string(s) + "/nic" + std::to_string(n),
+          RackId{static_cast<std::uint32_t>(s)}, PodId{0});
+      topo.add_duplex_link(nic, switches[static_cast<std::size_t>(s)], link_bw);
+      nics.push_back(nic);
+    }
+    c.add_host(RackId{static_cast<std::uint32_t>(s)}, PodId{0}, gpus_per_host,
+               std::move(nics));
+  }
+  return c;
+}
+
+Cluster make_fat_tree(const FatTreeSpec& spec) {
+  MCCS_EXPECTS(spec.num_pods >= 1 && spec.spines_per_pod >= 1);
+  MCCS_EXPECTS(spec.leaves_per_pod >= 1 && spec.num_cores >= 1);
+  MCCS_EXPECTS(spec.hosts_per_leaf >= 1 && spec.gpus_per_host >= 1);
+  MCCS_EXPECTS(spec.nics_per_host >= 1);
+
+  Cluster c;
+  net::Topology& topo = c.mutable_topology();
+
+  std::vector<NodeId> cores;
+  cores.reserve(static_cast<std::size_t>(spec.num_cores));
+  for (int k = 0; k < spec.num_cores; ++k) {
+    cores.push_back(topo.add_switch(net::NodeKind::kSpineSwitch,
+                                    "core" + std::to_string(k)));
+  }
+
+  int rack_index = 0;
+  int host_index = 0;
+  for (int p = 0; p < spec.num_pods; ++p) {
+    const PodId pod{static_cast<std::uint32_t>(p)};
+    std::vector<NodeId> pod_spines;
+    for (int s = 0; s < spec.spines_per_pod; ++s) {
+      const NodeId spine = topo.add_switch(
+          net::NodeKind::kSpineSwitch,
+          "pod" + std::to_string(p) + "/spine" + std::to_string(s));
+      for (NodeId core : cores) {
+        topo.add_duplex_link(spine, core, spec.core_link);
+      }
+      pod_spines.push_back(spine);
+    }
+    for (int l = 0; l < spec.leaves_per_pod; ++l) {
+      const NodeId leaf = topo.add_switch(
+          net::NodeKind::kLeafSwitch,
+          "pod" + std::to_string(p) + "/leaf" + std::to_string(l));
+      for (NodeId spine : pod_spines) {
+        topo.add_duplex_link(leaf, spine, spec.pod_link);
+      }
+      const RackId rack{static_cast<std::uint32_t>(rack_index++)};
+      for (int h = 0; h < spec.hosts_per_leaf; ++h) {
+        std::vector<NodeId> nics;
+        for (int n = 0; n < spec.nics_per_host; ++n) {
+          const NodeId nic = topo.add_host(
+              "host" + std::to_string(host_index) + "/nic" + std::to_string(n),
+              rack, pod);
+          topo.add_duplex_link(nic, leaf, spec.nic_link);
+          nics.push_back(nic);
+        }
+        c.add_host(rack, pod, spec.gpus_per_host, std::move(nics));
+        ++host_index;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace mccs::cluster

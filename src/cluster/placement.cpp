@@ -1,0 +1,78 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mccs::cluster {
+
+std::optional<std::vector<GpuId>> GpuAllocator::allocate(int n,
+                                                         Placement placement,
+                                                         Rng& rng) {
+  MCCS_EXPECTS(n > 0);
+  if (static_cast<std::size_t>(n) > free_) return std::nullopt;
+
+  std::vector<GpuId> chosen;
+  chosen.reserve(static_cast<std::size_t>(n));
+
+  if (placement == Placement::kRandom) {
+    std::vector<GpuId> free_gpus;
+    for (std::uint32_t g = 0; g < in_use_.size(); ++g) {
+      if (!in_use_[g]) free_gpus.push_back(GpuId{g});
+    }
+    rng.shuffle(free_gpus);
+    chosen.assign(free_gpus.begin(), free_gpus.begin() + n);
+  } else {
+    // Compact: repeatedly take the rack with the most free GPUs (a rack that
+    // fits the whole remainder wins outright), packing rack by rack.
+    std::map<std::uint32_t, std::vector<GpuId>> by_rack;
+    for (std::uint32_t g = 0; g < in_use_.size(); ++g) {
+      if (!in_use_[g]) by_rack[cluster_->rack_of_gpu(GpuId{g}).get()].push_back(GpuId{g});
+    }
+    int remaining = n;
+    while (remaining > 0) {
+      // Prefer the smallest rack that still fits everything; otherwise the
+      // fullest rack.
+      std::uint32_t best_rack = 0;
+      std::size_t best_size = 0;
+      bool found_fit = false;
+      std::size_t fit_size = static_cast<std::size_t>(-1);
+      for (const auto& [rack, gpus] : by_rack) {
+        if (gpus.empty()) continue;
+        if (gpus.size() >= static_cast<std::size_t>(remaining) &&
+            gpus.size() < fit_size) {
+          found_fit = true;
+          fit_size = gpus.size();
+          best_rack = rack;
+        }
+        if (!found_fit && gpus.size() > best_size) {
+          best_size = gpus.size();
+          best_rack = rack;
+        }
+      }
+      auto& gpus = by_rack[best_rack];
+      const int take = std::min<int>(remaining, static_cast<int>(gpus.size()));
+      // Deterministic order within the rack keeps hosts contiguous.
+      std::sort(gpus.begin(), gpus.end());
+      chosen.insert(chosen.end(), gpus.begin(), gpus.begin() + take);
+      gpus.erase(gpus.begin(), gpus.begin() + take);
+      remaining -= take;
+    }
+  }
+
+  for (GpuId g : chosen) {
+    MCCS_CHECK(!in_use_[g.get()], "allocator chose an occupied GPU");
+    in_use_[g.get()] = true;
+  }
+  free_ -= static_cast<std::size_t>(n);
+  return chosen;
+}
+
+void GpuAllocator::release(const std::vector<GpuId>& gpus) {
+  for (GpuId g : gpus) {
+    MCCS_EXPECTS(in_use_[g.get()]);
+    in_use_[g.get()] = false;
+  }
+  free_ += gpus.size();
+}
+
+}  // namespace mccs::cluster

@@ -1,0 +1,37 @@
+#pragma once
+// Job placement (§6.5): random placement scatters a job's GPUs anywhere in
+// the cluster; compact placement packs a job into as few racks as possible.
+// The allocator tracks per-GPU occupancy so jobs queue when the cluster is
+// full (50 jobs of 16/32 GPUs oversubscribe the 768-GPU cluster).
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace mccs::cluster {
+
+enum class Placement { kRandom, kCompact };
+
+class GpuAllocator {
+ public:
+  explicit GpuAllocator(const Cluster& cluster)
+      : cluster_(&cluster), in_use_(cluster.gpu_count(), false), free_(cluster.gpu_count()) {}
+
+  [[nodiscard]] std::size_t free_count() const { return free_; }
+
+  /// Allocate `n` GPUs under the given policy; nullopt when fewer than n are
+  /// free. The returned list is the job's rank order (rank r = result[r]).
+  std::optional<std::vector<GpuId>> allocate(int n, Placement placement, Rng& rng);
+
+  void release(const std::vector<GpuId>& gpus);
+
+ private:
+  const Cluster* cluster_;
+  std::vector<bool> in_use_;
+  std::size_t free_;
+};
+
+}  // namespace mccs::cluster

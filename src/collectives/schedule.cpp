@@ -1,0 +1,337 @@
+#include "collectives/schedule.h"
+
+namespace mccs::coll {
+namespace {
+
+/// Complete-binary-tree helpers in "rotated" id space where the tree root is
+/// id 0: rank r <-> tid (r - root mod n).
+struct TreeNode {
+  int tid = 0;
+  int parent = -1;       ///< tid of parent (-1 at root)
+  int child_index = 0;   ///< 0 = left child of parent, 1 = right
+  std::vector<int> children;  ///< tids
+};
+
+TreeNode tree_node(int nranks, int tid) {
+  TreeNode node;
+  node.tid = tid;
+  if (tid > 0) {
+    node.parent = (tid - 1) / 2;
+    node.child_index = (tid % 2 == 1) ? 0 : 1;
+  }
+  for (int c : {2 * tid + 1, 2 * tid + 2}) {
+    if (c < nranks) node.children.push_back(c);
+  }
+  return node;
+}
+
+int tid_to_rank(int tid, int root, int n) { return (tid + root) % n; }
+
+}  // namespace
+
+ChannelSchedule build_ring_schedule(CollectiveKind kind, const RingOrder& order,
+                                    int rank, int root) {
+  const int n = static_cast<int>(order.size());
+  const int position = order.position_of(rank);
+
+  std::vector<RingStep> ring_steps;
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      ring_steps = ring_allreduce_steps(n, position);
+      break;
+    case CollectiveKind::kAllGather:
+      ring_steps = ring_allgather_steps(n, position);
+      break;
+    case CollectiveKind::kReduceScatter:
+      ring_steps = ring_reducescatter_steps(n, position);
+      break;
+    case CollectiveKind::kBroadcast: {
+      const int rel = ((position - order.position_of(root)) % n + n) % n;
+      ring_steps = ring_broadcast_steps(n, rel);
+      break;
+    }
+    case CollectiveKind::kReduce:
+    case CollectiveKind::kAllToAll:
+    case CollectiveKind::kGather:
+    case CollectiveKind::kScatter:
+      MCCS_CHECK(false, "this collective uses a dedicated schedule builder");
+      break;
+  }
+
+  ChannelSchedule sched;
+  sched.num_chunks = static_cast<std::size_t>(n);
+  sched.steps.reserve(ring_steps.size());
+  const int succ = order.rank_at(position + 1);
+  const int pred = order.rank_at(position - 1);
+  for (const RingStep& rs : ring_steps) {
+    CommStep st;
+    st.index = rs.index;
+    if (rs.has_send()) {
+      st.send_to = succ;
+      st.send_chunk = chunk_to_buffer_index(kind, order, rs.send_chunk);
+      st.send_tag = rs.send_tag;
+    }
+    if (rs.has_recv()) {
+      st.recv_from = pred;
+      st.recv_chunk = chunk_to_buffer_index(kind, order, rs.recv_chunk);
+      st.recv_tag = rs.recv_tag;
+      st.reduce = rs.reduce;
+    }
+    sched.steps.push_back(st);
+  }
+  return sched;
+}
+
+ChannelSchedule build_tree_allreduce_schedule(int nranks, int rank,
+                                              std::size_t num_chunks) {
+  MCCS_EXPECTS(nranks >= 2);
+  MCCS_EXPECTS(rank >= 0 && rank < nranks);
+  MCCS_EXPECTS(num_chunks >= 1);
+  const int root = 0;
+  const int tid = rank;  // root 0 => tid == rank
+  const TreeNode node = tree_node(nranks, tid);
+  const int kk = static_cast<int>(num_chunks);
+
+  ChannelSchedule sched;
+  sched.num_chunks = num_chunks;
+  int index = 0;
+  // Phase 1: reduce towards the root, chunk by chunk.
+  for (int k = 0; k < kk; ++k) {
+    for (std::size_t c = 0; c < node.children.size(); ++c) {
+      CommStep st;
+      st.index = index++;
+      st.recv_from = tid_to_rank(node.children[c], root, nranks);
+      st.recv_chunk = static_cast<std::size_t>(k);
+      st.recv_tag = 2 * k + static_cast<int>(c);
+      st.reduce = true;
+      sched.steps.push_back(st);
+    }
+    if (node.parent >= 0) {
+      CommStep st;
+      st.index = index++;
+      st.send_to = tid_to_rank(node.parent, root, nranks);
+      st.send_chunk = static_cast<std::size_t>(k);
+      st.send_tag = 2 * k + node.child_index;
+      sched.steps.push_back(st);
+    }
+  }
+  // Phase 2: broadcast the reduced chunks back down.
+  const int base = 2 * kk;
+  for (int k = 0; k < kk; ++k) {
+    if (node.parent >= 0) {
+      CommStep st;
+      st.index = index++;
+      st.recv_from = tid_to_rank(node.parent, root, nranks);
+      st.recv_chunk = static_cast<std::size_t>(k);
+      st.recv_tag = base + k;
+      st.reduce = false;
+      sched.steps.push_back(st);
+    }
+    for (int child : node.children) {
+      CommStep st;
+      st.index = index++;
+      st.send_to = tid_to_rank(child, root, nranks);
+      st.send_chunk = static_cast<std::size_t>(k);
+      st.send_tag = base + k;
+      sched.steps.push_back(st);
+    }
+  }
+  return sched;
+}
+
+ChannelSchedule build_tree_broadcast_schedule(int nranks, int rank, int root,
+                                              std::size_t num_chunks) {
+  MCCS_EXPECTS(nranks >= 2);
+  MCCS_EXPECTS(rank >= 0 && rank < nranks);
+  MCCS_EXPECTS(root >= 0 && root < nranks);
+  MCCS_EXPECTS(num_chunks >= 1);
+  const int tid = ((rank - root) % nranks + nranks) % nranks;
+  const TreeNode node = tree_node(nranks, tid);
+  const int kk = static_cast<int>(num_chunks);
+
+  ChannelSchedule sched;
+  sched.num_chunks = num_chunks;
+  int index = 0;
+  for (int k = 0; k < kk; ++k) {
+    if (node.parent >= 0) {
+      CommStep st;
+      st.index = index++;
+      st.recv_from = tid_to_rank(node.parent, root, nranks);
+      st.recv_chunk = static_cast<std::size_t>(k);
+      st.recv_tag = k;
+      st.reduce = false;
+      sched.steps.push_back(st);
+    }
+    for (int child : node.children) {
+      CommStep st;
+      st.index = index++;
+      st.send_to = tid_to_rank(child, root, nranks);
+      st.send_chunk = static_cast<std::size_t>(k);
+      st.send_tag = k;
+      sched.steps.push_back(st);
+    }
+  }
+  return sched;
+}
+
+std::vector<std::pair<int, int>> tree_edges(int nranks, int root,
+                                            CollectiveKind kind) {
+  MCCS_EXPECTS(nranks >= 2);
+  std::vector<std::pair<int, int>> edges;
+  for (int tid = 1; tid < nranks; ++tid) {
+    const int parent = (tid - 1) / 2;
+    const int up = tid_to_rank(tid, root, nranks);
+    const int down = tid_to_rank(parent, root, nranks);
+    // Broadcast only flows down the tree; AllReduce uses both directions.
+    edges.emplace_back(down, up);
+    if (kind == CollectiveKind::kAllReduce) edges.emplace_back(up, down);
+  }
+  return edges;
+}
+
+ChannelSchedule build_chain_reduce_schedule(const RingOrder& order, int rank,
+                                            int root) {
+  const int n = static_cast<int>(order.size());
+  MCCS_EXPECTS(n >= 2);
+  const int pos = order.position_of(rank);
+  const int root_pos = order.position_of(root);
+  // Chain index: 0 at the position right after the root, n-1 at the root, so
+  // data flows along ring-successor edges and terminates at the root.
+  const int ci = ((pos - root_pos - 1) % n + n) % n;
+  const int num_chunks = n;
+
+  ChannelSchedule sched;
+  sched.num_chunks = static_cast<std::size_t>(num_chunks);
+  int index = 0;
+  for (int k = 0; k < num_chunks; ++k) {
+    if (ci > 0) {
+      CommStep st;
+      st.index = index++;
+      st.recv_from = order.rank_at(pos - 1);
+      st.recv_chunk = static_cast<std::size_t>(k);
+      st.recv_tag = k;
+      st.reduce = true;
+      sched.steps.push_back(st);
+    }
+    if (ci < n - 1) {
+      CommStep st;
+      st.index = index++;
+      st.send_to = order.rank_at(pos + 1);
+      st.send_chunk = static_cast<std::size_t>(k);
+      st.send_tag = k;
+      sched.steps.push_back(st);
+    }
+  }
+  return sched;
+}
+
+ChannelSchedule build_tree_reduce_schedule(int nranks, int rank, int root,
+                                           std::size_t num_chunks) {
+  MCCS_EXPECTS(nranks >= 2);
+  MCCS_EXPECTS(num_chunks >= 1);
+  const int tid = ((rank - root) % nranks + nranks) % nranks;
+  const TreeNode node = tree_node(nranks, tid);
+  const int kk = static_cast<int>(num_chunks);
+
+  ChannelSchedule sched;
+  sched.num_chunks = num_chunks;
+  int index = 0;
+  for (int k = 0; k < kk; ++k) {
+    for (std::size_t c = 0; c < node.children.size(); ++c) {
+      CommStep st;
+      st.index = index++;
+      st.recv_from = tid_to_rank(node.children[c], root, nranks);
+      st.recv_chunk = static_cast<std::size_t>(k);
+      st.recv_tag = 2 * k + static_cast<int>(c);
+      st.reduce = true;
+      sched.steps.push_back(st);
+    }
+    if (node.parent >= 0) {
+      CommStep st;
+      st.index = index++;
+      st.send_to = tid_to_rank(node.parent, root, nranks);
+      st.send_chunk = static_cast<std::size_t>(k);
+      st.send_tag = 2 * k + node.child_index;
+      sched.steps.push_back(st);
+    }
+  }
+  return sched;
+}
+
+ChannelSchedule build_alltoall_schedule(int nranks, int rank) {
+  MCCS_EXPECTS(nranks >= 2);
+  ChannelSchedule sched;
+  sched.num_chunks = static_cast<std::size_t>(nranks);
+  int index = 0;
+  for (int s = 1; s < nranks; ++s) {
+    const int to = (rank + s) % nranks;
+    const int from = (rank - s + nranks) % nranks;
+    CommStep st;
+    st.index = index++;
+    st.send_to = to;
+    st.send_chunk = static_cast<std::size_t>(to);  // my block destined for `to`
+    st.send_tag = rank;                            // inbound tag = sender rank
+    st.recv_from = from;
+    st.recv_chunk = static_cast<std::size_t>(from);  // lands in block `from`
+    st.recv_tag = from;
+    st.reduce = false;
+    sched.steps.push_back(st);
+  }
+  return sched;
+}
+
+ChannelSchedule build_gather_schedule(int nranks, int rank, int root) {
+  MCCS_EXPECTS(nranks >= 2);
+  MCCS_EXPECTS(root >= 0 && root < nranks);
+  ChannelSchedule sched;
+  sched.num_chunks = static_cast<std::size_t>(nranks);
+  int index = 0;
+  if (rank == root) {
+    for (int q = 0; q < nranks; ++q) {
+      if (q == root) continue;
+      CommStep st;
+      st.index = index++;
+      st.recv_from = q;
+      st.recv_chunk = static_cast<std::size_t>(q);  // block q of root's recv
+      st.recv_tag = q;
+      sched.steps.push_back(st);
+    }
+  } else {
+    CommStep st;
+    st.index = index++;
+    st.send_to = root;
+    st.send_chunk = 0;  // the sender's buffer is a single block
+    st.send_tag = rank;
+    sched.steps.push_back(st);
+  }
+  return sched;
+}
+
+ChannelSchedule build_scatter_schedule(int nranks, int rank, int root) {
+  MCCS_EXPECTS(nranks >= 2);
+  MCCS_EXPECTS(root >= 0 && root < nranks);
+  ChannelSchedule sched;
+  sched.num_chunks = static_cast<std::size_t>(nranks);
+  int index = 0;
+  if (rank == root) {
+    for (int q = 0; q < nranks; ++q) {
+      if (q == root) continue;
+      CommStep st;
+      st.index = index++;
+      st.send_to = q;
+      st.send_chunk = static_cast<std::size_t>(q);  // block q of root's send
+      st.send_tag = q;
+      sched.steps.push_back(st);
+    }
+  } else {
+    CommStep st;
+    st.index = index++;
+    st.recv_from = root;
+    st.recv_chunk = 0;  // the receiver's buffer is a single block
+    st.recv_tag = rank;
+    sched.steps.push_back(st);
+  }
+  return sched;
+}
+
+}  // namespace mccs::coll

@@ -1,0 +1,98 @@
+#pragma once
+// Collective-communication vocabulary shared by the MCCS service, the NCCL
+// baseline model, and the benches: operations, data types, reduction
+// operators, and elementwise reduction over raw device bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/check.h"
+
+namespace mccs::coll {
+
+enum class CollectiveKind {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+  kReduce,    ///< reduction delivered to a single root
+  kAllToAll,  ///< pairwise personalized exchange (rank r's block j -> rank j)
+  kGather,    ///< every rank's buffer -> block r of the root's buffer
+  kScatter,   ///< block j of the root's buffer -> rank j
+};
+
+enum class DataType { kFloat32, kFloat64, kInt32, kInt64, kUint8 };
+
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+enum class Algorithm { kRing, kTree };
+
+inline std::size_t dtype_size(DataType t) {
+  switch (t) {
+    case DataType::kFloat32: return 4;
+    case DataType::kFloat64: return 8;
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kUint8: return 1;
+  }
+  MCCS_CHECK(false, "unknown dtype");
+  return 0;
+}
+
+inline std::string to_string(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::kAllReduce: return "AllReduce";
+    case CollectiveKind::kAllGather: return "AllGather";
+    case CollectiveKind::kReduceScatter: return "ReduceScatter";
+    case CollectiveKind::kBroadcast: return "Broadcast";
+    case CollectiveKind::kReduce: return "Reduce";
+    case CollectiveKind::kAllToAll: return "AllToAll";
+    case CollectiveKind::kGather: return "Gather";
+    case CollectiveKind::kScatter: return "Scatter";
+  }
+  return "?";
+}
+
+namespace detail {
+
+template <class T>
+void reduce_typed(std::span<std::byte> acc, std::span<const std::byte> in,
+                  ReduceOp op) {
+  auto* a = reinterpret_cast<T*>(acc.data());
+  const auto* b = reinterpret_cast<const T*>(in.data());
+  const std::size_t n = acc.size() / sizeof(T);
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] + b[i];
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] * b[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] < a[i] ? b[i] : a[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] > a[i] ? b[i] : a[i];
+      break;
+  }
+}
+
+}  // namespace detail
+
+/// acc[i] = acc[i] (op) in[i], elementwise over raw device bytes.
+inline void reduce_bytes(std::span<std::byte> acc, std::span<const std::byte> in,
+                         DataType dtype, ReduceOp op) {
+  MCCS_EXPECTS(acc.size() == in.size());
+  MCCS_EXPECTS(acc.size() % dtype_size(dtype) == 0);
+  switch (dtype) {
+    case DataType::kFloat32: detail::reduce_typed<float>(acc, in, op); break;
+    case DataType::kFloat64: detail::reduce_typed<double>(acc, in, op); break;
+    case DataType::kInt32: detail::reduce_typed<std::int32_t>(acc, in, op); break;
+    case DataType::kInt64: detail::reduce_typed<std::int64_t>(acc, in, op); break;
+    case DataType::kUint8: detail::reduce_typed<std::uint8_t>(acc, in, op); break;
+  }
+}
+
+}  // namespace mccs::coll

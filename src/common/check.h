@@ -1,0 +1,58 @@
+#pragma once
+// Contract checking for MCCS. Follows C++ Core Guidelines I.5/I.7: state
+// preconditions and postconditions, and fail loudly when they are violated.
+//
+// MCCS_EXPECTS(cond)  - precondition; throws mccs::ContractViolation.
+// MCCS_ENSURES(cond)  - postcondition; throws mccs::ContractViolation.
+// MCCS_CHECK(cond, msg) - invariant with a custom message.
+//
+// Contracts are always on: this library is a research artifact whose tests
+// rely on deterministic, observable failure, so we do not compile them out
+// in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mccs {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace mccs
+
+#define MCCS_EXPECTS(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mccs::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                    __LINE__, "");                          \
+  } while (0)
+
+#define MCCS_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mccs::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                    __LINE__, "");                          \
+  } while (0)
+
+#define MCCS_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mccs::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                    (msg));                                 \
+  } while (0)

@@ -1,0 +1,80 @@
+#pragma once
+// Strongly-typed integer identifiers (C++ Core Guidelines I.4: make
+// interfaces precisely and strongly typed). A HostId cannot be passed where
+// a GpuId is expected.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mccs {
+
+template <class Tag>
+struct Id {
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  underlying_type value = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr underlying_type get() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << Tag::prefix() << id.value;
+  }
+};
+
+// Tags. Each carries a short prefix used when logging.
+struct HostTag { static constexpr const char* prefix() { return "host"; } };
+struct GpuTag { static constexpr const char* prefix() { return "gpu"; } };
+struct NicTag { static constexpr const char* prefix() { return "nic"; } };
+struct SwitchTag { static constexpr const char* prefix() { return "sw"; } };
+struct LinkTag { static constexpr const char* prefix() { return "link"; } };
+struct NodeTag { static constexpr const char* prefix() { return "node"; } };
+struct FlowTag { static constexpr const char* prefix() { return "flow"; } };
+struct RouteTag { static constexpr const char* prefix() { return "route"; } };
+struct AppTag { static constexpr const char* prefix() { return "app"; } };
+struct CommTag { static constexpr const char* prefix() { return "comm"; } };
+struct JobTag { static constexpr const char* prefix() { return "job"; } };
+struct RackTag { static constexpr const char* prefix() { return "rack"; } };
+struct PodTag { static constexpr const char* prefix() { return "pod"; } };
+struct MemTag { static constexpr const char* prefix() { return "mem"; } };
+struct StreamTag { static constexpr const char* prefix() { return "stream"; } };
+struct EventTag { static constexpr const char* prefix() { return "event"; } };
+struct ChannelTag { static constexpr const char* prefix() { return "chan"; } };
+
+using HostId = Id<HostTag>;
+using GpuId = Id<GpuTag>;        ///< Cluster-global GPU index.
+using NicId = Id<NicTag>;        ///< Cluster-global NIC index.
+using SwitchId = Id<SwitchTag>;
+using LinkId = Id<LinkTag>;
+using NodeId = Id<NodeTag>;      ///< Topology graph node (host or switch).
+using FlowId = Id<FlowTag>;
+using RouteId = Id<RouteTag>;    ///< Explicit path selector (UDP-sport analogue).
+using AppId = Id<AppTag>;        ///< Tenant application.
+using CommId = Id<CommTag>;      ///< Communicator.
+using JobId = Id<JobTag>;
+using RackId = Id<RackTag>;
+using PodId = Id<PodTag>;
+using MemId = Id<MemTag>;        ///< Device memory allocation.
+using StreamId = Id<StreamTag>;
+using EventId = Id<EventTag>;
+using ChannelId = Id<ChannelTag>;  ///< Ring/channel index inside a communicator.
+
+}  // namespace mccs
+
+namespace std {
+template <class Tag>
+struct hash<mccs::Id<Tag>> {
+  size_t operator()(mccs::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logging. Silent by default so tests and benches stay
+// clean; enable with Logger::set_level. Not thread-safe by design: the whole
+// system runs on one deterministic event-loop thread.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mccs {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kOff;
+    return lvl;
+  }
+  static void set_level(LogLevel lvl) { level() = lvl; }
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+};
+
+namespace detail {
+inline const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    default: return "?";
+  }
+}
+}  // namespace detail
+
+}  // namespace mccs
+
+#define MCCS_LOG(lvl, msg)                                                   \
+  do {                                                                       \
+    if (::mccs::Logger::enabled(lvl)) {                                      \
+      std::ostringstream os_;                                                \
+      os_ << "[" << ::mccs::detail::level_name(lvl) << "] " << msg << "\n";  \
+      std::cerr << os_.str();                                                \
+    }                                                                        \
+  } while (0)
+
+#define MCCS_TRACE(msg) MCCS_LOG(::mccs::LogLevel::kTrace, msg)
+#define MCCS_DEBUG(msg) MCCS_LOG(::mccs::LogLevel::kDebug, msg)
+#define MCCS_INFO(msg) MCCS_LOG(::mccs::LogLevel::kInfo, msg)
+#define MCCS_WARN(msg) MCCS_LOG(::mccs::LogLevel::kWarn, msg)

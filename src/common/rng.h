@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic random number generation. Every stochastic component takes an
+// explicit Rng (or seed) so whole experiments replay bit-identically; there
+// is no global RNG state (Core Guidelines I.2).
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace mccs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    MCCS_EXPECTS(n > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Exponential with the given mean (for Poisson inter-arrival times).
+  double exponential(double mean) {
+    MCCS_EXPECTS(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal distribution.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class Vec>
+  void shuffle(Vec& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-job / per-trial RNGs).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mccs

@@ -1,0 +1,49 @@
+#pragma once
+// Small statistics helpers shared by benches and tests: mean, percentiles,
+// CDF extraction.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mccs {
+
+inline double mean(const std::vector<double>& xs) {
+  MCCS_EXPECTS(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+/// Percentile with linear interpolation, p in [0, 100].
+inline double percentile(std::vector<double> xs, double p) {
+  MCCS_EXPECTS(!xs.empty());
+  MCCS_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+struct CdfPoint {
+  double value;
+  double cumulative_fraction;
+};
+
+/// Empirical CDF points (sorted values with cumulative fraction).
+inline std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  MCCS_EXPECTS(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back({xs[i], static_cast<double>(i + 1) / static_cast<double>(xs.size())});
+  }
+  return out;
+}
+
+}  // namespace mccs

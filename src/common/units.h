@@ -1,0 +1,42 @@
+#pragma once
+// Units used throughout the simulator and service.
+//
+// Time is virtual simulation time in seconds (double); bandwidth is bytes per
+// second; data sizes are bytes. Helper functions make call sites read like
+// the paper ("100 Gbps links", "512 MB AllReduce", "50 us IPC latency").
+
+#include <cstdint>
+
+namespace mccs {
+
+/// Virtual simulation time, in seconds.
+using Time = double;
+/// Data size in bytes.
+using Bytes = std::uint64_t;
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+constexpr Time kTimeInfinity = 1e30;
+
+// --- data sizes ------------------------------------------------------------
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr Bytes operator""_GB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+// --- time ------------------------------------------------------------------
+constexpr Time seconds(double v) { return v; }
+constexpr Time millis(double v) { return v * 1e-3; }
+constexpr Time micros(double v) { return v * 1e-6; }
+constexpr Time nanos(double v) { return v * 1e-9; }
+
+// --- bandwidth ---------------------------------------------------------------
+/// Network-style gigabits per second -> bytes per second.
+constexpr Bandwidth gbps(double v) { return v * 1e9 / 8.0; }
+/// GPU-style gigabytes per second -> bytes per second.
+constexpr Bandwidth gibytes_per_sec(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+
+/// Convert bytes/second to the "GB/s" the paper plots (power-of-two GiB).
+constexpr double to_gibps(Bandwidth b) { return b / (1024.0 * 1024.0 * 1024.0); }
+
+}  // namespace mccs

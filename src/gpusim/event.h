@@ -1,0 +1,77 @@
+#pragma once
+// CUDA-event analogue.
+//
+// Semantics mirror cudaEvent_t as used by MCCS (§4.1 "Synchronization"):
+//  * record(stream) enqueues a marker; when the stream reaches it, the event
+//    becomes signalled and carries the virtual timestamp;
+//  * a stream can enqueue a wait on an event recorded on a *different*
+//    stream — even one owned by a different process, because events are
+//    shareable through inter-process handles (unlike streams).
+//
+// GpuEvent is the shared state; EventHandle is the IPC-handle analogue that
+// the MCCS shim and service exchange.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace mccs::gpu {
+
+class GpuEvent {
+ public:
+  explicit GpuEvent(GpuId device) : device_(device) {}
+
+  [[nodiscard]] GpuId device() const { return device_; }
+  [[nodiscard]] bool signalled() const { return signalled_; }
+  [[nodiscard]] Time timestamp() const { return timestamp_; }
+
+  /// Arm the event for a new record (called when a record op is enqueued).
+  /// Waits enqueued after this block until the new record completes.
+  void arm() {
+    signalled_ = false;
+    ++generation_;
+  }
+
+  /// Mark the event signalled at time `now` and release waiters.
+  void signal(Time now) {
+    signalled_ = true;
+    timestamp_ = now;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : waiters) w();
+  }
+
+  /// Invoke `fn` once the event signals (immediately if already signalled).
+  void on_signal(std::function<void()> fn) {
+    if (signalled_) {
+      fn();
+    } else {
+      waiters_.push_back(std::move(fn));
+    }
+  }
+
+ private:
+  GpuId device_;
+  bool signalled_ = false;
+  Time timestamp_ = 0.0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::function<void()>> waiters_;
+};
+
+/// Inter-process event handle: opening it yields the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::shared_ptr<GpuEvent> ev) : event_(std::move(ev)) {}
+
+  [[nodiscard]] bool valid() const { return event_ != nullptr; }
+  [[nodiscard]] std::shared_ptr<GpuEvent> open() const { return event_; }
+
+ private:
+  std::shared_ptr<GpuEvent> event_;
+};
+
+}  // namespace mccs::gpu

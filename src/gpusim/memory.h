@@ -1,0 +1,56 @@
+#pragma once
+// Device memory primitives.
+//
+// Allocations hold real bytes (host-backed), so collective results are
+// numerically checkable end-to-end. DevicePtr is the analogue of a CUDA
+// device pointer: an (allocation, offset) pair. MemHandle is the analogue
+// of cudaIpcMemHandle_t: the MCCS service allocates on behalf of a tenant
+// and exports a handle that the tenant's shim opens (§4.1 "Memory
+// Management").
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace mccs::gpu {
+
+/// Analogue of a CUDA device pointer visible to applications.
+struct DevicePtr {
+  GpuId gpu;
+  MemId mem;
+  Bytes offset = 0;
+
+  [[nodiscard]] bool valid() const { return gpu.valid() && mem.valid(); }
+
+  /// Pointer arithmetic, like `ptr + n` on a byte pointer.
+  [[nodiscard]] DevicePtr at_offset(Bytes delta) const {
+    return DevicePtr{gpu, mem, offset + delta};
+  }
+
+  friend bool operator==(const DevicePtr& a, const DevicePtr& b) {
+    return a.gpu == b.gpu && a.mem == b.mem && a.offset == b.offset;
+  }
+};
+
+/// Analogue of cudaIpcMemHandle_t: shareable across process boundaries.
+struct MemHandle {
+  GpuId gpu;
+  MemId mem;
+  [[nodiscard]] bool valid() const { return gpu.valid() && mem.valid(); }
+};
+
+namespace detail {
+struct Allocation {
+  std::vector<std::byte> data;  ///< empty when the allocation is timing-only
+  Bytes size = 0;
+  bool materialized = true;
+  int refcount = 1;
+};
+}  // namespace detail
+
+}  // namespace mccs::gpu

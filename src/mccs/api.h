@@ -1,0 +1,66 @@
+#pragma once
+// Public collective-communication API types for MCCS.
+//
+// The shim exposes an NCCL-shaped interface (§4.1): communicators are
+// created from a UniqueId rendezvous (the ncclUniqueId analogue), and each
+// collective call names device buffers, an element count, a datatype, a
+// reduction operator, and the application stream that orders the collective
+// against the app's compute kernels.
+//
+// Buffer-count semantics match NCCL:
+//   AllReduce      send[count]        -> recv[count]
+//   AllGather      send[count]        -> recv[count * nranks]
+//   ReduceScatter  send[count*nranks] -> recv[count]
+//   Broadcast      send[count]@root   -> recv[count]  (in-place allowed)
+//   Reduce         send[count]        -> recv[count]@root
+//   AllToAll       send[count*nranks] -> recv[count*nranks] (count per peer)
+//   Gather         send[count]        -> recv[count*nranks]@root
+//   Scatter        send[count*nranks]@root -> recv[count]
+
+#include <cstdint>
+#include <functional>
+
+#include "collectives/types.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "gpusim/memory.h"
+
+namespace mccs::svc {
+
+/// Rendezvous token for communicator creation (ncclUniqueId analogue).
+struct UniqueId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(UniqueId a, UniqueId b) { return a.value == b.value; }
+};
+
+/// Arguments of one collective operation as issued by the application.
+struct CollectiveArgs {
+  coll::CollectiveKind kind = coll::CollectiveKind::kAllReduce;
+  gpu::DevicePtr send;
+  gpu::DevicePtr recv;
+  std::size_t count = 0;  ///< elements; see header comment for per-op meaning
+  coll::DataType dtype = coll::DataType::kFloat32;
+  coll::ReduceOp op = coll::ReduceOp::kSum;
+  int root = 0;  ///< broadcast only
+
+  /// Total payload bytes moved per rank, as the paper's "data size" axis
+  /// measures it (output buffer size; see §6.2).
+  [[nodiscard]] Bytes output_bytes(int nranks) const {
+    const Bytes e = coll::dtype_size(dtype);
+    switch (kind) {
+      case coll::CollectiveKind::kAllGather:
+      case coll::CollectiveKind::kAllToAll:
+      case coll::CollectiveKind::kGather:
+      case coll::CollectiveKind::kScatter:
+        return static_cast<Bytes>(count) * static_cast<Bytes>(nranks) * e;
+      default:
+        return static_cast<Bytes>(count) * e;
+    }
+  }
+};
+
+/// Completion callback: virtual time at which the collective completed.
+using CompletionCallback = std::function<void(Time)>;
+
+}  // namespace mccs::svc

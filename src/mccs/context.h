@@ -1,0 +1,38 @@
+#pragma once
+// Shared wiring for all MCCS service components on a fabric: the event loop,
+// the simulated network and GPUs, the cluster inventory, the timing config,
+// and fabric-level lookups (peer proxies, control-plane messaging). Owned by
+// the Fabric; every engine holds a reference.
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/cluster.h"
+#include "common/ids.h"
+#include "gpusim/runtime.h"
+#include "mccs/config.h"
+#include "netsim/network.h"
+#include "sim/event_loop.h"
+
+namespace mccs::svc {
+
+class ProxyEngine;
+
+struct ServiceContext {
+  sim::EventLoop* loop = nullptr;
+  net::Network* network = nullptr;
+  gpu::GpuRuntime* gpus = nullptr;
+  const cluster::Cluster* cluster = nullptr;
+  ServiceConfig config;
+  std::uint64_t seed = 1;  ///< fabric seed; perturbs ECMP hashing per trial
+
+  /// Proxy engine serving a GPU anywhere in the cluster.
+  std::function<ProxyEngine&(GpuId)> proxy_for;
+
+  /// Deliver a control-plane message between hosts after `extra` delay on
+  /// top of the configured control-hop latency.
+  std::function<void(HostId from, HostId to, std::function<void()> fn, Time extra)>
+      send_control;
+};
+
+}  // namespace mccs::svc

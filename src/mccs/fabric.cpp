@@ -1,0 +1,209 @@
+#include "mccs/fabric.h"
+
+#include <algorithm>
+
+namespace mccs::svc {
+
+Fabric::Fabric(cluster::Cluster cluster)
+    : Fabric(std::move(cluster), Options{}) {}
+
+Fabric::Fabric(cluster::Cluster cluster, Options options)
+    : cluster_(std::move(cluster)) {
+  network_ = std::make_unique<net::Network>(loop_, cluster_.topology());
+  gpus_ = std::make_unique<gpu::GpuRuntime>(loop_, cluster_.gpu_count(),
+                                            options.gpu_config);
+
+  context_.loop = &loop_;
+  context_.network = network_.get();
+  context_.gpus = gpus_.get();
+  context_.cluster = &cluster_;
+  context_.config = options.config;
+  context_.seed = options.seed;
+  context_.proxy_for = [this](GpuId gpu) -> ProxyEngine& { return proxy_for(gpu); };
+  context_.send_control = [this](HostId /*from*/, HostId /*to*/,
+                                 std::function<void()> fn, Time extra) {
+    loop_.schedule_after(context_.config.control_hop_latency + extra,
+                         std::move(fn));
+  };
+
+  services_.reserve(cluster_.host_count());
+  for (std::size_t h = 0; h < cluster_.host_count(); ++h) {
+    services_.push_back(std::make_unique<Service>(
+        context_, *this, HostId{static_cast<std::uint32_t>(h)}));
+  }
+}
+
+Fabric::~Fabric() = default;
+
+Service& Fabric::service(HostId host) {
+  MCCS_EXPECTS(host.get() < services_.size());
+  return *services_[host.get()];
+}
+
+Shim& Fabric::connect(AppId app, GpuId gpu) {
+  return service(cluster_.host_of_gpu(gpu)).connect(app, gpu);
+}
+
+ProxyEngine& Fabric::proxy_for(GpuId gpu) {
+  return service(cluster_.host_of_gpu(gpu)).proxy(gpu);
+}
+
+UniqueId Fabric::new_unique_id() { return UniqueId{next_unique_id_++}; }
+
+void Fabric::set_strategy_provider(
+    std::function<CommStrategy(const CommInfo&)> provider) {
+  strategy_provider_ = std::move(provider);
+}
+
+void Fabric::bootstrap_join(UniqueId uid, int nranks, int rank, AppId app,
+                            GpuId gpu, std::function<void(CommId)> on_ready) {
+  MCCS_EXPECTS(uid.valid());
+  MCCS_EXPECTS(nranks >= 1 && rank >= 0 && rank < nranks);
+  BootstrapState& bs = bootstraps_[uid.value];
+  if (bs.joined.empty()) {
+    bs.nranks = nranks;
+  } else {
+    MCCS_CHECK(bs.nranks == nranks, "ranks disagree on communicator size");
+  }
+  for (const BootstrapEntry& e : bs.joined) {
+    MCCS_CHECK(e.rank != rank, "rank joined the same rendezvous twice");
+  }
+  bs.joined.push_back(BootstrapEntry{rank, app, gpu, std::move(on_ready)});
+
+  if (static_cast<int>(bs.joined.size()) == bs.nranks) {
+    BootstrapState state = std::move(bs);
+    bootstraps_.erase(uid.value);
+    // Rendezvous complete: after the bootstrap latency (the rank-0 control
+    // ring exchange of §4.2), install the communicator everywhere.
+    loop_.schedule_after(context_.config.bootstrap_latency,
+                         [this, uid, state = std::move(state)]() mutable {
+                           finish_bootstrap(uid, std::move(state));
+                         });
+  }
+}
+
+void Fabric::finish_bootstrap(UniqueId /*uid*/, BootstrapState state) {
+  std::sort(state.joined.begin(), state.joined.end(),
+            [](const BootstrapEntry& a, const BootstrapEntry& b) {
+              return a.rank < b.rank;
+            });
+
+  CommInfo info;
+  info.id = CommId{next_comm_id_++};
+  info.app = state.joined.front().app;
+  info.nranks = state.nranks;
+  info.gpus.reserve(state.joined.size());
+  for (const BootstrapEntry& e : state.joined) {
+    MCCS_CHECK(e.app == info.app, "communicator spans applications");
+    info.gpus.push_back(e.gpu);
+  }
+
+  const CommStrategy strategy =
+      strategy_provider_ ? strategy_provider_(info)
+                         : nccl_default_strategy(info.gpus, cluster_);
+
+  for (const BootstrapEntry& e : state.joined) {
+    CommSetup setup;
+    setup.id = info.id;
+    setup.app = info.app;
+    setup.rank = e.rank;
+    setup.nranks = state.nranks;
+    setup.gpus = info.gpus;
+    setup.strategy = strategy;
+    proxy_for(e.gpu).install_communicator(setup);
+  }
+  comms_.emplace(info.id.get(), info);
+
+  // Notify the shims (completion queue hop).
+  for (BootstrapEntry& e : state.joined) {
+    if (e.on_ready) {
+      loop_.schedule_after(context_.config.service_to_shim_latency,
+                           [cb = std::move(e.on_ready), id = info.id] { cb(id); });
+    }
+  }
+}
+
+std::vector<CommInfo> Fabric::list_communicators() const {
+  std::vector<CommInfo> out;
+  out.reserve(comms_.size());
+  for (const auto& [id, info] : comms_) out.push_back(info);
+  std::sort(out.begin(), out.end(),
+            [](const CommInfo& a, const CommInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+const CommInfo& Fabric::comm_info(CommId comm) const {
+  auto it = comms_.find(comm.get());
+  MCCS_EXPECTS(it != comms_.end());
+  return it->second;
+}
+
+const CommStrategy& Fabric::strategy_of(CommId comm) {
+  const CommInfo& info = comm_info(comm);
+  return proxy_for(info.gpus.front()).strategy(comm);
+}
+
+void Fabric::reconfigure(CommId comm, CommStrategy strategy,
+                         std::vector<Time> delays) {
+  const CommInfo& info = comm_info(comm);
+  MCCS_EXPECTS(delays.empty() ||
+               delays.size() == static_cast<std::size_t>(info.nranks));
+  const std::uint64_t round = ++reconfig_rounds_[comm.get()];
+  for (int r = 0; r < info.nranks; ++r) {
+    const GpuId gpu = info.gpus[static_cast<std::size_t>(r)];
+    ProxyEngine* proxy = &proxy_for(gpu);
+    const Time extra = delays.empty() ? 0.0 : delays[static_cast<std::size_t>(r)];
+    context_.send_control(HostId{0}, cluster_.host_of_gpu(gpu),
+                          [proxy, comm, round, strategy] {
+                            proxy->request_reconfigure(comm, round, strategy);
+                          },
+                          extra);
+  }
+}
+
+void Fabric::destroy_communicator(CommId comm) {
+  const CommInfo info = comm_info(comm);  // copy: the registry entry goes away
+  for (GpuId gpu : info.gpus) {
+    ProxyEngine* proxy = &proxy_for(gpu);
+    context_.send_control(HostId{0}, cluster_.host_of_gpu(gpu),
+                          [proxy, comm] { proxy->destroy_communicator(comm); },
+                          0.0);
+  }
+  comms_.erase(comm.get());
+  reconfig_rounds_.erase(comm.get());
+}
+
+void Fabric::set_traffic_schedule(AppId app, const TrafficSchedule& schedule) {
+  for (auto& svc : services_) {
+    const auto& host = cluster_.host(svc->host());
+    for (std::size_t nic = 0; nic < host.nic_nodes.size(); ++nic) {
+      svc->transport(static_cast<int>(nic)).set_schedule(app, schedule);
+    }
+  }
+}
+
+void Fabric::clear_traffic_schedule(AppId app) {
+  for (auto& svc : services_) {
+    const auto& host = cluster_.host(svc->host());
+    for (std::size_t nic = 0; nic < host.nic_nodes.size(); ++nic) {
+      svc->transport(static_cast<int>(nic)).clear_schedule(app);
+    }
+  }
+}
+
+std::vector<TraceRecord> Fabric::trace(AppId app) const {
+  std::vector<TraceRecord> out;
+  for (const auto& svc : services_) {
+    for (const TraceRecord& r : svc->collect_trace()) {
+      if (r.app == app) out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    if (a.comm != b.comm) return a.comm < b.comm;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.rank < b.rank;
+  });
+  return out;
+}
+
+}  // namespace mccs::svc

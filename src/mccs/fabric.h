@@ -1,0 +1,140 @@
+#pragma once
+// Fabric: one complete MCCS deployment — the simulated substrate (event
+// loop, network, GPUs) plus a per-host Service, the communicator bootstrap
+// rendezvous, and the provider-facing management API of §4.3 that external
+// controllers (src/policy) drive:
+//
+//   * list communicators with their GPU placements and current strategies;
+//   * reconfigure a communicator's strategy at runtime (delivered to every
+//     rank's proxy with independent control-plane delays — the Fig. 4 race);
+//   * install per-tenant traffic schedules on the transport engines;
+//   * retrieve per-application collective traces.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "gpusim/runtime.h"
+#include "mccs/context.h"
+#include "mccs/service.h"
+#include "mccs/strategy.h"
+#include "mccs/trace.h"
+#include "mccs/transport_engine.h"
+#include "netsim/network.h"
+#include "sim/event_loop.h"
+
+namespace mccs::svc {
+
+/// Communicator metadata exposed to controllers.
+struct CommInfo {
+  CommId id;
+  AppId app;
+  int nranks = 0;
+  std::vector<GpuId> gpus;  ///< by rank
+};
+
+class Fabric {
+ public:
+  struct Options {
+    ServiceConfig config{};
+    gpu::DeviceConfig gpu_config{};
+    std::uint64_t seed = 1;
+  };
+
+  explicit Fabric(cluster::Cluster cluster);
+  Fabric(cluster::Cluster cluster, Options options);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // --- substrate access ---------------------------------------------------------
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] gpu::GpuRuntime& gpus() { return *gpus_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const ServiceConfig& config() const { return context_.config; }
+
+  [[nodiscard]] Service& service(HostId host);
+  /// Convenience: attach an application process to the service of the host
+  /// owning `gpu`.
+  Shim& connect(AppId app, GpuId gpu);
+
+  // --- communicator bootstrap -----------------------------------------------------
+  UniqueId new_unique_id();
+
+  /// Provider hook choosing the initial strategy for a new communicator.
+  /// Defaults to the NCCL-model strategy (user rank order, ECMP).
+  void set_strategy_provider(std::function<CommStrategy(const CommInfo&)> provider);
+
+  /// Called by shims; when all `nranks` ranks of `uid` joined, installs the
+  /// communicator on every rank's proxy after the bootstrap latency.
+  void bootstrap_join(UniqueId uid, int nranks, int rank, AppId app, GpuId gpu,
+                      std::function<void(CommId)> on_ready);
+
+  // --- management API (§4.3) --------------------------------------------------------
+  [[nodiscard]] std::vector<CommInfo> list_communicators() const;
+  [[nodiscard]] const CommInfo& comm_info(CommId comm) const;
+
+  /// Current strategy as seen by rank 0's proxy.
+  [[nodiscard]] const CommStrategy& strategy_of(CommId comm);
+
+  /// Send a reconfiguration command to every rank's proxy. `delays[r]` adds
+  /// extra control-plane delay for rank r (tests use this to force the
+  /// Fig.-4 race); empty means the configured control latency only.
+  void reconfigure(CommId comm, CommStrategy strategy,
+                   std::vector<Time> delays = {});
+
+  /// Install / clear a traffic-scheduling QoS window for a tenant on every
+  /// transport engine in the cluster.
+  void set_traffic_schedule(AppId app, const TrafficSchedule& schedule);
+  void clear_traffic_schedule(AppId app);
+
+  /// All collective trace records of one application, cluster-wide.
+  [[nodiscard]] std::vector<TraceRecord> trace(AppId app) const;
+
+  /// Management-path communicator teardown: destroys the communicator on
+  /// every rank's proxy (after the control latency) and removes it from the
+  /// registry, so policies stop planning for it. Outstanding collectives on
+  /// any rank make the teardown fail loudly.
+  void destroy_communicator(CommId comm);
+
+  // --- internal wiring ------------------------------------------------------------
+  [[nodiscard]] ProxyEngine& proxy_for(GpuId gpu);
+  [[nodiscard]] ServiceContext& context() { return context_; }
+
+ private:
+  struct BootstrapEntry {
+    int rank;
+    AppId app;
+    GpuId gpu;
+    std::function<void(CommId)> on_ready;
+  };
+  struct BootstrapState {
+    int nranks = 0;
+    std::vector<BootstrapEntry> joined;
+  };
+
+  void finish_bootstrap(UniqueId uid, BootstrapState state);
+
+  cluster::Cluster cluster_;
+  sim::EventLoop loop_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<gpu::GpuRuntime> gpus_;
+  ServiceContext context_;
+  std::vector<std::unique_ptr<Service>> services_;  ///< by HostId
+  std::function<CommStrategy(const CommInfo&)> strategy_provider_;
+
+  std::unordered_map<std::uint64_t, BootstrapState> bootstraps_;
+  std::unordered_map<std::uint32_t, CommInfo> comms_;
+  std::unordered_map<std::uint32_t, std::uint64_t> reconfig_rounds_;  ///< per comm
+  std::uint64_t next_unique_id_ = 1;
+  std::uint32_t next_comm_id_ = 0;
+};
+
+}  // namespace mccs::svc

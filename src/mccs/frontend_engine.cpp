@@ -1,0 +1,136 @@
+#include "mccs/frontend_engine.h"
+
+namespace mccs::svc {
+
+gpu::DevicePtr FrontendEngine::handle_alloc(GpuId gpu, Bytes size) {
+  MCCS_EXPECTS(size > 0);
+  gpu::Gpu& dev = ctx_->gpus->gpu(gpu);
+  // The service allocates, exports an IPC handle, and the shim opens it; the
+  // tenant ends up with a device pointer it can use freely for compute while
+  // the service retains access for collectives.
+  const gpu::DevicePtr service_ptr = dev.allocate(size);
+  const gpu::MemHandle handle = dev.export_handle(service_ptr.mem);
+  const gpu::DevicePtr app_ptr = dev.open_handle(handle);
+  registry_.emplace(key(gpu, app_ptr.mem), AllocInfo{gpu, size});
+  return app_ptr;
+}
+
+void FrontendEngine::handle_free(gpu::DevicePtr ptr) {
+  auto it = registry_.find(key(ptr.gpu, ptr.mem));
+  MCCS_CHECK(it != registry_.end(), "free of unregistered tenant buffer");
+  MCCS_EXPECTS(ptr.offset == 0);
+  registry_.erase(it);
+  gpu::Gpu& dev = ctx_->gpus->gpu(ptr.gpu);
+  dev.release(ptr.mem);  // shim closes its handle...
+  dev.release(ptr.mem);  // ...then the service releases the allocation
+}
+
+bool FrontendEngine::validate(gpu::DevicePtr ptr, Bytes len) const {
+  auto it = registry_.find(key(ptr.gpu, ptr.mem));
+  if (it == registry_.end()) return false;
+  return ptr.offset + len <= it->second.size;
+}
+
+void FrontendEngine::handle_collective(CommId comm, GpuId gpu,
+                                       WorkRequest request, int nranks) {
+  const CollectiveArgs& args = request.args;
+  const Bytes esize = coll::dtype_size(args.dtype);
+  const Bytes count = args.count;
+  const Bytes nb = static_cast<Bytes>(nranks);
+
+  Bytes send_len = 0;
+  Bytes recv_len = 0;
+  switch (args.kind) {
+    case coll::CollectiveKind::kAllReduce:
+      send_len = count * esize;
+      recv_len = count * esize;
+      break;
+    case coll::CollectiveKind::kAllGather:
+      send_len = count * esize;
+      recv_len = count * nb * esize;
+      break;
+    case coll::CollectiveKind::kReduceScatter:
+      send_len = count * nb * esize;
+      recv_len = count * esize;
+      break;
+    case coll::CollectiveKind::kBroadcast:
+      send_len = count * esize;
+      recv_len = count * esize;
+      break;
+    case coll::CollectiveKind::kReduce:
+      send_len = count * esize;
+      recv_len = count * esize;  // only read at the root, validated anyway
+      break;
+    case coll::CollectiveKind::kAllToAll:
+      send_len = count * nb * esize;
+      recv_len = count * nb * esize;
+      break;
+    case coll::CollectiveKind::kGather:
+      // recv only matters at the root; the service bounds-checks the root's
+      // larger access at apply time.
+      send_len = count * esize;
+      recv_len = count * esize;
+      break;
+    case coll::CollectiveKind::kScatter:
+      send_len = count * esize;  // full size only read at the root
+      recv_len = count * esize;
+      break;
+  }
+
+  MCCS_CHECK(validate(args.recv, recv_len),
+             "collective recv buffer is not a valid tenant allocation");
+  // Broadcast's send buffer is only read at the root; non-roots typically
+  // alias it to recv, which the recv check already covered.
+  if (args.kind != coll::CollectiveKind::kBroadcast || !(args.send == args.recv)) {
+    MCCS_CHECK(validate(args.send, send_len),
+               "collective send buffer is not a valid tenant allocation");
+  }
+
+  ProxyEngine& proxy = ctx_->proxy_for(gpu);
+  ctx_->loop->schedule_after(
+      ctx_->config.engine_hop_latency,
+      [&proxy, comm, request = std::move(request)]() mutable {
+        proxy.issue_collective(comm, std::move(request));
+      });
+}
+
+void FrontendEngine::handle_p2p(CommId comm, GpuId gpu, P2pRequest request) {
+  const Bytes len = request.count * coll::dtype_size(request.dtype);
+  MCCS_CHECK(validate(request.buffer, len),
+             "P2P buffer is not a valid tenant allocation");
+  ProxyEngine& proxy = ctx_->proxy_for(gpu);
+  ctx_->loop->schedule_after(
+      ctx_->config.engine_hop_latency,
+      [&proxy, comm, request = std::move(request)]() mutable {
+        proxy.issue_p2p(comm, std::move(request));
+      });
+}
+
+CommandQueue<ShimCommand>& FrontendEngine::command_queue(GpuId gpu) {
+  auto it = queues_.find(gpu.get());
+  if (it == queues_.end()) {
+    it = queues_
+             .emplace(gpu.get(),
+                      std::make_unique<CommandQueue<ShimCommand>>(
+                          *ctx_->loop, ctx_->config.shim_to_service_latency,
+                          ctx_->config.ipc_queue_capacity,
+                          [this](ShimCommand c) { consume(std::move(c)); }))
+             .first;
+  }
+  return *it->second;
+}
+
+void FrontendEngine::consume(ShimCommand command) {
+  std::visit(
+      [this](auto&& cmd) {
+        using T = std::decay_t<decltype(cmd)>;
+        if constexpr (std::is_same_v<T, CollectiveCommand>) {
+          handle_collective(cmd.comm, cmd.gpu, std::move(cmd.request), cmd.nranks);
+        } else {
+          handle_p2p(cmd.comm, cmd.gpu, std::move(cmd.request));
+        }
+      },
+      std::move(command));
+}
+
+}  // namespace mccs::svc

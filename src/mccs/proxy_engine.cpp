@@ -1,0 +1,935 @@
+#include "mccs/proxy_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "netsim/routing.h"
+
+namespace mccs::svc {
+namespace {
+
+struct ByteRange {
+  Bytes offset = 0;
+  Bytes len = 0;
+};
+
+// Byte range of (buffer_chunk, channel) within the logical work buffer.
+// Blocks: AllGather/ReduceScatter have fixed per-rank blocks of `count`
+// elements (num_chunks == nranks); AllReduce/Broadcast partition `count`
+// elements into num_chunks near-equal pieces (rings use nranks chunks,
+// trees their pipeline granularity). Each channel owns a stripe of every
+// block.
+ByteRange chunk_byte_range(coll::CollectiveKind kind, std::size_t count,
+                           std::size_t esize, std::size_t num_chunks,
+                           int num_channels, int channel,
+                           std::size_t buffer_chunk) {
+  std::size_t block_begin = 0;
+  std::size_t block_count = 0;
+  switch (kind) {
+    case coll::CollectiveKind::kAllReduce:
+    case coll::CollectiveKind::kBroadcast:
+    case coll::CollectiveKind::kReduce: {
+      const auto cr = coll::chunk_range(count, num_chunks, buffer_chunk);
+      block_begin = cr.begin_elem;
+      block_count = cr.count_elem;
+      break;
+    }
+    case coll::CollectiveKind::kAllGather:
+    case coll::CollectiveKind::kReduceScatter:
+    case coll::CollectiveKind::kAllToAll:
+    case coll::CollectiveKind::kGather:
+    case coll::CollectiveKind::kScatter: {
+      block_begin = buffer_chunk * count;
+      block_count = count;
+      break;
+    }
+  }
+  const auto sub = coll::chunk_range(block_count, static_cast<std::size_t>(num_channels),
+                                     static_cast<std::size_t>(channel));
+  return ByteRange{(block_begin + sub.begin_elem) * esize, sub.count_elem * esize};
+}
+
+std::uint64_t connection_ecmp_key(CommId comm, int channel, int src_rank,
+                                  int dst_rank, std::uint64_t epoch,
+                                  std::uint64_t seed) {
+  std::uint64_t k = seed;
+  k = net::Routing::ecmp_hash(k ^ comm.get());
+  k = net::Routing::ecmp_hash(k ^ static_cast<std::uint64_t>(channel));
+  k = net::Routing::ecmp_hash(k ^ static_cast<std::uint64_t>(src_rank));
+  k = net::Routing::ecmp_hash(k ^ static_cast<std::uint64_t>(dst_rank));
+  k = net::Routing::ecmp_hash(k ^ epoch);
+  return k;
+}
+
+}  // namespace
+
+ProxyEngine::ProxyEngine(ServiceContext& ctx, HostId host, GpuId gpu,
+                         std::function<TransportEngine&(int)> transport_for_nic)
+    : ctx_(&ctx), host_(host), gpu_(gpu),
+      transport_for_nic_(std::move(transport_for_nic)) {}
+
+ProxyEngine::CommRank& ProxyEngine::comm_state(CommId comm) {
+  auto it = comms_.find(comm.get());
+  MCCS_EXPECTS(it != comms_.end());
+  return it->second;
+}
+
+const ProxyEngine::CommRank& ProxyEngine::comm_state(CommId comm) const {
+  auto it = comms_.find(comm.get());
+  MCCS_EXPECTS(it != comms_.end());
+  return it->second;
+}
+
+void ProxyEngine::install_communicator(const CommSetup& setup) {
+  MCCS_EXPECTS(setup.nranks >= 1);
+  MCCS_EXPECTS(setup.gpus.size() == static_cast<std::size_t>(setup.nranks));
+  MCCS_EXPECTS(setup.rank >= 0 && setup.rank < setup.nranks);
+  MCCS_EXPECTS(setup.gpus[static_cast<std::size_t>(setup.rank)] == gpu_);
+  MCCS_CHECK(comms_.count(setup.id.get()) == 0, "communicator already installed");
+  MCCS_EXPECTS(!setup.strategy.channel_orders.empty());
+
+  CommRank st;
+  st.setup = setup;
+  st.strategy = setup.strategy;
+  st.comm_stream = &ctx_->gpus->gpu(gpu_).create_stream();
+  comms_.emplace(setup.id.get(), std::move(st));
+}
+
+void ProxyEngine::destroy_communicator(CommId comm) {
+  CommRank& st = comm_state(comm);
+  MCCS_CHECK(st.active.empty() && st.held.empty(),
+             "destroying a communicator with outstanding collectives");
+  for (const auto& [peer, p2p] : st.p2p) {
+    MCCS_CHECK(p2p.sends.empty() && p2p.recvs.empty(),
+               "destroying a communicator with outstanding P2P operations");
+  }
+  comms_.erase(comm.get());
+}
+
+const CommStrategy& ProxyEngine::strategy(CommId comm) const {
+  return comm_state(comm).strategy;
+}
+
+std::int64_t ProxyEngine::last_completed(CommId comm) const {
+  return comm_state(comm).last_completed_seq;
+}
+
+std::int64_t ProxyEngine::last_launched(CommId comm) const {
+  return comm_state(comm).last_launched_seq;
+}
+
+bool ProxyEngine::reconfig_in_progress(CommId comm) const {
+  const CommRank& st = comm_state(comm);
+  for (const auto& [round, rs] : st.rounds) {
+    if (rs.request_pending || rs.activated || rs.values_received > 0) return true;
+  }
+  return false;
+}
+
+std::size_t ProxyEngine::active_count(CommId comm) const {
+  return comm_state(comm).active.size();
+}
+
+// --- issue / launch -----------------------------------------------------------
+
+void ProxyEngine::issue_collective(CommId comm, WorkRequest request) {
+  CommRank& st = comm_state(comm);
+  MCCS_EXPECTS(request.args.count > 0);
+  const std::uint64_t seq = st.next_seq++;
+
+  TraceRecord rec;
+  rec.app = st.setup.app;
+  rec.comm = comm;
+  rec.rank = st.setup.rank;
+  rec.seq = seq;
+  rec.kind = request.args.kind;
+  rec.bytes = request.args.output_bytes(st.setup.nranks);
+  rec.issued = ctx_->loop->now();
+  trace_.push_back(rec);
+
+  const RoundState* gate = active_round(st);
+  const bool allowed = gate == nullptr ||
+                       (gate->have_max && !gate->updating &&
+                        static_cast<std::int64_t>(seq) <= gate->max_seq);
+  if (!allowed) {
+    st.held.emplace_back(seq, std::move(request));
+    return;
+  }
+  launch(st, seq, std::move(request));
+}
+
+void ProxyEngine::launch(CommRank& st, std::uint64_t seq, WorkRequest request) {
+  const CommId comm = st.setup.id;
+
+  // Locate this (rank, seq)'s trace record: records are appended in seq
+  // order per communicator, so search backwards.
+  std::size_t trace_index = trace_.size();
+  for (std::size_t i = trace_.size(); i-- > 0;) {
+    if (trace_[i].comm == comm && trace_[i].seq == seq) {
+      trace_index = i;
+      break;
+    }
+  }
+  MCCS_CHECK(trace_index < trace_.size(), "missing trace record at launch");
+  trace_[trace_index].launched = ctx_->loop->now();
+
+  ActiveColl a;
+  a.seq = seq;
+  a.req = std::move(request);
+  a.trace_index = trace_index;
+  auto [it, inserted] = st.active.emplace(seq, std::move(a));
+  MCCS_CHECK(inserted, "sequence number launched twice");
+
+  st.last_launched_seq = static_cast<std::int64_t>(seq);
+
+  // Communicator-stream sequence: wait for the app's compute to finish, run
+  // the communication "kernel" (externally completed by the step machines),
+  // then record the done event the app stream is waiting on (§4.1).
+  gpu::Stream& stream = *st.comm_stream;
+  stream.wait_event(it->second.req.ready_event);
+  it->second.token = stream.enqueue_external(
+      "coll#" + std::to_string(seq),
+      [this, comm, seq] { begin_execution(comm, seq); });
+  stream.record_event(it->second.req.done_event);
+}
+
+void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
+  CommRank& st = comm_state(comm);
+  {
+    const RoundState* gate = active_round(st);
+    MCCS_CHECK(gate == nullptr || !gate->updating,
+               "collective executing during connection update");
+  }
+  auto it = st.active.find(seq);
+  MCCS_EXPECTS(it != st.active.end());
+  ActiveColl& a = it->second;
+  a.executing = true;
+  trace_[a.trace_index].started = ctx_->loop->now();
+
+  const CollectiveArgs& args = a.req.args;
+  const int n = st.setup.nranks;
+  const int rank = st.setup.rank;
+  const std::size_t esize = coll::dtype_size(args.dtype);
+  gpu::GpuRuntime& gpus = *ctx_->gpus;
+  gpu::Gpu& dev = gpus.gpu(gpu_);
+
+  // Prepare the logical work buffer.
+  const bool move_data = ctx_->config.move_data;
+  switch (args.kind) {
+    case coll::CollectiveKind::kAllReduce: {
+      a.workbuf = args.recv;
+      if (move_data && !(args.send == args.recv)) {
+        auto src = dev.bytes(args.send, args.count * esize);
+        auto dst = dev.bytes(args.recv, args.count * esize);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+    case coll::CollectiveKind::kAllGather: {
+      a.workbuf = args.recv;
+      if (move_data) {
+        auto src = dev.bytes(args.send, args.count * esize);
+        auto dst = dev.bytes(
+            args.recv.at_offset(static_cast<Bytes>(rank) * args.count * esize),
+            args.count * esize);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+    case coll::CollectiveKind::kReduceScatter: {
+      const Bytes total = static_cast<Bytes>(args.count) * static_cast<Bytes>(n) * esize;
+      a.scratch = dev.allocate(total);
+      a.workbuf = a.scratch;
+      if (move_data) {
+        auto src = dev.bytes(args.send, total);
+        auto dst = dev.bytes(a.scratch, total);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+    case coll::CollectiveKind::kBroadcast: {
+      a.workbuf = args.recv;
+      if (move_data && rank == args.root && !(args.send == args.recv)) {
+        auto src = dev.bytes(args.send, args.count * esize);
+        auto dst = dev.bytes(args.recv, args.count * esize);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+    case coll::CollectiveKind::kReduce: {
+      // The root accumulates in its recv buffer; everyone else accumulates
+      // in a private copy of its input (the user's send buffer must stay
+      // intact while partial sums flow through).
+      if (rank == args.root) {
+        a.workbuf = args.recv;
+        if (move_data && !(args.send == args.recv)) {
+          auto src = dev.bytes(args.send, args.count * esize);
+          auto dst = dev.bytes(args.recv, args.count * esize);
+          std::memcpy(dst.data(), src.data(), src.size());
+        }
+      } else {
+        a.scratch = dev.allocate(args.count * esize);
+        a.workbuf = a.scratch;
+        if (move_data) {
+          auto src = dev.bytes(args.send, args.count * esize);
+          auto dst = dev.bytes(a.scratch, args.count * esize);
+          std::memcpy(dst.data(), src.data(), src.size());
+        }
+      }
+      break;
+    }
+    case coll::CollectiveKind::kAllToAll: {
+      // Results land in recv blocks; outgoing transfers read the (untouched)
+      // send buffer. The rank's own block moves locally.
+      a.workbuf = args.recv;
+      a.read_buf = args.send;
+      if (move_data) {
+        const Bytes block = args.count * esize;
+        auto src = dev.bytes(
+            args.send.at_offset(static_cast<Bytes>(rank) * block), block);
+        auto dst = dev.bytes(
+            args.recv.at_offset(static_cast<Bytes>(rank) * block), block);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+    case coll::CollectiveKind::kGather: {
+      a.workbuf = args.recv;
+      a.read_buf = args.send;
+      if (move_data && rank == args.root) {
+        const Bytes block = args.count * esize;
+        auto src = dev.bytes(args.send, block);
+        auto dst = dev.bytes(
+            args.recv.at_offset(static_cast<Bytes>(rank) * block), block);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+    case coll::CollectiveKind::kScatter: {
+      a.workbuf = args.recv;
+      a.read_buf = args.send;
+      if (move_data && rank == args.root) {
+        const Bytes block = args.count * esize;
+        auto src = dev.bytes(
+            args.send.at_offset(static_cast<Bytes>(rank) * block), block);
+        auto dst = dev.bytes(args.recv, block);
+        std::memcpy(dst.data(), src.data(), src.size());
+      }
+      break;
+    }
+  }
+  if (!a.read_buf.valid()) a.read_buf = a.workbuf;
+
+  if (n == 1) {
+    // Single-participant communicator: the local copy is the collective.
+    ctx_->loop->schedule_after(ctx_->config.comm_kernel_launch,
+                               [this, comm, seq] {
+                                 CommRank& s = comm_state(comm);
+                                 complete_collective(s, seq);
+                               });
+    return;
+  }
+
+  // Build per-channel step machines. Trees apply to AllReduce/Broadcast
+  // (AllGather/ReduceScatter fall back to rings: their outputs are ring-
+  // structured by construction).
+  const int num_channels = st.strategy.num_channels();
+  const bool use_tree =
+      st.strategy.algorithm == coll::Algorithm::kTree &&
+      (args.kind == coll::CollectiveKind::kAllReduce ||
+       args.kind == coll::CollectiveKind::kBroadcast ||
+       args.kind == coll::CollectiveKind::kReduce);
+  a.channels.reserve(static_cast<std::size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    ChannelExec ch;
+    ch.channel = c;
+    if (args.kind == coll::CollectiveKind::kAllToAll) {
+      ch.is_ring = false;
+      ch.sched = coll::build_alltoall_schedule(n, rank);
+    } else if (args.kind == coll::CollectiveKind::kGather) {
+      ch.is_ring = false;
+      ch.sched = coll::build_gather_schedule(n, rank, args.root);
+    } else if (args.kind == coll::CollectiveKind::kScatter) {
+      ch.is_ring = false;
+      ch.sched = coll::build_scatter_schedule(n, rank, args.root);
+    } else if (use_tree) {
+      ch.is_ring = false;
+      switch (args.kind) {
+        case coll::CollectiveKind::kAllReduce:
+          ch.sched = coll::build_tree_allreduce_schedule(
+              n, rank, st.strategy.tree_pipeline_chunks);
+          break;
+        case coll::CollectiveKind::kBroadcast:
+          ch.sched = coll::build_tree_broadcast_schedule(
+              n, rank, args.root, st.strategy.tree_pipeline_chunks);
+          break;
+        default:
+          ch.sched = coll::build_tree_reduce_schedule(
+              n, rank, args.root, st.strategy.tree_pipeline_chunks);
+          break;
+      }
+    } else if (args.kind == coll::CollectiveKind::kReduce) {
+      ch.is_ring = true;
+      ch.order = st.strategy.channel_orders[static_cast<std::size_t>(c)];
+      ch.my_position = ch.order.position_of(rank);
+      ch.sched = coll::build_chain_reduce_schedule(ch.order, rank, args.root);
+    } else {
+      ch.is_ring = true;
+      ch.order = st.strategy.channel_orders[static_cast<std::size_t>(c)];
+      ch.my_position = ch.order.position_of(rank);
+      ch.sched = coll::build_ring_schedule(args.kind, ch.order, rank, args.root);
+    }
+    for (const coll::CommStep& step : ch.sched.steps) {
+      if (step.has_recv()) {
+        ch.recv_info.emplace(step.recv_tag,
+                             ChannelExec::RecvInfo{step.recv_chunk, step.reduce});
+      }
+    }
+    a.channels.push_back(std::move(ch));
+  }
+  a.channels_remaining = num_channels;
+
+  // Replay chunks that arrived from faster peers before we were ready.
+  auto pend = st.pending_deliveries.find(seq);
+  if (pend != st.pending_deliveries.end()) {
+    std::vector<Delivery> deliveries = std::move(pend->second);
+    st.pending_deliveries.erase(pend);
+    for (const Delivery& d : deliveries) apply_delivery(st, a, d);
+  }
+
+  // Kick the step machines after the kernel-launch overhead.
+  ctx_->loop->schedule_after(ctx_->config.comm_kernel_launch, [this, comm, seq] {
+    CommRank& s = comm_state(comm);
+    auto ait = s.active.find(seq);
+    MCCS_EXPECTS(ait != s.active.end());
+    for (ChannelExec& ch : ait->second.channels) {
+      ch.started = true;
+      start_step(s, ait->second, ch);
+    }
+  });
+}
+
+void ProxyEngine::start_step(CommRank& st, ActiveColl& a, ChannelExec& ch) {
+  if (ch.finished) return;
+  if (ch.cur >= ch.sched.steps.size()) {
+    finish_channel(st, a, ch);
+    return;
+  }
+  const coll::CommStep& step = ch.sched.steps[ch.cur];
+  const CollectiveArgs& args = a.req.args;
+
+  if (step.has_send()) {
+    const GpuId dst_gpu = st.setup.gpus[static_cast<std::size_t>(step.send_to)];
+    const ByteRange range = chunk_byte_range(
+        args.kind, args.count, coll::dtype_size(args.dtype), ch.sched.num_chunks,
+        static_cast<int>(a.channels.size()), ch.channel, step.send_chunk);
+
+    ProxyEngine* recv_proxy = &ctx_->proxy_for(dst_gpu);
+    const CommId comm = st.setup.id;
+    const std::uint64_t seq = a.seq;
+    const int channel = ch.channel;
+    auto deliver = [recv_proxy, comm, seq, channel, tag = step.send_tag,
+                    src_chunk = step.send_chunk, read_buf = a.read_buf,
+                    src_gpu = gpu_] {
+      recv_proxy->deliver_chunk(comm, seq, channel, tag, src_chunk, read_buf,
+                                src_gpu);
+    };
+    auto on_sent = [this, comm, seq, channel] {
+      CommRank& s = comm_state(comm);
+      auto it = s.active.find(seq);
+      MCCS_EXPECTS(it != s.active.end());
+      ChannelExec& c = it->second.channels[static_cast<std::size_t>(channel)];
+      c.send_done = true;
+      check_advance(s, it->second, c);
+    };
+
+    if (ctx_->cluster->same_host(gpu_, dst_gpu)) {
+      // Intra-host shared-memory channel, managed by the proxy directly.
+      const gpu::DeviceConfig& dc = ctx_->gpus->gpu(gpu_).config();
+      const Time dt = ctx_->config.intra_host_hop_latency +
+                      static_cast<double>(range.len) / dc.intra_host_bandwidth;
+      ctx_->loop->schedule_after(dt, [deliver = std::move(deliver),
+                                      on_sent = std::move(on_sent)] {
+        deliver();
+        on_sent();
+      });
+    } else {
+      ChunkTransfer t;
+      t.app = st.setup.app;
+      t.src_gpu = gpu_;
+      t.dst_gpu = dst_gpu;
+      t.bytes = range.len;
+      auto rit = st.strategy.routes.find(
+          CommStrategy::route_key(ch.channel, st.setup.rank, step.send_to));
+      if (rit != st.strategy.routes.end()) t.route = rit->second;
+      t.ecmp_key =
+          connection_ecmp_key(st.setup.id, ch.channel, st.setup.rank,
+                              step.send_to, st.epoch, ctx_->seed);
+      t.deliver = std::move(deliver);
+      t.on_sent = std::move(on_sent);
+
+      const int local = ctx_->cluster->local_index(gpu_);
+      const int nics = static_cast<int>(
+          ctx_->cluster->host(host_).nic_nodes.size());
+      transport_for_nic_(local % nics).post_send(std::move(t));
+    }
+  } else {
+    ch.send_done = true;
+  }
+  check_advance(st, a, ch);
+}
+
+void ProxyEngine::check_advance(CommRank& st, ActiveColl& a, ChannelExec& ch) {
+  if (!ch.started || ch.finished || ch.cur >= ch.sched.steps.size()) return;
+  const coll::CommStep& step = ch.sched.steps[ch.cur];
+  const bool send_ok = !step.has_send() || ch.send_done;
+  const bool recv_ok = !step.has_recv() || ch.arrived.count(step.recv_tag) > 0;
+  if (send_ok && recv_ok) {
+    ++ch.cur;
+    ch.send_done = false;
+    start_step(st, a, ch);
+  }
+}
+
+void ProxyEngine::deliver_chunk(CommId comm, std::uint64_t seq, int channel,
+                                int transfer_tag, std::size_t src_chunk,
+                                gpu::DevicePtr src_workbuf, GpuId src_gpu) {
+  CommRank& st = comm_state(comm);
+  Delivery d{channel, transfer_tag, src_chunk, src_workbuf, src_gpu};
+  auto it = st.active.find(seq);
+  if (it == st.active.end() || !it->second.executing) {
+    // The peer ran ahead of us (we have not launched / begun this
+    // collective yet). Safe to defer: ring dependencies guarantee the
+    // sender cannot overwrite the sent chunk until we participate.
+    st.pending_deliveries[seq].push_back(d);
+    return;
+  }
+  apply_delivery(st, it->second, d);
+}
+
+void ProxyEngine::apply_delivery(CommRank& st, ActiveColl& a, const Delivery& d) {
+  const CollectiveArgs& args = a.req.args;
+  ChannelExec& ch = a.channels[static_cast<std::size_t>(d.channel)];
+  auto info_it = ch.recv_info.find(d.transfer_tag);
+  MCCS_CHECK(info_it != ch.recv_info.end(),
+             "transfer tag not expected by the receiver's schedule");
+  const ChannelExec::RecvInfo& info = info_it->second;
+  const ByteRange dst_range = chunk_byte_range(
+      args.kind, args.count, coll::dtype_size(args.dtype), ch.sched.num_chunks,
+      static_cast<int>(a.channels.size()), d.channel, info.chunk);
+  // Source and destination chunk indices differ for AllToAll (sender reads
+  // its block for *us*, we store it at the sender's block index).
+  const ByteRange src_range = chunk_byte_range(
+      args.kind, args.count, coll::dtype_size(args.dtype), ch.sched.num_chunks,
+      static_cast<int>(a.channels.size()), d.channel, d.src_chunk);
+  MCCS_CHECK(src_range.len == dst_range.len, "transfer length mismatch");
+  if (ctx_->config.move_data && dst_range.len > 0) {
+    auto src = ctx_->gpus->gpu(d.src_gpu).bytes(
+        d.src_workbuf.at_offset(src_range.offset), src_range.len);
+    auto dst = ctx_->gpus->gpu(gpu_).bytes(a.workbuf.at_offset(dst_range.offset),
+                                           dst_range.len);
+    if (info.reduce) {
+      coll::reduce_bytes(dst, src, args.dtype, args.op);
+    } else {
+      std::memcpy(dst.data(), src.data(), src.size());
+    }
+  }
+  ch.arrived.insert(d.transfer_tag);
+  check_advance(st, a, ch);
+}
+
+void ProxyEngine::finish_channel(CommRank& st, ActiveColl& a, ChannelExec& ch) {
+  MCCS_CHECK(!ch.finished, "channel finished twice");
+  ch.finished = true;
+  const CollectiveArgs& args = a.req.args;
+
+  if (args.kind == coll::CollectiveKind::kReduceScatter) {
+    // Copy this rank's fully-reduced chunk (this channel's stripe) from the
+    // scratch buffer to the user's recv buffer.
+    MCCS_CHECK(ch.is_ring, "reduce-scatter executes on rings");
+    const int n = st.setup.nranks;
+    const std::size_t owned =
+        coll::reducescatter_owned_chunk(n, ch.my_position);
+    const std::size_t buffer_chunk =
+        coll::chunk_to_buffer_index(args.kind, ch.order, owned);
+    MCCS_CHECK(buffer_chunk == static_cast<std::size_t>(st.setup.rank),
+               "reduce-scatter chunk ownership mismatch");
+    const std::size_t esize = coll::dtype_size(args.dtype);
+    const ByteRange src_range = chunk_byte_range(
+        args.kind, args.count, esize, ch.sched.num_chunks,
+        static_cast<int>(a.channels.size()), ch.channel, buffer_chunk);
+    if (ctx_->config.move_data && src_range.len > 0) {
+      const auto sub = coll::chunk_range(args.count, a.channels.size(),
+                                         static_cast<std::size_t>(ch.channel));
+      auto src = ctx_->gpus->gpu(gpu_).bytes(
+          a.scratch.at_offset(src_range.offset), src_range.len);
+      auto dst = ctx_->gpus->gpu(gpu_).bytes(
+          args.recv.at_offset(sub.begin_elem * esize), sub.count_elem * esize);
+      std::memcpy(dst.data(), src.data(), src.size());
+    }
+  }
+
+  if (--a.channels_remaining == 0) complete_collective(st, a.seq);
+}
+
+void ProxyEngine::complete_collective(CommRank& st, std::uint64_t seq) {
+  auto it = st.active.find(seq);
+  MCCS_EXPECTS(it != st.active.end());
+  ActiveColl& a = it->second;
+
+  trace_[a.trace_index].completed = ctx_->loop->now();
+  st.last_completed_seq = static_cast<std::int64_t>(seq);
+
+  if (a.scratch.valid()) ctx_->gpus->gpu(gpu_).release(a.scratch.mem);
+
+  st.comm_stream->complete_external(a.token);
+
+  if (a.req.on_complete) {
+    const Time completed = ctx_->loop->now();
+    ctx_->loop->schedule_after(ctx_->config.service_to_shim_latency,
+                               [cb = std::move(a.req.on_complete), completed] {
+                                 cb(completed);
+                               });
+  }
+
+  MCCS_CHECK(st.pending_deliveries.count(seq) == 0,
+             "collective completed with unapplied deliveries");
+  st.active.erase(it);
+
+  maybe_begin_update(st);
+}
+
+// --- point-to-point (§5) --------------------------------------------------------
+
+void ProxyEngine::issue_p2p(CommId comm, P2pRequest request) {
+  CommRank& st = comm_state(comm);
+  MCCS_EXPECTS(request.peer >= 0 && request.peer < st.setup.nranks);
+  MCCS_EXPECTS(request.peer != st.setup.rank);
+  MCCS_EXPECTS(request.count > 0);
+
+  P2pPeerState& peer = st.p2p[request.peer];
+  const bool is_send = request.is_send;
+  const std::uint64_t index =
+      is_send ? peer.next_send_index++ : peer.next_recv_index++;
+
+  P2pOp op;
+  op.req = std::move(request);
+  auto& slot = is_send ? peer.sends : peer.recvs;
+  auto [it, inserted] = slot.emplace(index, std::move(op));
+  MCCS_CHECK(inserted, "duplicate P2P op index");
+
+  // Unlike collectives, P2P operations do NOT serialize on a service stream:
+  // each op launches as soon as its own app-stream dependency (the ready
+  // event) signals, and completion signals its done event directly. This is
+  // the grouped-send/recv semantics: an application may issue a send and a
+  // recv back to back without deadlocking on either side's ordering.
+  const int peer_rank = it->second.req.peer;
+  it->second.req.ready_event->on_signal(
+      [this, comm, peer_rank, index, is_send] {
+        CommRank& s = comm_state(comm);
+        p2p_launch(s, peer_rank, index, is_send);
+      });
+}
+
+void ProxyEngine::p2p_launch(CommRank& st, int peer, std::uint64_t op_index,
+                             bool is_send) {
+  P2pPeerState& ps = st.p2p.at(peer);
+  if (is_send) {
+    P2pOp& op = ps.sends.at(op_index);
+    op.launched = true;
+    // Announce to the receiving proxy (rendezvous step 1).
+    const GpuId peer_gpu = st.setup.gpus[static_cast<std::size_t>(peer)];
+    ProxyEngine* remote = &ctx_->proxy_for(peer_gpu);
+    const CommId comm = st.setup.id;
+    const int my_rank = st.setup.rank;
+    const Bytes bytes = op.req.count * coll::dtype_size(op.req.dtype);
+    ctx_->send_control(host_, ctx_->cluster->host_of_gpu(peer_gpu),
+                       [remote, comm, my_rank, op_index, bytes,
+                        buf = op.req.buffer, gpu = gpu_] {
+                         remote->on_p2p_send_request(comm, my_rank, op_index,
+                                                     bytes, buf, gpu);
+                       },
+                       0.0);
+  } else {
+    ps.recvs.at(op_index).launched = true;
+    p2p_try_start_transfer(st, peer, op_index);
+  }
+}
+
+void ProxyEngine::on_p2p_send_request(CommId comm, int src_rank,
+                                      std::uint64_t op_index, Bytes bytes,
+                                      gpu::DevicePtr src_buffer, GpuId src_gpu) {
+  CommRank& st = comm_state(comm);
+  P2pPeerState& ps = st.p2p[src_rank];
+  ps.announced[op_index] = P2pPeerState::PendingSend{bytes, src_buffer, src_gpu};
+  p2p_try_start_transfer(st, src_rank, op_index);
+}
+
+void ProxyEngine::p2p_try_start_transfer(CommRank& st, int src_rank,
+                                         std::uint64_t op_index) {
+  // Runs at the RECEIVER: needs both the sender's announcement and a
+  // launched local recv of the same index.
+  P2pPeerState& ps = st.p2p[src_rank];
+  auto ann = ps.announced.find(op_index);
+  auto recv = ps.recvs.find(op_index);
+  if (ann == ps.announced.end() || recv == ps.recvs.end() ||
+      !recv->second.launched) {
+    return;
+  }
+  const Bytes recv_bytes =
+      recv->second.req.count * coll::dtype_size(recv->second.req.dtype);
+  MCCS_CHECK(recv_bytes == ann->second.bytes,
+             "P2P send/recv sizes disagree");
+
+  // Tell the sender where to put the data (rendezvous step 2).
+  const GpuId src_gpu = st.setup.gpus[static_cast<std::size_t>(src_rank)];
+  ProxyEngine* remote = &ctx_->proxy_for(src_gpu);
+  const CommId comm = st.setup.id;
+  const int my_rank = st.setup.rank;
+  ctx_->send_control(host_, ctx_->cluster->host_of_gpu(src_gpu),
+                     [remote, comm, my_rank, op_index,
+                      dst = recv->second.req.buffer] {
+                       remote->on_p2p_recv_posted(comm, my_rank, op_index, dst);
+                     },
+                     0.0);
+  ps.announced.erase(ann);
+}
+
+void ProxyEngine::on_p2p_recv_posted(CommId comm, int dst_rank,
+                                     std::uint64_t op_index,
+                                     gpu::DevicePtr dst_buffer) {
+  CommRank& st = comm_state(comm);
+  P2pPeerState& ps = st.p2p.at(dst_rank);
+  P2pOp& op = ps.sends.at(op_index);
+  const Bytes bytes = op.req.count * coll::dtype_size(op.req.dtype);
+  const GpuId dst_gpu = st.setup.gpus[static_cast<std::size_t>(dst_rank)];
+  ProxyEngine* remote = &ctx_->proxy_for(dst_gpu);
+  const CommId comm_id = st.setup.id;
+  const int my_rank = st.setup.rank;
+
+  auto finish = [this, remote, comm_id, my_rank, dst_rank, op_index, bytes,
+                 src = op.req.buffer, dst = dst_buffer, src_gpu = gpu_,
+                 dst_gpu] {
+    if (ctx_->config.move_data) {
+      auto s = ctx_->gpus->gpu(src_gpu).bytes(src, bytes);
+      auto d = ctx_->gpus->gpu(dst_gpu).bytes(dst, bytes);
+      std::memcpy(d.data(), s.data(), s.size());
+    }
+    CommRank& st2 = comm_state(comm_id);
+    p2p_complete(st2, dst_rank, op_index, /*is_send=*/true);
+    remote->p2p_complete(remote->comm_state(comm_id), my_rank, op_index,
+                         /*is_send=*/false);
+  };
+
+  if (ctx_->cluster->same_host(gpu_, dst_gpu)) {
+    const gpu::DeviceConfig& dc = ctx_->gpus->gpu(gpu_).config();
+    const Time dt = ctx_->config.intra_host_hop_latency +
+                    static_cast<double>(bytes) / dc.intra_host_bandwidth;
+    ctx_->loop->schedule_after(dt, finish);
+  } else {
+    ChunkTransfer t;
+    t.app = st.setup.app;
+    t.src_gpu = gpu_;
+    t.dst_gpu = dst_gpu;
+    t.bytes = bytes;
+    t.ecmp_key = connection_ecmp_key(comm_id, 0x7FFF, my_rank, dst_rank,
+                                     st.epoch, ctx_->seed);
+    t.deliver = finish;
+    t.on_sent = [] {};
+    const int local = ctx_->cluster->local_index(gpu_);
+    const int nics =
+        static_cast<int>(ctx_->cluster->host(host_).nic_nodes.size());
+    transport_for_nic_(local % nics).post_send(std::move(t));
+  }
+}
+
+void ProxyEngine::p2p_complete(CommRank& st, int peer, std::uint64_t op_index,
+                               bool is_send) {
+  P2pPeerState& ps = st.p2p.at(peer);
+  auto& slot = is_send ? ps.sends : ps.recvs;
+  auto it = slot.find(op_index);
+  MCCS_EXPECTS(it != slot.end());
+  it->second.req.done_event->signal(ctx_->loop->now());
+  if (it->second.req.on_complete) {
+    ctx_->loop->schedule_after(
+        ctx_->config.service_to_shim_latency,
+        [cb = std::move(it->second.req.on_complete), now = ctx_->loop->now()] {
+          cb(now);
+        });
+  }
+  slot.erase(it);
+}
+
+// --- reconfiguration protocol (Fig. 4) -----------------------------------------
+
+ProxyEngine::RoundState& ProxyEngine::get_round(CommRank& st, std::uint64_t round) {
+  auto it = st.rounds.find(round);
+  if (it == st.rounds.end()) {
+    RoundState rs;
+    rs.values.assign(static_cast<std::size_t>(st.setup.nranks),
+                     std::numeric_limits<std::int64_t>::min());
+    it = st.rounds.emplace(round, std::move(rs)).first;
+  }
+  return it->second;
+}
+
+ProxyEngine::RoundState* ProxyEngine::active_round(CommRank& st) {
+  auto it = st.rounds.find(st.last_applied_round + 1);
+  if (it == st.rounds.end() || !it->second.activated) return nullptr;
+  return &it->second;
+}
+
+void ProxyEngine::request_reconfigure(CommId comm, std::uint64_t round,
+                                      CommStrategy new_strategy) {
+  CommRank& st = comm_state(comm);
+  MCCS_EXPECTS(new_strategy.num_channels() >= 1);
+  if (ctx_->config.unsafe_immediate_reconfig) {
+    // Ablation mode: swap the strategy with no synchronization. Ranks that
+    // have not yet launched the same sequence number will now use a
+    // different configuration — the Fig.-4 failure case.
+    st.strategy = std::move(new_strategy);
+    st.last_applied_round = std::max(st.last_applied_round, round);
+    ++st.epoch;
+    return;
+  }
+  MCCS_CHECK(round > st.last_applied_round,
+             "stale reconfiguration round delivered");
+  RoundState& rs = get_round(st, round);
+  MCCS_CHECK(!rs.request_pending && !rs.activated,
+             "duplicate reconfiguration command for a round");
+  rs.request_pending = true;
+  rs.strategy = std::move(new_strategy);
+  try_activate(st);
+}
+
+void ProxyEngine::try_activate(CommRank& st) {
+  // Rounds are processed strictly in order: only the round right after the
+  // last applied one may activate. A request for a later round waits (its
+  // peers' barrier values are buffered per round meanwhile).
+  const std::uint64_t round = st.last_applied_round + 1;
+  auto it = st.rounds.find(round);
+  if (it == st.rounds.end()) return;
+  RoundState& rs = it->second;
+  if (!rs.request_pending || rs.activated) return;
+  rs.activated = true;
+
+  const int rank = st.setup.rank;
+  MCCS_CHECK(rs.values[static_cast<std::size_t>(rank)] ==
+                 std::numeric_limits<std::int64_t>::min(),
+             "own barrier value contributed twice");
+  rs.values[static_cast<std::size_t>(rank)] = st.last_launched_seq;
+  ++rs.values_received;
+  send_control_to_successor(st, round, rank, st.last_launched_seq);
+  check_barrier(st, round);
+}
+
+void ProxyEngine::on_control_value(CommId comm, std::uint64_t round,
+                                   int origin_rank, std::int64_t value) {
+  CommRank& st = comm_state(comm);
+  if (round <= st.last_applied_round) return;  // late echo of a done round
+  RoundState& rs = get_round(st, round);
+  auto& slot = rs.values[static_cast<std::size_t>(origin_rank)];
+  if (slot == std::numeric_limits<std::int64_t>::min()) {
+    slot = value;
+    ++rs.values_received;
+    const int succ = (st.setup.rank + 1) % st.setup.nranks;
+    if (succ != origin_rank) {
+      send_control_to_successor(st, round, origin_rank, value);
+    }
+  }
+  check_barrier(st, round);
+}
+
+void ProxyEngine::send_control_to_successor(CommRank& st, std::uint64_t round,
+                                            int origin, std::int64_t value) {
+  const int succ = (st.setup.rank + 1) % st.setup.nranks;
+  const GpuId succ_gpu = st.setup.gpus[static_cast<std::size_t>(succ)];
+  ProxyEngine* peer = &ctx_->proxy_for(succ_gpu);
+  const HostId to = ctx_->cluster->host_of_gpu(succ_gpu);
+  const CommId comm = st.setup.id;
+  ctx_->send_control(host_, to,
+                     [peer, comm, round, origin, value] {
+                       peer->on_control_value(comm, round, origin, value);
+                     },
+                     0.0);
+}
+
+void ProxyEngine::check_barrier(CommRank& st, std::uint64_t round) {
+  if (round != st.last_applied_round + 1) return;  // not this round's turn
+  auto it = st.rounds.find(round);
+  if (it == st.rounds.end()) return;
+  RoundState& rs = it->second;
+  if (!rs.activated || rs.have_max) return;
+  if (rs.values_received < st.setup.nranks) return;
+  rs.have_max = true;
+  rs.max_seq = *std::max_element(rs.values.begin(), rs.values.end());
+  drain_and_maybe_update(st, round);
+}
+
+void ProxyEngine::drain_and_maybe_update(CommRank& st, std::uint64_t round) {
+  RoundState& rs = st.rounds.at(round);
+  // Launch every held collective that must still run under the old
+  // configuration (sequence number <= barrier maximum).
+  while (!st.held.empty() &&
+         static_cast<std::int64_t>(st.held.front().first) <= rs.max_seq) {
+    auto [seq, req] = std::move(st.held.front());
+    st.held.pop_front();
+    launch(st, seq, std::move(req));
+  }
+  maybe_begin_update(st);
+}
+
+void ProxyEngine::maybe_begin_update(CommRank& st) {
+  const std::uint64_t round = st.last_applied_round + 1;
+  auto it = st.rounds.find(round);
+  if (it == st.rounds.end()) return;
+  RoundState& rs = it->second;
+  if (rs.activated && rs.have_max && !rs.updating &&
+      st.last_completed_seq == rs.max_seq) {
+    begin_update(st, round);
+  }
+}
+
+void ProxyEngine::begin_update(CommRank& st, std::uint64_t round) {
+  MCCS_CHECK(st.active.empty(),
+             "connection update starting with active collectives");
+  RoundState& rs = st.rounds.at(round);
+  rs.updating = true;
+  // Tear down peer-to-peer connections: bump the epoch so re-established
+  // connections re-roll their ECMP placement, and pay the setup time.
+  ++st.epoch;
+  const CommId comm = st.setup.id;
+  ctx_->loop->schedule_after(ctx_->config.connection_setup_time,
+                             [this, comm, round] { finish_update(comm, round); });
+}
+
+void ProxyEngine::finish_update(CommId comm, std::uint64_t round) {
+  CommRank& st = comm_state(comm);
+  auto it = st.rounds.find(round);
+  MCCS_CHECK(it != st.rounds.end() && it->second.updating,
+             "finish_update without begin_update");
+  st.strategy = std::move(it->second.strategy);
+  st.rounds.erase(it);
+  st.last_applied_round = round;
+
+  // Resume: if the next round is already pending, activating it first keeps
+  // everything issued during this update held until its own barrier — its
+  // contributed value correctly reflects only launches that really happened.
+  try_activate(st);
+
+  // Release held collectives that the (possibly new) gate allows.
+  const RoundState* gate = active_round(st);
+  while (!st.held.empty()) {
+    const std::int64_t seq = static_cast<std::int64_t>(st.held.front().first);
+    const bool allowed =
+        gate == nullptr || (gate->have_max && !gate->updating && seq <= gate->max_seq);
+    if (!allowed) break;
+    auto [s, req] = std::move(st.held.front());
+    st.held.pop_front();
+    launch(st, s, std::move(req));
+  }
+  maybe_begin_update(st);
+}
+
+}  // namespace mccs::svc

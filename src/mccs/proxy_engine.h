@@ -1,0 +1,272 @@
+#pragma once
+// Proxy engine (§4.2): one per GPU. Bridges high-level communicators to
+// low-level resources:
+//
+//  * executes collectives as per-channel ring step machines, moving real
+//    bytes between the ranks' work buffers (intra-host via shared-memory
+//    channels it manages directly; inter-host via the transport engines);
+//  * serialises collectives of a communicator on a service-owned
+//    communicator stream, synchronised with the application's streams
+//    through shared GPU events (§4.1);
+//  * assigns the monotonically increasing per-communicator sequence numbers
+//    and implements the reconfiguration barrier of Fig. 4: on a provider
+//    reconfiguration request it holds new launches, runs an AllGather of
+//    last-launched sequence numbers over the per-communicator control ring,
+//    drains every collective up to the maximum, then tears down and
+//    re-establishes peer connections under the new strategy.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "collectives/ring.h"
+#include "collectives/schedule.h"
+#include "collectives/types.h"
+#include "common/ids.h"
+#include "gpusim/runtime.h"
+#include "mccs/api.h"
+#include "mccs/context.h"
+#include "mccs/strategy.h"
+#include "mccs/trace.h"
+#include "mccs/transport_engine.h"
+
+namespace mccs::svc {
+
+/// Everything a proxy needs to serve one rank of a communicator.
+struct CommSetup {
+  CommId id;
+  AppId app;
+  int rank = 0;
+  int nranks = 0;
+  std::vector<GpuId> gpus;  ///< by rank
+  CommStrategy strategy;
+};
+
+/// A validated collective work request handed over by the frontend engine.
+struct WorkRequest {
+  CollectiveArgs args;
+  std::shared_ptr<gpu::GpuEvent> ready_event;  ///< recorded on the app stream
+  std::shared_ptr<gpu::GpuEvent> done_event;   ///< recorded on the comm stream
+  CompletionCallback on_complete;              ///< optional shim notification
+};
+
+/// A point-to-point operation (§5: "P2P communication"). P2P transfers ride
+/// their own per-peer operation counters, independent of the collective
+/// sequence space — they do not use the ring/tree strategy, so they neither
+/// gate nor are gated by reconfigurations.
+struct P2pRequest {
+  int peer = -1;  ///< remote rank
+  bool is_send = false;
+  gpu::DevicePtr buffer;
+  std::size_t count = 0;
+  coll::DataType dtype = coll::DataType::kFloat32;
+  std::shared_ptr<gpu::GpuEvent> ready_event;
+  std::shared_ptr<gpu::GpuEvent> done_event;
+  CompletionCallback on_complete;
+};
+
+class ProxyEngine {
+ public:
+  /// `transport_for_nic(i)` returns this host's transport engine for NIC i.
+  ProxyEngine(ServiceContext& ctx, HostId host, GpuId gpu,
+              std::function<TransportEngine&(int)> transport_for_nic);
+
+  ProxyEngine(const ProxyEngine&) = delete;
+  ProxyEngine& operator=(const ProxyEngine&) = delete;
+
+  [[nodiscard]] GpuId gpu() const { return gpu_; }
+  [[nodiscard]] HostId host() const { return host_; }
+
+  // --- communicator lifecycle -------------------------------------------------
+  void install_communicator(const CommSetup& setup);
+  void destroy_communicator(CommId comm);
+  [[nodiscard]] bool has_communicator(CommId comm) const {
+    return comms_.count(comm.get()) > 0;
+  }
+  [[nodiscard]] const CommStrategy& strategy(CommId comm) const;
+
+  // --- data path ---------------------------------------------------------------
+  /// Issue a collective (from the frontend engine). Assigns the sequence
+  /// number; launches immediately unless a reconfiguration holds it.
+  void issue_collective(CommId comm, WorkRequest request);
+
+  /// Issue a point-to-point send or receive (from the frontend engine).
+  void issue_p2p(CommId comm, P2pRequest request);
+
+  /// Rendezvous: the k-th send from `src_rank` announces itself to the
+  /// receiving proxy; the transfer starts once the matching k-th recv is
+  /// posted here.
+  void on_p2p_send_request(CommId comm, int src_rank, std::uint64_t op_index,
+                           Bytes bytes, gpu::DevicePtr src_buffer, GpuId src_gpu);
+  /// The sender learns that the receiver posted the matching buffer.
+  void on_p2p_recv_posted(CommId comm, int dst_rank, std::uint64_t op_index,
+                          gpu::DevicePtr dst_buffer);
+
+  /// Data arrival from a peer rank (invoked by the sender's transport /
+  /// proxy when a chunk lands in this rank's memory space). The receiver
+  /// resolves what to do with the transfer (chunk, reduce-vs-copy) from its
+  /// own schedule by tag.
+  void deliver_chunk(CommId comm, std::uint64_t seq, int channel,
+                     int transfer_tag, std::size_t src_chunk,
+                     gpu::DevicePtr src_workbuf, GpuId src_gpu);
+
+  // --- control path (provider / peers) ----------------------------------------
+  /// Provider reconfiguration command (arrives via the control plane, at
+  /// arbitrary per-rank times — the race Fig. 4 illustrates). Rounds are
+  /// assigned monotonically per communicator by the controller (Fabric) and
+  /// applied strictly in order at every rank.
+  void request_reconfigure(CommId comm, std::uint64_t round,
+                           CommStrategy new_strategy);
+
+  /// Control-ring AllGather traffic for one reconfiguration round:
+  /// `origin`'s last-launched sequence number, forwarded hop by hop.
+  void on_control_value(CommId comm, std::uint64_t round, int origin_rank,
+                        std::int64_t last_launched);
+
+  // --- introspection ------------------------------------------------------------
+  [[nodiscard]] std::int64_t last_completed(CommId comm) const;
+  [[nodiscard]] std::int64_t last_launched(CommId comm) const;
+  [[nodiscard]] bool reconfig_in_progress(CommId comm) const;
+  [[nodiscard]] const std::vector<TraceRecord>& trace() const { return trace_; }
+
+  /// Number of currently outstanding (launched, unfinished) collectives.
+  [[nodiscard]] std::size_t active_count(CommId comm) const;
+
+ private:
+  static constexpr std::int64_t kNone = -1;
+
+  struct ChannelExec {
+    int channel = 0;
+    bool is_ring = true;
+    coll::RingOrder order{std::vector<int>{0}};  ///< ring mode only
+    int my_position = 0;                          ///< ring mode only
+    coll::ChannelSchedule sched;
+    std::size_t cur = 0;
+    bool send_done = false;
+    bool started = false;
+    bool finished = false;
+    std::set<int> arrived;  ///< recv tags already applied
+    /// What to do with an incoming transfer, resolved from *our* schedule.
+    struct RecvInfo {
+      std::size_t chunk;
+      bool reduce;
+    };
+    std::map<int, RecvInfo> recv_info;  ///< by tag
+  };
+
+  struct Delivery {
+    int channel;
+    int transfer_tag;
+    std::size_t src_chunk;  ///< chunk index in the sender's read-side buffer
+    gpu::DevicePtr src_workbuf;
+    GpuId src_gpu;
+  };
+
+  struct ActiveColl {
+    std::uint64_t seq = 0;
+    WorkRequest req;
+    gpu::DevicePtr workbuf;      ///< write side (results land here)
+    gpu::DevicePtr read_buf;     ///< read side for outgoing transfers
+                                 ///< (== workbuf except AllToAll)
+    gpu::DevicePtr scratch;  ///< ReduceScatter / Reduce working copy
+    bool executing = false;
+    std::vector<ChannelExec> channels;
+    int channels_remaining = 0;
+    gpu::ExternalOpToken token;
+    std::size_t trace_index = 0;
+  };
+
+  /// Barrier state of one reconfiguration round (Fig. 4).
+  struct RoundState {
+    CommStrategy strategy;        ///< valid once the request arrived
+    bool request_pending = false; ///< command received, not yet processed
+    bool activated = false;       ///< command processed: launches held,
+                                  ///< own value contributed to the barrier
+    bool have_max = false;
+    bool updating = false;  ///< connections being torn down / re-established
+    std::vector<std::int64_t> values;
+    int values_received = 0;
+    std::int64_t max_seq = kNone;
+  };
+
+  /// One outstanding local P2P operation.
+  struct P2pOp {
+    P2pRequest req;
+    bool launched = false;
+  };
+  /// Rendezvous state per (peer, direction) pair.
+  struct P2pPeerState {
+    std::uint64_t next_send_index = 0;
+    std::uint64_t next_recv_index = 0;
+    std::map<std::uint64_t, P2pOp> sends;  ///< by op index
+    std::map<std::uint64_t, P2pOp> recvs;
+    /// Send announcements that arrived before the recv was posted.
+    struct PendingSend {
+      Bytes bytes;
+      gpu::DevicePtr src_buffer;
+      GpuId src_gpu;
+    };
+    std::map<std::uint64_t, PendingSend> announced;
+  };
+
+  struct CommRank {
+    CommSetup setup;
+    CommStrategy strategy;
+    gpu::Stream* comm_stream = nullptr;
+    std::uint64_t next_seq = 0;
+    std::int64_t last_launched_seq = kNone;
+    std::int64_t last_completed_seq = kNone;
+    std::uint64_t epoch = 0;  ///< connection generation (re-rolls ECMP)
+    std::map<std::uint64_t, ActiveColl> active;
+    std::deque<std::pair<std::uint64_t, WorkRequest>> held;
+    std::map<std::uint64_t, std::vector<Delivery>> pending_deliveries;
+    std::map<std::uint64_t, RoundState> rounds;  ///< un-applied reconfig rounds
+    std::uint64_t last_applied_round = 0;
+    std::map<int, P2pPeerState> p2p;  ///< by peer rank
+  };
+
+  CommRank& comm_state(CommId comm);
+  const CommRank& comm_state(CommId comm) const;
+
+  void launch(CommRank& st, std::uint64_t seq, WorkRequest request);
+  void begin_execution(CommId comm, std::uint64_t seq);
+  void start_step(CommRank& st, ActiveColl& a, ChannelExec& ch);
+  void check_advance(CommRank& st, ActiveColl& a, ChannelExec& ch);
+  void finish_channel(CommRank& st, ActiveColl& a, ChannelExec& ch);
+  void complete_collective(CommRank& st, std::uint64_t seq);
+  void apply_delivery(CommRank& st, ActiveColl& a, const Delivery& d);
+
+  // P2P helpers.
+  void p2p_launch(CommRank& st, int peer, std::uint64_t op_index, bool is_send);
+  void p2p_try_start_transfer(CommRank& st, int src_rank,
+                              std::uint64_t op_index);
+  void p2p_complete(CommRank& st, int peer, std::uint64_t op_index,
+                    bool is_send);
+
+  // Reconfiguration protocol helpers.
+  RoundState& get_round(CommRank& st, std::uint64_t round);
+  /// The round currently gating launches (last_applied+1 if activated).
+  RoundState* active_round(CommRank& st);
+  void try_activate(CommRank& st);
+  void send_control_to_successor(CommRank& st, std::uint64_t round, int origin,
+                                 std::int64_t value);
+  void check_barrier(CommRank& st, std::uint64_t round);
+  void drain_and_maybe_update(CommRank& st, std::uint64_t round);
+  void maybe_begin_update(CommRank& st);
+  void begin_update(CommRank& st, std::uint64_t round);
+  void finish_update(CommId comm, std::uint64_t round);
+
+  ServiceContext* ctx_;
+  HostId host_;
+  GpuId gpu_;
+  std::function<TransportEngine&(int)> transport_for_nic_;
+  std::unordered_map<std::uint32_t, CommRank> comms_;
+  std::vector<TraceRecord> trace_;
+};
+
+}  // namespace mccs::svc

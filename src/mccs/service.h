@@ -1,0 +1,52 @@
+#pragma once
+// Per-host MCCS service daemon: the trusted, provider-controlled process
+// with access to all GPUs and NICs on the host (§3). Owns this host's
+// engines — one proxy per GPU, one transport per NIC, one frontend per
+// tenant application — and hands out shims to application processes.
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "mccs/context.h"
+#include "mccs/frontend_engine.h"
+#include "mccs/proxy_engine.h"
+#include "mccs/shim.h"
+#include "mccs/transport_engine.h"
+
+namespace mccs::svc {
+
+class Fabric;
+
+class Service {
+ public:
+  Service(ServiceContext& ctx, Fabric& fabric, HostId host);
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  [[nodiscard]] HostId host() const { return host_; }
+
+  /// Application process attach: returns the shim for (app, gpu). The GPU
+  /// must live on this host.
+  Shim& connect(AppId app, GpuId gpu);
+
+  [[nodiscard]] ProxyEngine& proxy(GpuId gpu);
+  [[nodiscard]] TransportEngine& transport(int nic_index);
+  [[nodiscard]] FrontendEngine& frontend(AppId app);
+  [[nodiscard]] Fabric& fabric() { return *fabric_; }
+
+  /// All trace records captured by this host's proxy engines.
+  [[nodiscard]] std::vector<TraceRecord> collect_trace() const;
+
+ private:
+  ServiceContext* ctx_;
+  Fabric* fabric_;
+  HostId host_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<ProxyEngine>> proxies_;
+  std::vector<std::unique_ptr<TransportEngine>> transports_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<FrontendEngine>> frontends_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Shim>> shims_;
+};
+
+}  // namespace mccs::svc

@@ -1,0 +1,100 @@
+#pragma once
+// MCCS shim library (§4.1): the thin, NCCL-shaped client linked into tenant
+// applications. It forwards memory management and collective invocations to
+// the MCCS service over the (latency-modelled) shared-memory command queue,
+// and wires up the event-based stream synchronisation:
+//
+//   issue:   record `ready` on the app stream  ->  comm stream waits on it
+//   finish:  comm stream records `done`        ->  app stream waits on it
+//
+// so the tenant keeps ordinary CUDA stream semantics while the service owns
+// the communication.
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "gpusim/runtime.h"
+#include "mccs/api.h"
+#include "mccs/context.h"
+
+namespace mccs::svc {
+
+class Service;
+
+class Shim {
+ public:
+  Shim(ServiceContext& ctx, Service& service, AppId app, GpuId gpu);
+
+  Shim(const Shim&) = delete;
+  Shim& operator=(const Shim&) = delete;
+
+  [[nodiscard]] AppId app() const { return app_; }
+  [[nodiscard]] GpuId gpu() const { return gpu_; }
+
+  // --- memory (redirected to the service) ------------------------------------
+  gpu::DevicePtr alloc(Bytes size);
+  void free(gpu::DevicePtr ptr);
+
+  /// An application-owned stream on this rank's GPU (plain CUDA analogue;
+  /// not visible to the service except through shared events).
+  gpu::Stream& create_app_stream();
+
+  // --- communicators -----------------------------------------------------------
+  /// Join a communicator rendezvous. `on_ready(comm)` fires once every rank
+  /// has joined and the service installed the communicator.
+  void comm_init_rank(UniqueId uid, int nranks, int rank,
+                      std::function<void(CommId)> on_ready);
+  void comm_destroy(CommId comm);
+
+  // --- collectives ---------------------------------------------------------------
+  /// Generic entry point; the named wrappers below are the public API.
+  void collective(CommId comm, CollectiveArgs args, gpu::Stream& app_stream,
+                  CompletionCallback on_complete = {});
+
+  void all_reduce(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+                  std::size_t count, coll::DataType dtype, coll::ReduceOp op,
+                  gpu::Stream& stream, CompletionCallback on_complete = {});
+  void all_gather(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+                  std::size_t send_count, coll::DataType dtype,
+                  gpu::Stream& stream, CompletionCallback on_complete = {});
+  void reduce_scatter(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+                      std::size_t recv_count, coll::DataType dtype,
+                      coll::ReduceOp op, gpu::Stream& stream,
+                      CompletionCallback on_complete = {});
+  void broadcast(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+                 std::size_t count, coll::DataType dtype, int root,
+                 gpu::Stream& stream, CompletionCallback on_complete = {});
+  void reduce(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+              std::size_t count, coll::DataType dtype, coll::ReduceOp op,
+              int root, gpu::Stream& stream, CompletionCallback on_complete = {});
+  void all_to_all(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+                  std::size_t count_per_peer, coll::DataType dtype,
+                  gpu::Stream& stream, CompletionCallback on_complete = {});
+
+  void gather(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+              std::size_t count, coll::DataType dtype, int root,
+              gpu::Stream& stream, CompletionCallback on_complete = {});
+  void scatter(CommId comm, gpu::DevicePtr send, gpu::DevicePtr recv,
+               std::size_t count, coll::DataType dtype, int root,
+               gpu::Stream& stream, CompletionCallback on_complete = {});
+
+  // --- point-to-point (§5) ----------------------------------------------------
+  /// Send `count` elements to `peer`; pairs with the peer's k-th recv from
+  /// this rank. Independent of the collective sequence space.
+  void send(CommId comm, int peer, gpu::DevicePtr buffer, std::size_t count,
+            coll::DataType dtype, gpu::Stream& stream,
+            CompletionCallback on_complete = {});
+  /// Receive `count` elements from `peer`.
+  void recv(CommId comm, int peer, gpu::DevicePtr buffer, std::size_t count,
+            coll::DataType dtype, gpu::Stream& stream,
+            CompletionCallback on_complete = {});
+
+ private:
+  ServiceContext* ctx_;
+  Service* service_;
+  AppId app_;
+  GpuId gpu_;
+};
+
+}  // namespace mccs::svc

@@ -1,0 +1,71 @@
+#include "mccs/strategy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mccs::svc {
+
+std::vector<coll::RingOrder> make_channel_orders(
+    const std::vector<int>& base_order, const std::vector<GpuId>& gpus_by_rank,
+    const cluster::Cluster& cluster, int num_channels) {
+  MCCS_EXPECTS(num_channels >= 1);
+  MCCS_EXPECTS(base_order.size() == gpus_by_rank.size());
+
+  // Split the base order into maximal same-host runs.
+  struct Run {
+    std::size_t begin;
+    std::size_t len;
+  };
+  std::vector<Run> runs;
+  std::size_t i = 0;
+  const std::size_t n = base_order.size();
+  while (i < n) {
+    std::size_t j = i + 1;
+    const HostId h = cluster.host_of_gpu(
+        gpus_by_rank[static_cast<std::size_t>(base_order[i])]);
+    while (j < n &&
+           cluster.host_of_gpu(gpus_by_rank[static_cast<std::size_t>(base_order[j])]) == h) {
+      ++j;
+    }
+    runs.push_back(Run{i, j - i});
+    i = j;
+  }
+
+  std::vector<coll::RingOrder> orders;
+  orders.reserve(static_cast<std::size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    std::vector<int> order = base_order;
+    for (const Run& run : runs) {
+      // Rotate the run left by c so channel c exits the host via a different
+      // GPU (and its paired NIC).
+      std::rotate(order.begin() + static_cast<std::ptrdiff_t>(run.begin),
+                  order.begin() + static_cast<std::ptrdiff_t>(
+                                      run.begin + static_cast<std::size_t>(c) % run.len),
+                  order.begin() + static_cast<std::ptrdiff_t>(run.begin + run.len));
+    }
+    orders.emplace_back(std::move(order));
+  }
+  return orders;
+}
+
+CommStrategy nccl_default_strategy(const std::vector<GpuId>& gpus_by_rank,
+                                   const cluster::Cluster& cluster) {
+  MCCS_EXPECTS(!gpus_by_rank.empty());
+
+  // Channels: one per NIC on the busiest host of this communicator.
+  std::unordered_map<std::uint32_t, int> per_host;
+  int max_local = 1;
+  for (GpuId g : gpus_by_rank) {
+    max_local = std::max(max_local, ++per_host[cluster.host_of_gpu(g).get()]);
+  }
+
+  std::vector<int> identity(gpus_by_rank.size());
+  for (std::size_t r = 0; r < identity.size(); ++r) identity[r] = static_cast<int>(r);
+
+  CommStrategy s;
+  s.channel_orders =
+      make_channel_orders(identity, gpus_by_rank, cluster, max_local);
+  return s;
+}
+
+}  // namespace mccs::svc

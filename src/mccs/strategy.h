@@ -1,0 +1,73 @@
+#pragma once
+// Collective strategy: everything the provider controls about how a
+// communicator's collectives execute — the per-channel ring orderings
+// (logical level) and the explicit network route of every inter-host
+// connection (physical level). This is the unit the Fig.-4 protocol swaps
+// atomically at runtime.
+
+#include <unordered_map>
+#include <vector>
+
+#include "collectives/ring.h"
+#include "collectives/types.h"
+#include "common/ids.h"
+#include "cluster/cluster.h"
+
+namespace mccs::svc {
+
+struct CommStrategy {
+  coll::Algorithm algorithm = coll::Algorithm::kRing;
+
+  /// One ring ordering (over ranks) per channel. Channel c of rank r egresses
+  /// through the NIC paired with rank r's GPU. Tree schedules operate in rank
+  /// space directly but still split the buffer across this many channels.
+  std::vector<coll::RingOrder> channel_orders;
+
+  /// Pipeline granularity of tree algorithms (chunks per channel).
+  std::size_t tree_pipeline_chunks = 8;
+
+  /// Extension beyond the paper: when set, flow assignment also places the
+  /// full pairwise mesh (AllToAll traffic) on explicit routes, not just the
+  /// ring/tree edges.
+  bool route_pairwise_mesh = false;
+
+  /// Explicit route per inter-host connection, keyed by
+  /// route_key(channel, sender rank, receiver rank). Missing key => ECMP.
+  std::unordered_map<std::uint64_t, RouteId> routes;
+
+  [[nodiscard]] int num_channels() const {
+    return static_cast<int>(channel_orders.size());
+  }
+
+  static std::uint64_t route_key(int channel, int src_rank, int dst_rank) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(channel)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_rank) & 0xFFFFFF) << 24) |
+           (static_cast<std::uint32_t>(dst_rank) & 0xFFFFFF);
+  }
+
+  friend bool operator==(const CommStrategy& a, const CommStrategy& b) {
+    if (a.algorithm != b.algorithm) return false;
+    if (a.channel_orders.size() != b.channel_orders.size()) return false;
+    for (std::size_t i = 0; i < a.channel_orders.size(); ++i) {
+      if (!(a.channel_orders[i] == b.channel_orders[i])) return false;
+    }
+    return a.routes == b.routes;
+  }
+};
+
+/// Build per-channel ring orders from a base rank ordering: within every
+/// maximal run of consecutive ranks living on the same host, channel c
+/// rotates the run left by c, so different channels enter/exit each host
+/// through different GPUs (and thus different NICs) — the standard NCCL
+/// multi-channel pattern the prototype adopts.
+std::vector<coll::RingOrder> make_channel_orders(
+    const std::vector<int>& base_order, const std::vector<GpuId>& gpus_by_rank,
+    const cluster::Cluster& cluster, int num_channels);
+
+/// The strategy NCCL would pick with no topology knowledge (§2.2, §4.2):
+/// inter-host ring follows the user-assigned rank order; as many channels as
+/// the communicator has GPUs on its busiest host (one per NIC); ECMP routing.
+CommStrategy nccl_default_strategy(const std::vector<GpuId>& gpus_by_rank,
+                                   const cluster::Cluster& cluster);
+
+}  // namespace mccs::svc

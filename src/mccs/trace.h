@@ -1,0 +1,28 @@
+#pragma once
+// Collective tracing (§4.3): the service records every collective an
+// application issues so an external controller can learn computation /
+// communication patterns (the traffic-scheduling policy consumes these to
+// find a prioritised tenant's idle cycles).
+
+#include <vector>
+
+#include "collectives/types.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace mccs::svc {
+
+struct TraceRecord {
+  AppId app;
+  CommId comm;
+  int rank = 0;
+  std::uint64_t seq = 0;
+  coll::CollectiveKind kind = coll::CollectiveKind::kAllReduce;
+  Bytes bytes = 0;         ///< output-buffer bytes
+  Time issued = 0.0;       ///< command received by the proxy engine
+  Time launched = 0.0;     ///< enqueued on the communicator stream
+  Time started = 0.0;      ///< first data transfer began
+  Time completed = 0.0;    ///< last transfer applied, stream op finished
+};
+
+}  // namespace mccs::svc

@@ -1,0 +1,96 @@
+#include "mccs/trace_export.h"
+
+#include <sstream>
+
+namespace mccs::svc {
+namespace {
+
+void append_kv(std::ostringstream& os, const char* key, const std::string& value,
+               bool quote, bool first = false) {
+  if (!first) os << ",";
+  os << "\"" << key << "\":";
+  if (quote) {
+    os << "\"" << value << "\"";
+  } else {
+    os << value;
+  }
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string trace_record_to_json(const TraceRecord& record) {
+  std::ostringstream os;
+  os << "{";
+  append_kv(os, "app", std::to_string(record.app.get()), false, true);
+  append_kv(os, "comm", std::to_string(record.comm.get()), false);
+  append_kv(os, "rank", std::to_string(record.rank), false);
+  append_kv(os, "seq", std::to_string(record.seq), false);
+  append_kv(os, "kind", coll::to_string(record.kind), true);
+  append_kv(os, "bytes", std::to_string(record.bytes), false);
+  append_kv(os, "issued", num(record.issued), false);
+  append_kv(os, "launched", num(record.launched), false);
+  append_kv(os, "started", num(record.started), false);
+  append_kv(os, "completed", num(record.completed), false);
+  os << "}";
+  return os.str();
+}
+
+std::string trace_to_json_lines(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  for (const TraceRecord& r : records) os << trace_record_to_json(r) << "\n";
+  return os.str();
+}
+
+std::string comm_info_to_json(const CommInfo& info, const CommStrategy& strategy) {
+  std::ostringstream os;
+  os << "{";
+  append_kv(os, "comm", std::to_string(info.id.get()), false, true);
+  append_kv(os, "app", std::to_string(info.app.get()), false);
+  append_kv(os, "nranks", std::to_string(info.nranks), false);
+  os << ",\"gpus\":[";
+  for (std::size_t r = 0; r < info.gpus.size(); ++r) {
+    if (r > 0) os << ",";
+    os << info.gpus[r].get();
+  }
+  os << "]";
+  append_kv(os, "algorithm",
+            strategy.algorithm == coll::Algorithm::kRing ? "ring" : "tree", true);
+  append_kv(os, "channels", std::to_string(strategy.num_channels()), false);
+  os << ",\"channel_orders\":[";
+  for (std::size_t c = 0; c < strategy.channel_orders.size(); ++c) {
+    if (c > 0) os << ",";
+    os << "[";
+    const auto& order = strategy.channel_orders[c].order();
+    for (std::size_t p = 0; p < order.size(); ++p) {
+      if (p > 0) os << ",";
+      os << order[p];
+    }
+    os << "]";
+  }
+  os << "]";
+  append_kv(os, "explicit_routes", std::to_string(strategy.routes.size()), false);
+  os << "}";
+  return os.str();
+}
+
+std::string management_snapshot_json(Fabric& fabric) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const CommInfo& info : fabric.list_communicators()) {
+    if (!first) os << ",";
+    first = false;
+    os << comm_info_to_json(info, fabric.strategy_of(info.id));
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace mccs::svc

@@ -1,0 +1,31 @@
+#pragma once
+// Provider observability tooling on top of the management API (§4.3): export
+// collective traces and communicator state as JSON lines, the format an
+// external controller, dashboard, or offline profiler would ingest.
+//
+// Writing JSON by hand (no third-party dependency) keeps the repository
+// self-contained; the emitter covers exactly the value shapes these records
+// need (strings, integers, floats, flat arrays).
+
+#include <string>
+#include <vector>
+
+#include "mccs/fabric.h"
+#include "mccs/trace.h"
+
+namespace mccs::svc {
+
+/// One trace record as a JSON object (single line, no trailing newline).
+std::string trace_record_to_json(const TraceRecord& record);
+
+/// All records as JSON-lines text (one object per line).
+std::string trace_to_json_lines(const std::vector<TraceRecord>& records);
+
+/// A communicator's provider-visible state: placement + current strategy.
+std::string comm_info_to_json(const CommInfo& info, const CommStrategy& strategy);
+
+/// Full management snapshot of a fabric: every communicator with its
+/// strategy, as a JSON array.
+std::string management_snapshot_json(Fabric& fabric);
+
+}  // namespace mccs::svc

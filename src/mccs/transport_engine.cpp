@@ -1,0 +1,152 @@
+#include "mccs/transport_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mccs::svc {
+
+bool TrafficSchedule::open_at(Time t) const {
+  if (unrestricted()) return true;
+  const double phase = std::fmod(std::max(t - t0, 0.0), period);
+  for (const Window& w : allowed) {
+    if (phase >= w.begin && phase < w.end) return true;
+  }
+  return false;
+}
+
+Time TrafficSchedule::next_open(Time t) const {
+  if (unrestricted() || open_at(t)) return t;
+  const double phase = std::fmod(std::max(t - t0, 0.0), period);
+  Time best = kTimeInfinity;
+  for (const Window& w : allowed) {
+    const double delta = w.begin >= phase ? w.begin - phase : w.begin + period - phase;
+    best = std::min(best, t + delta);
+  }
+  return best;  // kTimeInfinity if no windows at all (fully blocked)
+}
+
+Time TrafficSchedule::next_boundary(Time t) const {
+  if (unrestricted()) return kTimeInfinity;
+  const double phase = std::fmod(std::max(t - t0, 0.0), period);
+  Time best = t + (period - phase);  // period wrap is always a boundary
+  for (const Window& w : allowed) {
+    for (double edge : {w.begin, w.end}) {
+      const double delta = edge > phase ? edge - phase : edge + period - phase;
+      if (delta > 1e-12) best = std::min(best, t + delta);
+    }
+  }
+  return best;
+}
+
+void TransportEngine::post_send(ChunkTransfer transfer) {
+  MCCS_EXPECTS(transfer.deliver && transfer.on_sent);
+  auto it = gates_.find(transfer.app.get());
+  AppGate* gate = it == gates_.end() ? nullptr : &it->second;
+  if (gate != nullptr && !gate->schedule.open_at(ctx_->loop->now())) {
+    const AppId app = transfer.app;
+    gate->waiting.push_back(std::move(transfer));
+    arm_timer(app, *gate);
+    return;
+  }
+  start_flow(std::move(transfer), gate);
+}
+
+void TransportEngine::start_flow(ChunkTransfer transfer, AppGate* gate) {
+  const AppId gate_app = transfer.app;
+  const cluster::Cluster& cl = *ctx_->cluster;
+  net::FlowSpec spec;
+  spec.src = cl.nic_node_of_gpu(transfer.src_gpu);
+  spec.dst = cl.nic_node_of_gpu(transfer.dst_gpu);
+  spec.size = std::max<Bytes>(transfer.bytes, 1);  // zero-byte steps still sync
+  spec.route = transfer.route;
+  spec.ecmp_key = transfer.ecmp_key;
+  spec.app = transfer.app;
+  spec.start_latency =
+      ctx_->config.network_hop_latency + ctx_->config.transport_step_overhead;
+
+  const AppId app = transfer.app;
+  auto deliver = std::move(transfer.deliver);
+  auto on_sent = std::move(transfer.on_sent);
+  spec.on_complete = [this, app, deliver = std::move(deliver),
+                      on_sent = std::move(on_sent)](FlowId id, Time) {
+    auto git = gates_.find(app.get());
+    if (git != gates_.end()) {
+      auto& fl = git->second.active_flows;
+      fl.erase(std::remove(fl.begin(), fl.end(), id), fl.end());
+    }
+    deliver();   // RDMA write lands at the receiver...
+    on_sent();   // ...then the sender sees its completion event
+  };
+
+  const FlowId fid = ctx_->network->start_flow(std::move(spec));
+  if (gate != nullptr) {
+    gate->active_flows.push_back(fid);
+    arm_timer(gate_app, *gate);  // pause this flow at the next window close
+  }
+}
+
+void TransportEngine::set_schedule(AppId app, TrafficSchedule schedule) {
+  AppGate& gate = gates_[app.get()];
+  gate.schedule = std::move(schedule);
+  on_boundary(app);  // apply immediately and arm the timer
+}
+
+void TransportEngine::clear_schedule(AppId app) {
+  auto it = gates_.find(app.get());
+  if (it == gates_.end()) return;
+  AppGate& gate = it->second;
+  ctx_->loop->cancel(gate.timer);
+  // Release everything that was held back.
+  if (gate.gated_closed) {
+    for (FlowId f : gate.active_flows) {
+      if (ctx_->network->flow_active(f)) ctx_->network->resume_flow(f);
+    }
+  }
+  std::deque<ChunkTransfer> waiting = std::move(gate.waiting);
+  gates_.erase(it);
+  for (auto& t : waiting) start_flow(std::move(t), nullptr);
+}
+
+void TransportEngine::arm_timer(AppId app, AppGate& gate) {
+  if (ctx_->loop->pending(gate.timer)) return;
+  // Only keep a timer while there is something to gate: pending sends, or
+  // in-flight flows that must pause at the next close. Otherwise the event
+  // loop would never drain.
+  if (gate.waiting.empty() && gate.active_flows.empty()) return;
+  Time boundary = gate.schedule.next_boundary(ctx_->loop->now());
+  if (boundary >= kTimeInfinity) return;
+  // Guarantee strictly-future firing: floating-point folding can place the
+  // boundary at (or epsilon before) `now`, which would livelock the loop.
+  boundary = std::max(boundary, ctx_->loop->now() + nanos(100));
+  gate.timer = ctx_->loop->schedule_at(boundary, [this, app] { on_boundary(app); });
+}
+
+void TransportEngine::on_boundary(AppId app) {
+  auto it = gates_.find(app.get());
+  if (it == gates_.end()) return;
+  AppGate& gate = it->second;
+  const bool open = gate.schedule.open_at(ctx_->loop->now());
+
+  // Pause or resume in-flight flows to track the window state.
+  gate.active_flows.erase(
+      std::remove_if(gate.active_flows.begin(), gate.active_flows.end(),
+                     [this](FlowId f) { return !ctx_->network->flow_active(f); }),
+      gate.active_flows.end());
+  for (FlowId f : gate.active_flows) {
+    if (open) {
+      ctx_->network->resume_flow(f);
+    } else {
+      ctx_->network->pause_flow(f);
+    }
+  }
+  gate.gated_closed = !open;
+
+  if (open) {
+    std::deque<ChunkTransfer> waiting = std::move(gate.waiting);
+    gate.waiting.clear();
+    for (auto& t : waiting) start_flow(std::move(t), &gate);
+  }
+  arm_timer(app, gate);
+}
+
+}  // namespace mccs::svc

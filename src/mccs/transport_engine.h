@@ -1,0 +1,92 @@
+#pragma once
+// Transport engine (§4.2): executes inter-host chunk transfers for the proxy
+// engines as network flows, stamping each connection's explicit route (the
+// policy-based-routing mechanism of §5) and enforcing traffic-scheduling QoS
+// windows (§4.3, example #4) by gating and pausing tenant flows.
+//
+// One transport engine exists per (host, NIC); the proxy engine picks the
+// engine paired with the sending GPU.
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "gpusim/memory.h"
+#include "mccs/context.h"
+
+namespace mccs::svc {
+
+/// Periodic send windows for one application (CASSINI-style interleaving).
+/// An empty `allowed` list with period > 0 blocks the app entirely.
+struct TrafficSchedule {
+  struct Window {
+    Time begin = 0.0;  ///< offset within the period
+    Time end = 0.0;
+  };
+  Time t0 = 0.0;      ///< phase reference
+  Time period = 0.0;  ///< <= 0 means unrestricted
+  std::vector<Window> allowed;
+
+  [[nodiscard]] bool unrestricted() const { return period <= 0.0; }
+  [[nodiscard]] bool open_at(Time t) const;
+  /// Earliest time >= t at which sending is allowed.
+  [[nodiscard]] Time next_open(Time t) const;
+  /// Next schedule boundary strictly after t (window edge), for re-arming.
+  [[nodiscard]] Time next_boundary(Time t) const;
+};
+
+/// One chunk transfer posted by a proxy engine.
+struct ChunkTransfer {
+  AppId app;
+  GpuId src_gpu;
+  GpuId dst_gpu;
+  Bytes bytes = 0;
+  RouteId route{};              ///< explicit route; invalid => ECMP
+  std::uint64_t ecmp_key = 0;
+  std::function<void()> deliver;  ///< receiver-side apply + notify
+  std::function<void()> on_sent;  ///< sender-side step completion
+};
+
+class TransportEngine {
+ public:
+  TransportEngine(ServiceContext& ctx, HostId host, int nic_index)
+      : ctx_(&ctx), host_(host), nic_index_(nic_index) {}
+
+  TransportEngine(const TransportEngine&) = delete;
+  TransportEngine& operator=(const TransportEngine&) = delete;
+
+  /// Post an inter-host send. Applies the traffic schedule of the owning
+  /// app, then starts a network flow; on completion the receiver's deliver
+  /// callback runs before the sender's on_sent (RDMA-write-then-CQE order).
+  void post_send(ChunkTransfer transfer);
+
+  /// Install / replace the QoS traffic schedule for an app. Active flows of
+  /// that app are paused or resumed to match the schedule immediately.
+  void set_schedule(AppId app, TrafficSchedule schedule);
+  void clear_schedule(AppId app);
+
+  [[nodiscard]] int nic_index() const { return nic_index_; }
+
+ private:
+  struct AppGate {
+    TrafficSchedule schedule;
+    std::vector<FlowId> active_flows;
+    std::deque<ChunkTransfer> waiting;  ///< posted while the window is closed
+    sim::EventLoop::Handle timer;
+    bool gated_closed = false;
+  };
+
+  void start_flow(ChunkTransfer transfer, AppGate* gate);
+  void arm_timer(AppId app, AppGate& gate);
+  void on_boundary(AppId app);
+
+  ServiceContext* ctx_;
+  HostId host_;
+  int nic_index_;
+  std::unordered_map<std::uint32_t, AppGate> gates_;  ///< by AppId
+};
+
+}  // namespace mccs::svc

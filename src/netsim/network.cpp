@@ -1,0 +1,264 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mccs::net {
+namespace {
+
+constexpr double kRateEpsilon = 1e-9;  // bytes/s below which a rate is "zero"
+
+struct AllocFlow {
+  std::uint32_t id;
+  const Path* path;
+  double weight;
+  Bandwidth cap;
+  Bandwidth rate = 0.0;
+  bool fixed = false;
+};
+
+/// Weighted max-min fair allocation with per-flow caps (progressive filling).
+/// `residual` is indexed by link id and is consumed in place.
+void max_min_allocate(std::vector<AllocFlow>& flows, std::vector<Bandwidth>& residual) {
+  if (flows.empty()) return;
+
+  // Per-link unfixed weight sums.
+  std::vector<double> weight_on_link(residual.size(), 0.0);
+  for (const AllocFlow& f : flows) {
+    for (LinkId l : *f.path) weight_on_link[l.get()] += f.weight;
+  }
+
+  std::size_t unfixed = flows.size();
+  while (unfixed > 0) {
+    // Find the tightest constraint: either a link's fair share-per-weight or
+    // a flow's own cap-per-weight (the cap acts as a private pseudo-link).
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const AllocFlow& f : flows) {
+      if (f.fixed) continue;
+      for (LinkId l : *f.path) {
+        const double w = weight_on_link[l.get()];
+        if (w > 0.0) {
+          best_share = std::min(best_share, std::max(residual[l.get()], 0.0) / w);
+        }
+      }
+      if (std::isfinite(f.cap)) best_share = std::min(best_share, f.cap / f.weight);
+    }
+    MCCS_CHECK(std::isfinite(best_share), "unconstrained flow in max-min allocation");
+
+    // Fix every unfixed flow that is bound by this share: flows whose cap is
+    // reached, and flows crossing a link whose residual-per-weight equals it.
+    bool fixed_any = false;
+    for (AllocFlow& f : flows) {
+      if (f.fixed) continue;
+      bool bound = std::isfinite(f.cap) && f.cap / f.weight <= best_share * (1 + 1e-12);
+      if (!bound) {
+        for (LinkId l : *f.path) {
+          const double w = weight_on_link[l.get()];
+          if (w > 0.0 &&
+              std::max(residual[l.get()], 0.0) / w <= best_share * (1 + 1e-12)) {
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (!bound) continue;
+      f.rate = best_share * f.weight;
+      f.fixed = true;
+      fixed_any = true;
+      --unfixed;
+      for (LinkId l : *f.path) {
+        residual[l.get()] -= f.rate;
+        weight_on_link[l.get()] -= f.weight;
+      }
+    }
+    MCCS_CHECK(fixed_any, "max-min allocation failed to make progress");
+  }
+}
+
+}  // namespace
+
+FlowId Network::start_flow(FlowSpec spec) {
+  MCCS_EXPECTS(spec.src != spec.dst);
+  MCCS_EXPECTS(spec.background_demand > 0.0 || spec.size > 0);
+  MCCS_EXPECTS(spec.weight > 0.0);
+
+  const std::uint32_t id = next_flow_id_++;
+  FlowState st;
+  st.path = spec.route.valid()
+                ? routing_.by_route_id(spec.src, spec.dst, spec.route)
+                : routing_.by_ecmp(spec.src, spec.dst, spec.ecmp_key);
+  st.remaining = static_cast<double>(spec.size);
+  st.spec = std::move(spec);
+
+  const Time latency = st.spec.start_latency;
+  auto [it, inserted] = flows_.emplace(id, std::move(st));
+  MCCS_CHECK(inserted, "duplicate flow id");
+
+  if (latency > 0.0) {
+    it->second.activation =
+        loop_->schedule_after(latency, [this, id] { activate_flow(id); });
+  } else {
+    it->second.started = true;
+    advance_progress();
+    reallocate();
+  }
+  return FlowId{id};
+}
+
+void Network::activate_flow(std::uint32_t id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // cancelled while latent
+  it->second.started = true;
+  advance_progress();
+  reallocate();
+}
+
+void Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id.get());
+  if (it == flows_.end()) return;
+  advance_progress();
+  loop_->cancel(it->second.completion);
+  loop_->cancel(it->second.activation);
+  flows_.erase(it);
+  reallocate();
+}
+
+void Network::pause_flow(FlowId id) {
+  auto it = flows_.find(id.get());
+  MCCS_EXPECTS(it != flows_.end());
+  if (it->second.paused) return;
+  advance_progress();
+  it->second.paused = true;
+  reallocate();
+}
+
+void Network::resume_flow(FlowId id) {
+  auto it = flows_.find(id.get());
+  MCCS_EXPECTS(it != flows_.end());
+  if (!it->second.paused) return;
+  advance_progress();
+  it->second.paused = false;
+  reallocate();
+}
+
+Bandwidth Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id.get());
+  MCCS_EXPECTS(it != flows_.end());
+  return it->second.rate;
+}
+
+Bytes Network::flow_remaining(FlowId id) const {
+  auto it = flows_.find(id.get());
+  MCCS_EXPECTS(it != flows_.end());
+  return static_cast<Bytes>(std::ceil(std::max(it->second.remaining, 0.0)));
+}
+
+const Path& Network::flow_path(FlowId id) const {
+  auto it = flows_.find(id.get());
+  MCCS_EXPECTS(it != flows_.end());
+  return it->second.path;
+}
+
+Bandwidth Network::link_throughput(LinkId id) const {
+  Bandwidth total = 0.0;
+  for (const auto& [fid, f] : flows_) {
+    if (!allocatable(f)) continue;
+    for (LinkId l : f.path) {
+      if (l == id) {
+        total += f.rate;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t Network::link_flow_count(LinkId id) const {
+  std::size_t n = 0;
+  for (const auto& [fid, f] : flows_) {
+    if (!allocatable(f) || f.spec.background_demand > 0.0) continue;
+    for (LinkId l : f.path) {
+      if (l == id) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void Network::advance_progress() {
+  const Time now = loop_->now();
+  const Time dt = now - last_progress_time_;
+  if (dt <= 0.0) {
+    last_progress_time_ = now;
+    return;
+  }
+  for (auto& [id, f] : flows_) {
+    if (!allocatable(f) || f.spec.background_demand > 0.0) continue;
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  last_progress_time_ = now;
+}
+
+void Network::reallocate() {
+  // Phase 1: background flows take their demand with strict priority,
+  // sharing capacity weighted by demand if oversubscribed.
+  std::vector<Bandwidth> residual(topo_->link_count());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = topo_->link(LinkId{static_cast<std::uint32_t>(i)}).capacity;
+  }
+
+  std::vector<AllocFlow> background;
+  std::vector<AllocFlow> normal;
+  for (auto& [id, f] : flows_) {
+    if (!allocatable(f)) {
+      f.rate = 0.0;
+      loop_->cancel(f.completion);
+      f.completion = {};
+      continue;
+    }
+    if (f.spec.background_demand > 0.0) {
+      background.push_back(AllocFlow{id, &f.path, f.spec.background_demand,
+                                     f.spec.background_demand});
+    } else {
+      normal.push_back(AllocFlow{id, &f.path, f.spec.weight, f.spec.rate_cap});
+    }
+  }
+
+  max_min_allocate(background, residual);
+  max_min_allocate(normal, residual);
+
+  for (const AllocFlow& a : background) flows_.at(a.id).rate = a.rate;
+
+  // Reschedule completion events for normal flows.
+  for (const AllocFlow& a : normal) {
+    FlowState& f = flows_.at(a.id);
+    f.rate = a.rate;
+    loop_->cancel(f.completion);
+    f.completion = {};
+    if (f.remaining <= 0.0) {
+      // Already delivered; complete "now" (from a fresh event for re-entrancy).
+      const std::uint32_t id = a.id;
+      f.completion = loop_->schedule_after(0.0, [this, id] { complete_flow(id); });
+    } else if (f.rate > kRateEpsilon) {
+      const std::uint32_t id = a.id;
+      const Time eta = f.remaining / f.rate;
+      f.completion = loop_->schedule_after(eta, [this, id] { complete_flow(id); });
+    }
+  }
+}
+
+void Network::complete_flow(std::uint32_t id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  it->second.remaining = 0.0;
+
+  FlowSpec spec = std::move(it->second.spec);
+  flows_.erase(it);
+  reallocate();
+  if (spec.on_complete) spec.on_complete(FlowId{id}, loop_->now());
+}
+
+}  // namespace mccs::net

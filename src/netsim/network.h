@@ -1,0 +1,135 @@
+#pragma once
+// Flow-level network simulation.
+//
+// The Network owns the set of active flows and allocates bandwidth with
+// weighted max-min fairness (progressive filling), the same model the paper's
+// large-scale simulator uses ("our flow-level simulator assumes per-flow
+// fairness", §6.5). Rates change only when the flow set changes — flow
+// start, completion, cancellation, pause/resume (used by the traffic-
+// scheduling QoS policy), or a background-flow change — at which point
+// completion events are rescheduled on the EventLoop.
+//
+// Two flow classes:
+//  * normal flows — carry a finite number of bytes; max-min fair share.
+//  * background flows — model non-collective traffic (e.g., the 75 Gbps
+//    flow in Fig. 7). They demand a fixed rate with strict priority over
+//    normal flows, mirroring how external traffic appears to a tenant.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "netsim/routing.h"
+#include "netsim/topology.h"
+#include "sim/event_loop.h"
+
+namespace mccs::net {
+
+struct FlowSpec {
+  NodeId src;
+  NodeId dst;
+  Bytes size = 0;  ///< Payload bytes; ignored for background flows.
+
+  /// Explicit path selector; invalid() means the switch applies ECMP hashing
+  /// of `ecmp_key` (the multi-tenant-cloud default).
+  RouteId route{};
+  std::uint64_t ecmp_key = 0;
+
+  /// Per-flow rate cap, e.g. a 50 Gbps virtual NIC (IB traffic-class rate
+  /// limit in the testbed). Infinity = uncapped.
+  Bandwidth rate_cap = std::numeric_limits<Bandwidth>::infinity();
+
+  /// Fairness weight (per-flow fairness => 1.0).
+  double weight = 1.0;
+
+  /// Fixed delay before bytes start moving (propagation + connection setup).
+  Time start_latency = 0.0;
+
+  /// Background flow: demands `background_demand` bytes/s forever with
+  /// strict priority; `size` and completion callbacks are unused.
+  Bandwidth background_demand = 0.0;
+
+  // Metadata consumed by policies / tracing.
+  AppId app{};
+  JobId job{};
+
+  /// Invoked from the event loop when the last byte is delivered.
+  std::function<void(FlowId, Time)> on_complete;
+};
+
+class Network {
+ public:
+  Network(sim::EventLoop& loop, const Topology& topo)
+      : loop_(&loop), topo_(&topo), routing_(topo) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const Routing& routing() const { return routing_; }
+  [[nodiscard]] sim::EventLoop& loop() { return *loop_; }
+
+  /// Start a flow; the path is resolved immediately (route id or ECMP).
+  FlowId start_flow(FlowSpec spec);
+
+  /// Cancel a flow (e.g., tearing down peer-to-peer connections during a
+  /// reconfiguration). No completion callback fires.
+  void cancel_flow(FlowId id);
+
+  /// Gate a flow off/on without losing progress (traffic-scheduling QoS).
+  void pause_flow(FlowId id);
+  void resume_flow(FlowId id);
+
+  [[nodiscard]] bool flow_active(FlowId id) const { return flows_.count(id.get()) > 0; }
+  [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
+  [[nodiscard]] Bytes flow_remaining(FlowId id) const;
+  [[nodiscard]] const Path& flow_path(FlowId id) const;
+  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Instantaneous throughput over a link (sum of flow rates), for the
+  /// provider's monitoring plane.
+  [[nodiscard]] Bandwidth link_throughput(LinkId id) const;
+
+  /// Number of normal flows currently traversing a link.
+  [[nodiscard]] std::size_t link_flow_count(LinkId id) const;
+
+ private:
+  struct FlowState {
+    FlowSpec spec;
+    Path path;
+    double remaining = 0.0;  ///< bytes left; tracked as double for fluid model
+    Bandwidth rate = 0.0;
+    bool started = false;    ///< start_latency elapsed
+    bool paused = false;
+    sim::EventLoop::Handle completion;
+    sim::EventLoop::Handle activation;
+  };
+
+  [[nodiscard]] bool allocatable(const FlowState& f) const {
+    return f.started && !f.paused;
+  }
+
+  /// Bring all flow byte counters up to `loop_->now()`.
+  void advance_progress();
+
+  /// Recompute all rates and reschedule completion events.
+  void reallocate();
+
+  void complete_flow(std::uint32_t id);
+  void activate_flow(std::uint32_t id);
+
+  sim::EventLoop* loop_;
+  const Topology* topo_;
+  Routing routing_;
+  std::unordered_map<std::uint32_t, FlowState> flows_;
+  std::uint32_t next_flow_id_ = 0;
+  Time last_progress_time_ = 0.0;
+};
+
+}  // namespace mccs::net

@@ -1,0 +1,78 @@
+#include "netsim/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace mccs::net {
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+// BFS from src producing hop distances; switches forward, hosts do not
+// (a path may not transit another host).
+std::vector<std::uint32_t> bfs_distances(const Topology& topo, NodeId src) {
+  std::vector<std::uint32_t> dist(topo.node_count(), kUnreached);
+  std::deque<NodeId> frontier{src};
+  dist[src.get()] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const bool forwards = (u == src) || topo.node(u).kind != NodeKind::kHost;
+    if (!forwards) continue;
+    for (LinkId lid : topo.out_links(u)) {
+      const NodeId v = topo.link(lid).dst;
+      if (dist[v.get()] == kUnreached) {
+        dist[v.get()] = dist[u.get()] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+// Depth-first enumeration of all shortest paths using the distance labels:
+// a link (u -> v) lies on a shortest path iff dist[v] == dist[u] + 1.
+void enumerate(const Topology& topo, const std::vector<std::uint32_t>& dist,
+               NodeId u, NodeId dst, Path& prefix, std::vector<Path>& out) {
+  if (u == dst) {
+    out.push_back(prefix);
+    return;
+  }
+  const bool forwards = prefix.empty() || topo.node(u).kind != NodeKind::kHost;
+  if (!forwards) return;
+  for (LinkId lid : topo.out_links(u)) {
+    const Link& l = topo.link(lid);
+    if (dist[l.dst.get()] == dist[u.get()] + 1 &&
+        dist[dst.get()] != kUnreached &&
+        dist[u.get()] + 1 <= dist[dst.get()]) {
+      prefix.push_back(lid);
+      enumerate(topo, dist, l.dst, dst, prefix, out);
+      prefix.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Path>& Routing::paths(NodeId src, NodeId dst) const {
+  MCCS_EXPECTS(src != dst);
+  const auto k = key(src, dst);
+  auto it = cache_.find(k);
+  if (it != cache_.end()) return it->second;
+
+  const auto dist = bfs_distances(*topo_, src);
+  MCCS_CHECK(dist[dst.get()] != kUnreached, "destination unreachable");
+
+  std::vector<Path> result;
+  Path prefix;
+  enumerate(*topo_, dist, src, dst, prefix, result);
+  MCCS_ENSURES(!result.empty());
+  // Deterministic order: lexicographic by link ids (enumeration already is,
+  // since out_links are in insertion order, but sort defensively so the
+  // meaning of RouteId never depends on traversal details).
+  std::sort(result.begin(), result.end());
+  return cache_.emplace(k, std::move(result)).first->second;
+}
+
+}  // namespace mccs::net

@@ -1,0 +1,67 @@
+#pragma once
+// Equal-cost multi-path routing over a Topology.
+//
+// For each (src, dst) node pair we enumerate *all* shortest paths in a
+// deterministic order. A flow is mapped to one of them either by ECMP
+// hashing (the cloud default the paper criticises) or by an explicit
+// RouteId chosen by the provider (the source-routing / policy-based-routing
+// analogue MCCS uses: the service stamps each RDMA connection's UDP source
+// port and the switch maps it to a path).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "netsim/topology.h"
+
+namespace mccs::net {
+
+/// A path is the ordered list of links from src to dst.
+using Path = std::vector<LinkId>;
+
+class Routing {
+ public:
+  explicit Routing(const Topology& topo) : topo_(&topo) {}
+
+  /// All equal-cost shortest paths from src to dst, deterministic order.
+  /// Computed lazily and cached. Throws if dst is unreachable.
+  const std::vector<Path>& paths(NodeId src, NodeId dst) const;
+
+  /// Number of equal-cost paths between two nodes.
+  [[nodiscard]] std::size_t path_count(NodeId src, NodeId dst) const {
+    return paths(src, dst).size();
+  }
+
+  /// Select a path by explicit route id (modulo the path count, mirroring a
+  /// switch policy table that wraps).
+  const Path& by_route_id(NodeId src, NodeId dst, RouteId route) const {
+    const auto& ps = paths(src, dst);
+    return ps[route.get() % ps.size()];
+  }
+
+  /// Select a path by ECMP hash of a flow key.
+  const Path& by_ecmp(NodeId src, NodeId dst, std::uint64_t flow_key) const {
+    const auto& ps = paths(src, dst);
+    return ps[ecmp_hash(flow_key) % ps.size()];
+  }
+
+  /// The hash an ECMP switch would apply (splitmix64 — uniform, deterministic).
+  static std::uint64_t ecmp_hash(std::uint64_t key) {
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  static std::uint64_t key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src.get()) << 32) | dst.get();
+  }
+
+  const Topology* topo_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+}  // namespace mccs::net

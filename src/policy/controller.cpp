@@ -1,0 +1,115 @@
+#include "policy/controller.h"
+
+#include <algorithm>
+
+namespace mccs::policy {
+
+void Controller::attach() {
+  fabric_->set_strategy_provider(
+      [this](const svc::CommInfo& info) { return provide(info); });
+}
+
+svc::CommStrategy Controller::ring_strategy(const svc::CommInfo& info) const {
+  svc::CommStrategy s =
+      ring_policy_ == RingPolicy::kLocalityAware
+          ? locality_aware_strategy(info.gpus, fabric_->cluster())
+          : svc::nccl_default_strategy(info.gpus, fabric_->cluster());
+  s.route_pairwise_mesh = route_mesh_;
+  return s;
+}
+
+std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
+    const svc::CommInfo* extra, const svc::CommStrategy* extra_strategy,
+    std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
+    std::unordered_map<std::uint32_t, svc::CommStrategy>& strategy_storage) {
+  std::vector<AssignItem> items;
+  for (const svc::CommInfo& info : fabric_->list_communicators()) {
+    gpu_storage[info.id.get()] = info.gpus;
+    strategy_storage[info.id.get()] = fabric_->strategy_of(info.id);
+    AssignItem item;
+    item.comm = info.id;
+    item.app = info.app;
+    item.gpus_by_rank = &gpu_storage[info.id.get()];
+    item.strategy = &strategy_storage[info.id.get()];
+    item.high_priority = priority_apps_.count(info.app.get()) > 0;
+    items.push_back(item);
+  }
+  if (extra != nullptr) {
+    gpu_storage[extra->id.get()] = extra->gpus;
+    strategy_storage[extra->id.get()] = *extra_strategy;
+    AssignItem item;
+    item.comm = extra->id;
+    item.app = extra->app;
+    item.gpus_by_rank = &gpu_storage[extra->id.get()];
+    item.strategy = &strategy_storage[extra->id.get()];
+    item.high_priority = priority_apps_.count(extra->app.get()) > 0;
+    items.push_back(item);
+  }
+
+  AssignOptions options;
+  if (flow_policy_ == FlowPolicy::kPfa) options.reserved_routes = reserved_routes_;
+  return assign_flows(items, fabric_->cluster(), fabric_->network().routing(),
+                      options);
+}
+
+svc::CommStrategy Controller::provide(const svc::CommInfo& info) {
+  svc::CommStrategy strategy = ring_strategy(info);
+  if (flow_policy_ == FlowPolicy::kEcmp) return strategy;
+
+  std::unordered_map<std::uint32_t, std::vector<GpuId>> gpu_storage;
+  std::unordered_map<std::uint32_t, svc::CommStrategy> strategy_storage;
+  auto routes = compute_routes(&info, &strategy, gpu_storage, strategy_storage);
+
+  // Reconfigure existing communicators whose placement moved.
+  for (const svc::CommInfo& existing : fabric_->list_communicators()) {
+    const RouteMap& updated = routes[existing.id.get()];
+    svc::CommStrategy s = strategy_storage[existing.id.get()];
+    if (s.routes != updated) {
+      s.routes = updated;
+      fabric_->reconfigure(existing.id, std::move(s));
+    }
+  }
+
+  strategy.routes = std::move(routes[info.id.get()]);
+  return strategy;
+}
+
+void Controller::rebalance() {
+  if (flow_policy_ == FlowPolicy::kEcmp) return;
+  std::unordered_map<std::uint32_t, std::vector<GpuId>> gpu_storage;
+  std::unordered_map<std::uint32_t, svc::CommStrategy> strategy_storage;
+  auto routes = compute_routes(nullptr, nullptr, gpu_storage, strategy_storage);
+  for (const svc::CommInfo& info : fabric_->list_communicators()) {
+    const RouteMap& updated = routes[info.id.get()];
+    svc::CommStrategy s = strategy_storage[info.id.get()];
+    if (s.routes != updated) {
+      s.routes = updated;
+      fabric_->reconfigure(info.id, std::move(s));
+    }
+  }
+}
+
+bool Controller::apply_time_schedule(AppId prio, const std::vector<AppId>& others,
+                                     Time guard) {
+  const CommPattern pattern = analyze_comm_pattern(fabric_->trace(prio));
+  if (!pattern.valid()) return false;
+  const svc::TrafficSchedule schedule = idle_window_schedule(pattern, guard);
+  for (AppId app : others) fabric_->set_traffic_schedule(app, schedule);
+  return true;
+}
+
+bool Controller::apply_profiled_schedule(AppId prio,
+                                         const std::vector<AppId>& others,
+                                         Time period, Time t0, Time guard) {
+  const svc::TrafficSchedule schedule =
+      complement_of_busy(fabric_->trace(prio), period, t0, guard);
+  if (schedule.allowed.empty()) return false;  // prio is never idle
+  for (AppId app : others) fabric_->set_traffic_schedule(app, schedule);
+  return true;
+}
+
+void Controller::clear_time_schedule(const std::vector<AppId>& apps) {
+  for (AppId app : apps) fabric_->clear_traffic_schedule(app);
+}
+
+}  // namespace mccs::policy

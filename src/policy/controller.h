@@ -1,0 +1,95 @@
+#pragma once
+// The external controller of §4.3: a centralized manager that consumes the
+// MCCS management API (communicator placements, strategies, traces) and
+// drives policy — ring configuration at communicator creation, flow
+// (re)assignment whenever a job joins or exits, priority flow assignment,
+// and time-window traffic scheduling.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mccs/fabric.h"
+#include "policy/flow_assign.h"
+#include "policy/ring_config.h"
+#include "policy/traffic_schedule.h"
+
+namespace mccs::policy {
+
+class Controller {
+ public:
+  enum class RingPolicy {
+    kUserOrder,      ///< NCCL behaviour: ring follows user rank order
+    kLocalityAware,  ///< example #1: group by host/rack/pod
+  };
+  enum class FlowPolicy {
+    kEcmp,  ///< no explicit routes (the cloud default)
+    kFfa,   ///< example #2: best-fit fair flow assignment
+    kPfa,   ///< example #3: FFA with routes reserved for priority apps
+  };
+
+  explicit Controller(svc::Fabric& fabric) : fabric_(&fabric) {}
+
+  void set_ring_policy(RingPolicy p) { ring_policy_ = p; }
+  void set_flow_policy(FlowPolicy p) { flow_policy_ = p; }
+
+  /// Route the pairwise mesh too (AllToAll-heavy tenants, e.g. MoE).
+  void set_route_pairwise_mesh(bool v) { route_mesh_ = v; }
+
+  /// PFA configuration: which apps are prioritised and which route indices
+  /// are reserved for them.
+  void set_high_priority(AppId app) { priority_apps_.insert(app.get()); }
+  void clear_high_priority(AppId app) { priority_apps_.erase(app.get()); }
+  void set_reserved_routes(std::unordered_set<std::uint32_t> routes) {
+    reserved_routes_ = std::move(routes);
+  }
+
+  /// Register as the fabric's strategy provider. From then on every new
+  /// communicator gets its initial strategy from this controller, and — when
+  /// a flow policy is active — existing communicators are rebalanced (via
+  /// runtime reconfiguration) as jobs join.
+  void attach();
+
+  /// Recompute flow assignment for all live communicators and reconfigure
+  /// those whose routes changed. Called automatically on job arrival when
+  /// attached; call manually after a job exits.
+  void rebalance();
+
+  /// Time-window QoS (example #4): pull `prio`'s trace from the management
+  /// API, find its idle cycles, and confine every app in `others` to them.
+  /// Returns false when the trace is too short to analyse.
+  bool apply_time_schedule(AppId prio, const std::vector<AppId>& others,
+                           Time guard = 0.0);
+
+  /// Offline-profile TS variant: the administrator supplies the prioritised
+  /// app's iteration period (and phase anchor); the busy set is folded from
+  /// the app's trace (policy::complement_of_busy). Returns false if the
+  /// resulting schedule would leave the others no usable window.
+  bool apply_profiled_schedule(AppId prio, const std::vector<AppId>& others,
+                               Time period, Time t0, Time guard = 0.0);
+
+  void clear_time_schedule(const std::vector<AppId>& apps);
+
+  /// The ring strategy this controller would pick for a communicator (no
+  /// flow assignment applied).
+  [[nodiscard]] svc::CommStrategy ring_strategy(const svc::CommInfo& info) const;
+
+ private:
+  svc::CommStrategy provide(const svc::CommInfo& info);
+
+  /// Flow placement for all known comms (+ optionally one not yet
+  /// registered); returns per-comm route maps.
+  std::unordered_map<std::uint32_t, RouteMap> compute_routes(
+      const svc::CommInfo* extra, const svc::CommStrategy* extra_strategy,
+      std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
+      std::unordered_map<std::uint32_t, svc::CommStrategy>& strategy_storage);
+
+  svc::Fabric* fabric_;
+  RingPolicy ring_policy_ = RingPolicy::kLocalityAware;
+  FlowPolicy flow_policy_ = FlowPolicy::kFfa;
+  bool route_mesh_ = false;
+  std::unordered_set<std::uint32_t> priority_apps_;
+  std::unordered_set<std::uint32_t> reserved_routes_;
+};
+
+}  // namespace mccs::policy

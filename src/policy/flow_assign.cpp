@@ -1,0 +1,174 @@
+#include "policy/flow_assign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+
+#include "collectives/schedule.h"
+
+namespace mccs::policy {
+namespace {
+
+/// One inter-host connection awaiting a route.
+struct PendingFlow {
+  std::size_t item_index;
+  std::uint64_t route_key;  ///< CommStrategy::route_key(channel, position)
+  NodeId src;
+  NodeId dst;
+  Bandwidth demand;  ///< natural demand (the sender NIC's uplink rate)
+  bool high_priority;
+};
+
+/// Collect every inter-host edge of an item's strategy as a pending flow
+/// (ring successors per channel, or both directions of the tree).
+void collect_flows(std::size_t item_index, const AssignItem& item,
+                   const cluster::Cluster& cluster,
+                   std::deque<PendingFlow>& out) {
+  const svc::CommStrategy& s = *item.strategy;
+  const auto& gpus = *item.gpus_by_rank;
+  const int n = static_cast<int>(gpus.size());
+
+  auto add_edge = [&](int channel, int src_rank, int dst_rank) {
+    const GpuId a = gpus[static_cast<std::size_t>(src_rank)];
+    const GpuId b = gpus[static_cast<std::size_t>(dst_rank)];
+    if (cluster.same_host(a, b)) return;
+    const NodeId src = cluster.nic_node_of_gpu(a);
+    const NodeId dst = cluster.nic_node_of_gpu(b);
+    // Demand estimate: the sender NIC's uplink capacity (the rate the
+    // connection would reach unimpeded), per Hedera's natural-demand idea.
+    Bandwidth demand = 0.0;
+    for (LinkId l : cluster.topology().out_links(src)) {
+      demand = std::max(demand, cluster.topology().link(l).capacity);
+    }
+    out.push_back(PendingFlow{
+        item_index, svc::CommStrategy::route_key(channel, src_rank, dst_rank),
+        src, dst, demand, item.high_priority});
+  };
+
+  for (int c = 0; c < s.num_channels(); ++c) {
+    if (s.route_pairwise_mesh) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (i != j) add_edge(c, i, j);
+        }
+      }
+      continue;
+    }
+    if (s.algorithm == coll::Algorithm::kTree) {
+      // Tree edges (both directions; AllReduce is the superset).
+      for (auto [src_rank, dst_rank] :
+           coll::tree_edges(n, 0, coll::CollectiveKind::kAllReduce)) {
+        add_edge(c, src_rank, dst_rank);
+      }
+    } else {
+      const coll::RingOrder& order =
+          s.channel_orders[static_cast<std::size_t>(c)];
+      for (int p = 0; p < n; ++p) {
+        add_edge(c, order.rank_at(p), order.rank_at(p + 1));
+      }
+    }
+  }
+}
+
+/// Best-fit: the path whose most-loaded link ends up least overloaded after
+/// adding this flow's demand (normalised by capacity). Two refinements keep
+/// the outcome sensible under ties:
+///  * colliding with a flow of the SAME job is worse than with another
+///    tenant's (a job's rings are always simultaneously active, a stranger's
+///    may be idle), so same-job load carries a penalty;
+///  * high-priority flows slightly prefer the reserved routes they alone may
+///    use (PFA dedicates those routes to them).
+/// Remaining ties break to the lowest route index (deterministic).
+std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
+                         const cluster::Cluster& cluster,
+                         const std::vector<double>& link_demand,
+                         const std::vector<double>& own_demand,
+                         const std::unordered_set<std::uint32_t>& reserved,
+                         bool restrict_to_unreserved) {
+  const auto& paths = routing.paths(f.src, f.dst);
+  double best_score = std::numeric_limits<double>::infinity();
+  std::uint32_t best = 0;
+  bool found = false;
+  for (std::uint32_t r = 0; r < paths.size(); ++r) {
+    if (restrict_to_unreserved && reserved.count(r) > 0 &&
+        paths.size() > reserved.size()) {
+      continue;
+    }
+    double score = 0.0;
+    for (LinkId l : paths[r]) {
+      const double cap = cluster.topology().link(l).capacity;
+      const double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
+      score = std::max(score, (load + f.demand) / cap);
+    }
+    if (!restrict_to_unreserved && f.high_priority && reserved.count(r) > 0) {
+      score -= 1e-6;  // prefer the dedicated route on ties
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = r;
+      found = true;
+    }
+  }
+  MCCS_CHECK(found, "no admissible route for flow");
+  return best;
+}
+
+}  // namespace
+
+std::unordered_map<std::uint32_t, RouteMap> assign_flows(
+    const std::vector<AssignItem>& items, const cluster::Cluster& cluster,
+    const net::Routing& routing, const AssignOptions& options) {
+  // Per-item flow queues, drained round-robin across items for fairness.
+  std::vector<std::deque<PendingFlow>> queues(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    MCCS_EXPECTS(items[i].gpus_by_rank != nullptr && items[i].strategy != nullptr);
+    collect_flows(i, items[i], cluster, queues[i]);
+  }
+
+  std::vector<double> link_demand(cluster.topology().link_count(), 0.0);
+  // Per-item load, for the same-job collision penalty.
+  std::vector<std::vector<double>> item_demand(
+      items.size(), std::vector<double>(cluster.topology().link_count(), 0.0));
+  std::unordered_map<std::uint32_t, RouteMap> result;
+
+  // High-priority flows are fitted first (they may use any route, and prefer
+  // the reserved ones); then the rest, restricted to non-reserved routes.
+  for (const bool priority_pass : {true, false}) {
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].high_priority != priority_pass) continue;
+        auto& q = queues[i];
+        if (q.empty()) continue;
+        any = true;
+        PendingFlow f = std::move(q.front());
+        q.pop_front();
+        const std::uint32_t r = best_route(
+            f, routing, cluster, link_demand, item_demand[i],
+            options.reserved_routes, /*restrict_to_unreserved=*/!f.high_priority);
+        for (LinkId l : routing.paths(f.src, f.dst)[r]) {
+          link_demand[l.get()] += f.demand;
+          item_demand[i][l.get()] += f.demand;
+        }
+        result[items[i].comm.get()][f.route_key] = RouteId{r};
+      }
+    }
+  }
+  return result;
+}
+
+double measure_assign_seconds(const std::vector<AssignItem>& items,
+                              const cluster::Cluster& cluster,
+                              const net::Routing& routing) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = assign_flows(items, cluster, routing);
+  const auto t1 = std::chrono::steady_clock::now();
+  // Keep the result alive past the clock read.
+  volatile std::size_t sink = result.size();
+  (void)sink;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace mccs::policy

@@ -1,0 +1,56 @@
+#pragma once
+// Flow assignment policies (§4.3, examples #2 and #3).
+//
+// Once ring configurations are fixed, the set of inter-host flows (one RDMA
+// connection per channel per ring edge) is fully determined. ECMP may hash
+// several of them onto the same physical path; the provider instead assigns
+// each flow an explicit route:
+//
+//  * FFA (best-fit fair flow assignment) — Hedera-style greedy: each flow is
+//    placed on the path with minimal excess bandwidth demand, round-robining
+//    between applications for fairness;
+//  * PFA (priority flow assignment) — some routes are reserved for
+//    high-priority applications: low-priority flows are fitted using only
+//    non-reserved routes; high-priority flows pick the best route from all.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/ids.h"
+#include "mccs/strategy.h"
+#include "netsim/routing.h"
+
+namespace mccs::policy {
+
+/// One communicator whose flows need placement.
+struct AssignItem {
+  CommId comm;
+  AppId app;
+  const std::vector<GpuId>* gpus_by_rank = nullptr;
+  const svc::CommStrategy* strategy = nullptr;
+  bool high_priority = false;  ///< PFA only
+};
+
+struct AssignOptions {
+  /// Route indices reserved for high-priority apps (PFA). Empty => plain FFA.
+  std::unordered_set<std::uint32_t> reserved_routes;
+};
+
+/// Route map per communicator: CommStrategy::route_key -> RouteId.
+using RouteMap = std::unordered_map<std::uint64_t, RouteId>;
+
+/// Compute explicit routes for every inter-host connection of every item.
+/// Deterministic: same input, same placement.
+std::unordered_map<std::uint32_t, RouteMap> assign_flows(
+    const std::vector<AssignItem>& items, const cluster::Cluster& cluster,
+    const net::Routing& routing, const AssignOptions& options = {});
+
+/// Wall-clock cost of one assign_flows run, for the §6.5 claim that schedule
+/// computation stays around a millisecond and scales linearly with job size.
+double measure_assign_seconds(const std::vector<AssignItem>& items,
+                              const cluster::Cluster& cluster,
+                              const net::Routing& routing);
+
+}  // namespace mccs::policy

@@ -1,0 +1,62 @@
+#include "policy/ring_config.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace mccs::policy {
+
+std::vector<int> locality_aware_order(const std::vector<GpuId>& gpus_by_rank,
+                                      const cluster::Cluster& cluster) {
+  MCCS_EXPECTS(!gpus_by_rank.empty());
+  // Sort ranks by (pod, rack, host, local index): a stable chain that visits
+  // every host once, every rack contiguously.
+  std::vector<int> order(gpus_by_rank.size());
+  for (std::size_t r = 0; r < order.size(); ++r) order[r] = static_cast<int>(r);
+  auto key = [&](int rank) {
+    const GpuId g = gpus_by_rank[static_cast<std::size_t>(rank)];
+    const HostId h = cluster.host_of_gpu(g);
+    const auto& info = cluster.host(h);
+    return std::make_tuple(info.pod.get(), info.rack.get(), h.get(),
+                           cluster.local_index(g));
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return key(a) < key(b); });
+  return order;
+}
+
+svc::CommStrategy locality_aware_strategy(const std::vector<GpuId>& gpus_by_rank,
+                                          const cluster::Cluster& cluster) {
+  std::map<std::uint32_t, int> per_host;
+  int max_local = 1;
+  for (GpuId g : gpus_by_rank) {
+    max_local = std::max(max_local, ++per_host[cluster.host_of_gpu(g).get()]);
+  }
+  svc::CommStrategy s;
+  s.channel_orders = svc::make_channel_orders(
+      locality_aware_order(gpus_by_rank, cluster), gpus_by_rank, cluster,
+      max_local);
+  return s;
+}
+
+int cross_rack_edges(const std::vector<int>& order,
+                     const std::vector<GpuId>& gpus_by_rank,
+                     const cluster::Cluster& cluster) {
+  MCCS_EXPECTS(order.size() == gpus_by_rank.size());
+  const std::size_t n = order.size();
+  int crossings = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const GpuId a = gpus_by_rank[static_cast<std::size_t>(order[p])];
+    const GpuId b = gpus_by_rank[static_cast<std::size_t>(order[(p + 1) % n])];
+    if (cluster.rack_of_gpu(a) != cluster.rack_of_gpu(b)) ++crossings;
+  }
+  return crossings;
+}
+
+int optimal_cross_rack_edges(const std::vector<GpuId>& gpus_by_rank,
+                             const cluster::Cluster& cluster) {
+  return cross_rack_edges(locality_aware_order(gpus_by_rank, cluster),
+                          gpus_by_rank, cluster);
+}
+
+}  // namespace mccs::policy

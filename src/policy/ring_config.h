@@ -1,0 +1,41 @@
+#pragma once
+// Locality-aware ring configuration (§4.3, example #1).
+//
+// The ordering of hosts in a ring dictates the communication pattern; a ring
+// that zig-zags between racks pushes up to 2x (testbed) / 4x (4-hosts-per-
+// rack, Fig. 3) more flows through the oversubscribed leaf-spine links than
+// necessary. The provider groups the participant GPUs by host, hosts by
+// rack, racks by pod, and chains the groups sequentially, which touches each
+// rack boundary exactly once around the ring.
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/ids.h"
+#include "mccs/strategy.h"
+
+namespace mccs::policy {
+
+/// Rank ordering (order[p] = rank at ring position p) that chains GPUs
+/// host-by-host, hosts rack-by-rack, racks pod-by-pod.
+std::vector<int> locality_aware_order(const std::vector<GpuId>& gpus_by_rank,
+                                      const cluster::Cluster& cluster);
+
+/// Full strategy: locality-aware base order expanded into per-channel rings
+/// (one channel per NIC on the communicator's busiest host). Routes are left
+/// empty (ECMP) — flow assignment is a separate policy.
+svc::CommStrategy locality_aware_strategy(const std::vector<GpuId>& gpus_by_rank,
+                                          const cluster::Cluster& cluster);
+
+/// Number of ring edges that cross a rack boundary under `order` — the
+/// numerator of Fig. 3's cross-rack ratio.
+int cross_rack_edges(const std::vector<int>& order,
+                     const std::vector<GpuId>& gpus_by_rank,
+                     const cluster::Cluster& cluster);
+
+/// Cross-rack edges of the optimal (locality-aware) ring for these GPUs —
+/// the denominator of Fig. 3's cross-rack ratio.
+int optimal_cross_rack_edges(const std::vector<GpuId>& gpus_by_rank,
+                             const cluster::Cluster& cluster);
+
+}  // namespace mccs::policy

@@ -1,0 +1,149 @@
+#include "policy/traffic_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mccs::policy {
+
+CommPattern analyze_comm_pattern(const std::vector<svc::TraceRecord>& trace) {
+  // Use rank-0 records of the communicator with the most records: the
+  // dominant training loop.
+  std::map<std::uint32_t, std::vector<const svc::TraceRecord*>> by_comm;
+  for (const auto& r : trace) {
+    if (r.rank == 0 && r.completed > 0.0) by_comm[r.comm.get()].push_back(&r);
+  }
+  const std::vector<const svc::TraceRecord*>* records = nullptr;
+  for (const auto& [comm, recs] : by_comm) {
+    if (records == nullptr || recs.size() > records->size()) records = &recs;
+  }
+  if (records == nullptr || records->size() < 6) return {};
+
+  auto recs = *records;
+  std::sort(recs.begin(), recs.end(),
+            [](const svc::TraceRecord* a, const svc::TraceRecord* b) {
+              return a->issued < b->issued;
+            });
+
+  // Group records into bursts: a gap larger than the median inter-issue gap
+  // times 4 starts a new burst (an iteration boundary).
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    gaps.push_back(recs[i]->issued - recs[i - 1]->issued);
+  }
+  std::vector<double> sorted_gaps = gaps;
+  std::sort(sorted_gaps.begin(), sorted_gaps.end());
+  const double median_gap = sorted_gaps[sorted_gaps.size() / 2];
+  const double burst_threshold = std::max(median_gap * 4.0, 1e-9);
+
+  struct Burst {
+    Time begin;
+    Time end;
+  };
+  std::vector<Burst> bursts;
+  bursts.push_back({recs[0]->issued, recs[0]->completed});
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    if (recs[i]->issued - recs[i - 1]->issued > burst_threshold) {
+      bursts.push_back({recs[i]->issued, recs[i]->completed});
+    } else {
+      bursts.back().end = std::max(bursts.back().end, recs[i]->completed);
+    }
+  }
+  if (bursts.size() < 3) return {};
+
+  // Period: median of burst-start differences.
+  std::vector<double> periods;
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    periods.push_back(bursts[i].begin - bursts[i - 1].begin);
+  }
+  std::sort(periods.begin(), periods.end());
+  const double period = periods[periods.size() / 2];
+  if (period <= 0.0) return {};
+
+  // Busy window: longest observed burst, phase-anchored at the last burst.
+  double busy = 0.0;
+  for (const Burst& b : bursts) busy = std::max(busy, b.end - b.begin);
+  busy = std::min(busy, period);
+
+  CommPattern p;
+  p.period = period;
+  p.t0 = bursts.back().begin;
+  p.busy_begin = 0.0;
+  p.busy_end = busy;
+  return p;
+}
+
+svc::TrafficSchedule complement_of_busy(const std::vector<svc::TraceRecord>& trace,
+                                        Time period, Time t0, Time guard) {
+  MCCS_EXPECTS(period > 0.0);
+  // Fold busy intervals into [0, period).
+  struct Interval {
+    double begin;
+    double end;
+  };
+  // Fold only the recent past: older iterations (possibly from a different
+  // contention regime) would smear the busy set over the whole period.
+  const Time lookback = t0 - 3.0 * period;
+  std::vector<Interval> busy;
+  for (const auto& r : trace) {
+    if (r.rank != 0 || r.completed <= 0.0) continue;
+    // Busy means the collective was on the wire: [started, completed].
+    // (Asynchronous apps enqueue whole iterations at once, so `issued`
+    // timestamps clump at iteration starts.)
+    if (r.started < lookback || r.started > t0 + period) continue;
+    double b = std::fmod(r.started - guard - t0, period);
+    if (b < 0.0) b += period;  // records before the anchor wrap backwards
+    double len = (r.completed + guard) - (r.started - guard);
+    len = std::min(len, period);
+    if (b + len <= period) {
+      busy.push_back({b, b + len});
+    } else {  // wraps
+      busy.push_back({b, period});
+      busy.push_back({0.0, b + len - period});
+    }
+  }
+  svc::TrafficSchedule s;
+  s.t0 = t0;
+  s.period = period;
+  if (busy.empty()) {
+    s.allowed.push_back({0.0, period});  // prio never communicates: all open
+    return s;
+  }
+  std::sort(busy.begin(), busy.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  // Merge and complement.
+  std::vector<Interval> merged;
+  for (const Interval& iv : busy) {
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  double cursor = 0.0;
+  for (const Interval& iv : merged) {
+    if (iv.begin > cursor) s.allowed.push_back({cursor, iv.begin});
+    cursor = std::max(cursor, iv.end);
+  }
+  if (cursor < period) s.allowed.push_back({cursor, period});
+  // Drop slivers the gating machinery cannot use.
+  std::erase_if(s.allowed, [](const svc::TrafficSchedule::Window& w) {
+    return w.end - w.begin < 1e-4;
+  });
+  return s;
+}
+
+svc::TrafficSchedule idle_window_schedule(const CommPattern& pattern, Time guard) {
+  MCCS_EXPECTS(pattern.valid());
+  svc::TrafficSchedule s;
+  s.t0 = pattern.t0;
+  s.period = pattern.period;
+  const Time open = std::min(pattern.busy_end + guard, pattern.period);
+  const Time close = pattern.period;
+  if (open < close) {
+    s.allowed.push_back({open, close});
+  }
+  return s;
+}
+
+}  // namespace mccs::policy

@@ -1,0 +1,48 @@
+#pragma once
+// Traffic scheduling QoS policy (§4.3, example #4; CASSINI-inspired).
+//
+// The controller pulls the prioritised application's collective trace from
+// the MCCS management API, estimates its iteration period and the busy
+// (communicating) interval within each period, and hands the *complement*
+// of that interval to every other tenant as their permitted send window —
+// interleaving the tenants' traffic in time.
+
+#include <vector>
+
+#include "common/units.h"
+#include "mccs/trace.h"
+#include "mccs/transport_engine.h"
+
+namespace mccs::policy {
+
+/// Periodic communication pattern extracted from a trace.
+struct CommPattern {
+  Time period = 0.0;      ///< iteration length
+  Time busy_begin = 0.0;  ///< offset of the first communication in a period
+  Time busy_end = 0.0;    ///< offset of the last communication's completion
+  Time t0 = 0.0;          ///< phase reference (start of an observed period)
+  [[nodiscard]] bool valid() const { return period > 0.0; }
+};
+
+/// Estimate the iteration period and busy window from trace records of one
+/// application (uses rank-0 records of the largest communicator). Needs at
+/// least three iterations to lock on; returns an invalid pattern otherwise.
+CommPattern analyze_comm_pattern(const std::vector<svc::TraceRecord>& trace);
+
+/// Build the schedule that confines *other* tenants to the prioritised
+/// app's idle cycles. `guard` shrinks the window on both sides to absorb
+/// phase jitter.
+svc::TrafficSchedule idle_window_schedule(const CommPattern& pattern,
+                                          Time guard = 0.0);
+
+/// Offline-profile variant (§5: "we manually profile applications offline"):
+/// given the app's iteration `period` (e.g., measured by the administrator),
+/// fold every traced [issued, completed] interval of the app's collectives
+/// into one period (anchored at `t0`), merge, pad by `guard`, and return the
+/// complement as the permitted windows for other tenants. Handles workloads
+/// whose communication is interleaved with compute within an iteration
+/// (tensor parallelism) where burst inference cannot.
+svc::TrafficSchedule complement_of_busy(const std::vector<svc::TraceRecord>& trace,
+                                        Time period, Time t0, Time guard = 0.0);
+
+}  // namespace mccs::policy

@@ -1,0 +1,128 @@
+#pragma once
+// Deterministic discrete-event simulation kernel.
+//
+// Every component of the reproduction (network flows, GPU kernels, MCCS
+// engines, controller policies) advances on a single EventLoop. Events
+// scheduled for the same virtual time fire in schedule order, which makes
+// entire experiments bit-reproducible — a property the tests for the Fig.-4
+// reconfiguration protocol rely on to replay message races.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mccs::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle used to cancel a scheduled event.
+  struct Handle {
+    std::uint64_t id = 0;
+    [[nodiscard]] bool valid() const { return id != 0; }
+  };
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `t` (>= now).
+  Handle schedule_at(Time t, Callback cb) {
+    MCCS_EXPECTS(t >= now_);
+    const std::uint64_t id = ++next_id_;
+    callbacks_.emplace(id, std::move(cb));
+    queue_.push(Entry{t, id});
+    return Handle{id};
+  }
+
+  /// Schedule `cb` after a relative delay `dt` (>= 0).
+  Handle schedule_after(Time dt, Callback cb) {
+    MCCS_EXPECTS(dt >= 0.0);
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a harmless no-op (the common case when a completion event races
+  /// a rate change).
+  void cancel(Handle h) { callbacks_.erase(h.id); }
+
+  /// Whether an event handle is still pending.
+  [[nodiscard]] bool pending(Handle h) const { return callbacks_.count(h.id) > 0; }
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+
+  /// Run the next event. Returns false when no events remain.
+  bool step() {
+    while (!queue_.empty()) {
+      const Entry e = queue_.top();
+      queue_.pop();
+      auto it = callbacks_.find(e.id);
+      if (it == callbacks_.end()) continue;  // cancelled
+      Callback cb = std::move(it->second);
+      callbacks_.erase(it);
+      MCCS_CHECK(e.time >= now_, "event loop time went backwards");
+      now_ = e.time;
+      cb();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(Time t) {
+    MCCS_EXPECTS(t >= now_);
+    while (!queue_.empty()) {
+      // Skip cancelled entries at the head so peeking sees a live event.
+      const Entry e = queue_.top();
+      if (callbacks_.count(e.id) == 0) {
+        queue_.pop();
+        continue;
+      }
+      if (e.time > t) break;
+      step();
+    }
+    now_ = t;
+  }
+
+  /// Run until `pred()` is true or no events remain. Returns pred().
+  bool run_while_pending(const std::function<bool()>& pred) {
+    while (!pred()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t id;  // schedule order; breaks time ties deterministically
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_id_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace mccs::sim

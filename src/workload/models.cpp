@@ -1,0 +1,134 @@
+#include "workload/models.h"
+
+namespace mccs::workload {
+
+TrainingModelSpec vgg19_data_parallel() {
+  TrainingModelSpec m;
+  m.name = "VGG-19/DP";
+  m.parallelism = Parallelism::kDataParallel;
+  // 143.7M fp32 parameters -> ~574.8 MB of gradients in 25 MB DDP buckets
+  // (the last bucket takes the remainder).
+  const Bytes total_grads = 574'800'000;
+  const Bytes bucket = 25'000'000;
+  Bytes left = total_grads;
+  while (left > 0) {
+    const Bytes b = left > bucket ? bucket : left;
+    m.grad_buckets.push_back(b);
+    left -= b;
+  }
+  m.layers = static_cast<int>(m.grad_buckets.size());
+  m.forward_compute = millis(35);
+  m.backward_compute = millis(70);
+  m.optimizer_compute = millis(10);
+  m.h2d_bytes_per_iter = 90_MB;  // input images
+  m.input_stall = millis(4);
+  return m;
+}
+
+TrainingModelSpec gpt27b_tensor_parallel() {
+  TrainingModelSpec m;
+  m.name = "GPT-2.7B/TP";
+  m.parallelism = Parallelism::kTensorParallel;
+  m.layers = 32;
+  // Finetune micro-batch: activations ~ batch(2) x seq(640) x hidden(2560) x
+  // 2B (fp16) = 6 MB per activation AllReduce; 2 per layer per pass. Compute
+  // dominates per layer (finetuning is compute-bound), which leaves the idle
+  // cycles the traffic-scheduling policy interleaves other tenants into.
+  m.tp_activation_bytes = 6'291'456;
+  m.tp_collectives_per_layer = 2;
+  m.forward_compute = millis(96);   // 3 ms per layer
+  m.backward_compute = millis(192);
+  m.optimizer_compute = millis(10);
+  m.h2d_bytes_per_iter = 8_MB;  // token batches are small
+  m.input_stall = millis(1);
+  return m;
+}
+
+TrainingModelSpec resnet50_ddp() {
+  TrainingModelSpec m;
+  m.name = "ResNet-50/DDP";
+  m.parallelism = Parallelism::kDataParallel;
+  // The paper's simulation uses a 100 MB model (§6.5), AllReduced per
+  // iteration in 25 MB buckets.
+  for (int i = 0; i < 4; ++i) m.grad_buckets.push_back(25'000'000);
+  m.layers = 4;
+  m.forward_compute = millis(30);
+  m.backward_compute = millis(60);
+  m.optimizer_compute = millis(8);
+  m.h2d_bytes_per_iter = 64_MB;
+  m.input_stall = millis(3);
+  return m;
+}
+
+TrainingModelSpec gpt_pipeline_parallel() {
+  TrainingModelSpec m;
+  m.name = "GPT/PP";
+  m.parallelism = Parallelism::kPipelineParallel;
+  m.layers = 8;  // layers per stage
+  m.pp_microbatches = 4;
+  // Activation per microbatch crossing a stage boundary:
+  // batch(1) x seq(1024) x hidden(2560) x 2B = 5 MB.
+  m.pp_activation_bytes = 5'242'880;
+  m.forward_compute = millis(48);   // per stage, all microbatches
+  m.backward_compute = millis(96);
+  m.optimizer_compute = millis(8);
+  m.h2d_bytes_per_iter = 4_MB;
+  m.input_stall = millis(1);
+  return m;
+}
+
+TrainingModelSpec moe_expert_parallel() {
+  TrainingModelSpec m;
+  m.name = "MoE/EP";
+  m.parallelism = Parallelism::kExpertParallel;
+  m.layers = 8;  // MoE layers
+  // Tokens routed to each expert per AllToAll: tokens(1024) x hidden(2560) x
+  // 2B / experts(=ranks) — per-peer block of ~1.3 MB at 4-way EP.
+  m.moe_tokens_per_peer_bytes = 1'310'720;
+  m.forward_compute = millis(56);
+  m.backward_compute = millis(112);
+  m.optimizer_compute = millis(8);
+  m.h2d_bytes_per_iter = 4_MB;
+  m.input_stall = millis(1);
+  return m;
+}
+
+std::vector<TrainingModelSpec> production_model_groups() {
+  // Four anonymised product groups (Fig. 2) with different balances:
+  // ranking models are memcpy/input heavy; content-understanding models are
+  // compute heavy; large recommenders are communication heavy.
+  std::vector<TrainingModelSpec> groups;
+
+  {  // Group A: communication-heavy recommender.
+    TrainingModelSpec m = vgg19_data_parallel();
+    m.name = "GroupA";
+    m.forward_compute = millis(25);
+    m.backward_compute = millis(50);
+    m.input_stall = millis(10);
+    groups.push_back(m);
+  }
+  {  // Group B: balanced vision model.
+    TrainingModelSpec m = resnet50_ddp();
+    m.name = "GroupB";
+    groups.push_back(m);
+  }
+  {  // Group C: compute-dominated language model.
+    TrainingModelSpec m = gpt27b_tensor_parallel();
+    m.name = "GroupC";
+    m.forward_compute = millis(120);
+    m.backward_compute = millis(240);
+    groups.push_back(m);
+  }
+  {  // Group D: input-bound ranking model (heavy memcpy + idle).
+    TrainingModelSpec m = resnet50_ddp();
+    m.name = "GroupD";
+    m.h2d_bytes_per_iter = 512_MB;
+    m.input_stall = millis(25);
+    m.forward_compute = millis(20);
+    m.backward_compute = millis(40);
+    groups.push_back(m);
+  }
+  return groups;
+}
+
+}  // namespace mccs::workload

@@ -1,0 +1,111 @@
+#pragma once
+// Traffic generator (§6.1): replays a training model's iteration structure
+// through the MCCS shim — the C++ equivalent of the paper's Rust traffic
+// generator driven by profiled traces.
+//
+// Data-parallel jobs overlap communication with the backward pass the way
+// DDP does: backward compute slices run on the compute stream, each gradient
+// bucket's AllReduce is issued on a separate app stream ordered after its
+// slice via GPU events, and the optimizer waits for all buckets. Tensor-
+// parallel jobs alternate per-layer compute and activation AllReduces on one
+// stream (communication on the critical path).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mccs/fabric.h"
+#include "policy/controller.h"
+#include "workload/models.h"
+
+namespace mccs::workload {
+
+/// Per-iteration time breakdown, Fig. 2 style.
+struct BreakdownReport {
+  double compute_frac = 0.0;
+  double memcpy_frac = 0.0;
+  double comm_frac = 0.0;  ///< exposed (non-overlapped) communication
+  double idle_frac = 0.0;
+};
+
+class TrainingJob {
+ public:
+  struct Options {
+    int iterations = 10;
+  };
+
+  TrainingJob(svc::Fabric& fabric, AppId app, std::vector<GpuId> gpus,
+              TrainingModelSpec model, Options options);
+
+  TrainingJob(const TrainingJob&) = delete;
+  TrainingJob& operator=(const TrainingJob&) = delete;
+
+  /// Create the communicator and start iterating. `on_complete` fires when
+  /// every rank has finished all iterations. Asynchronous: the caller runs
+  /// the fabric's event loop.
+  void start(std::function<void(Time)> on_complete = {});
+
+  [[nodiscard]] bool finished() const { return finished_ranks_ == nranks(); }
+  [[nodiscard]] Time start_time() const { return start_time_; }
+  [[nodiscard]] Time completion_time() const { return completion_time_; }
+  /// Rank-0 iteration end timestamps.
+  [[nodiscard]] const std::vector<Time>& iteration_end_times() const {
+    return iteration_ends_;
+  }
+  [[nodiscard]] const TrainingModelSpec& model() const { return model_; }
+  [[nodiscard]] AppId app() const { return app_; }
+  [[nodiscard]] CommId comm() const { return comm_; }
+
+  /// Iterations completed (rank 0) in the half-open window [a, b).
+  [[nodiscard]] int iterations_in_window(Time a, Time b) const;
+
+  /// Fig.-2-style fractions over the whole run (rank 0's streams).
+  [[nodiscard]] BreakdownReport breakdown() const;
+
+ private:
+  struct Rank {
+    svc::Shim* shim = nullptr;
+    gpu::Stream* compute = nullptr;
+    gpu::Stream* comm = nullptr;  ///< app-side stream collectives ride on
+    std::vector<gpu::DevicePtr> buffers;
+    std::vector<gpu::DevicePtr> aux_buffers;  ///< second buffer set (PP in / EP recv)
+    int iteration = 0;
+  };
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(gpus_.size()); }
+  void begin_iteration(int rank);
+  void enqueue_iteration(int rank);
+  void enqueue_pipeline_iteration(int rank);
+  void enqueue_expert_iteration(int rank);
+  void on_iteration_done(int rank);
+
+  svc::Fabric* fabric_;
+  AppId app_;
+  std::vector<GpuId> gpus_;
+  TrainingModelSpec model_;
+  Options options_;
+
+  CommId comm_;
+  std::vector<Rank> ranks_;
+  int ready_ranks_ = 0;
+  int finished_ranks_ = 0;
+  Time start_time_ = 0.0;
+  Time completion_time_ = 0.0;
+  std::vector<Time> iteration_ends_;
+  std::function<void(Time)> on_complete_;
+};
+
+/// Administrator loop for traffic-scheduling QoS: profile `prio_job`'s
+/// iteration period from its recent iteration timestamps and confine
+/// `others` to the complement of its busy intervals, re-anchoring every
+/// `interval` (the prioritised job's phase drifts as TS speeds it up).
+/// Stops automatically when the prioritised job finishes (and lifts the
+/// schedule). Returns immediately; runs on the fabric's event loop.
+void run_periodic_traffic_scheduling(svc::Fabric& fabric,
+                                     policy::Controller& controller,
+                                     const TrainingJob& prio_job,
+                                     std::vector<AppId> others,
+                                     Time interval = seconds(0.25),
+                                     Time guard = millis(0.5));
+
+}  // namespace mccs::workload

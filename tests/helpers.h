@@ -1,0 +1,68 @@
+#pragma once
+// Shared test utilities: synchronous wrappers that drive the event loop
+// until asynchronous service operations (communicator bootstrap, collective
+// completion) finish.
+
+#include <functional>
+#include <vector>
+
+#include "mccs/fabric.h"
+
+namespace mccs::test {
+
+/// Create a communicator over `gpus` (rank r = gpus[r]) for one app and run
+/// the loop until every rank's service installed it.
+inline CommId create_comm(svc::Fabric& fabric, AppId app,
+                          const std::vector<GpuId>& gpus) {
+  const svc::UniqueId uid = fabric.new_unique_id();
+  int ready = 0;
+  CommId comm;
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    svc::Shim& shim = fabric.connect(app, gpus[r]);
+    shim.comm_init_rank(uid, static_cast<int>(gpus.size()), static_cast<int>(r),
+                        [&ready, &comm](CommId id) {
+                          comm = id;
+                          ++ready;
+                        });
+  }
+  const bool ok = fabric.loop().run_while_pending(
+      [&] { return ready == static_cast<int>(gpus.size()); });
+  MCCS_CHECK(ok, "communicator bootstrap did not complete");
+  return comm;
+}
+
+/// Per-rank context for collective tests.
+struct RankCtx {
+  svc::Shim* shim = nullptr;
+  gpu::Stream* stream = nullptr;
+};
+
+/// Connect shims and create one app stream per rank.
+inline std::vector<RankCtx> make_ranks(svc::Fabric& fabric, AppId app,
+                                       const std::vector<GpuId>& gpus) {
+  std::vector<RankCtx> out;
+  out.reserve(gpus.size());
+  for (GpuId g : gpus) {
+    svc::Shim& shim = fabric.connect(app, g);
+    out.push_back(RankCtx{&shim, &shim.create_app_stream()});
+  }
+  return out;
+}
+
+/// Run the loop until `remaining` drops to zero (collective completions
+/// decrement it) or the loop drains; returns true on success.
+inline bool await(svc::Fabric& fabric, const int& remaining) {
+  return fabric.loop().run_while_pending([&] { return remaining == 0; });
+}
+
+/// Fill a device buffer with a deterministic per-rank pattern.
+template <class T>
+void fill_pattern(svc::Fabric& fabric, gpu::DevicePtr ptr, std::size_t count,
+                  int rank, int salt = 0) {
+  auto span = fabric.gpus().typed<T>(ptr, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    span[i] = static_cast<T>((rank + 1) * 1000 + static_cast<int>(i % 977) + salt);
+  }
+}
+
+}  // namespace mccs::test

@@ -1,0 +1,130 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mccs::sim {
+namespace {
+
+TEST(EventLoop, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0.0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, SameTimeEventsRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleAfterIsRelative) {
+  EventLoop loop;
+  double fired_at = -1.0;
+  loop.schedule_at(5.0, [&] {
+    loop.schedule_after(2.5, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  auto h = loop.schedule_at(1.0, [&] { fired = true; });
+  loop.cancel(h);
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelIsIdempotentAndSafeAfterFire) {
+  EventLoop loop;
+  auto h = loop.schedule_at(1.0, [] {});
+  loop.run();
+  loop.cancel(h);  // no crash
+  loop.cancel(h);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, PendingReflectsLiveEvents) {
+  EventLoop loop;
+  auto h = loop.schedule_at(1.0, [] {});
+  EXPECT_TRUE(loop.pending(h));
+  loop.cancel(h);
+  EXPECT_FALSE(loop.pending(h));
+}
+
+TEST(EventLoop, RunUntilAdvancesClockExactly) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(5.0, [&] { ++fired; });
+  loop.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RunUntilSkipsCancelledHead) {
+  EventLoop loop;
+  bool fired = false;
+  auto h = loop.schedule_at(1.0, [] {});
+  loop.schedule_at(2.0, [&] { fired = true; });
+  loop.cancel(h);
+  loop.run_until(2.5);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, SchedulingInThePastThrows) {
+  EventLoop loop;
+  loop.schedule_at(2.0, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(1.0, [] {}), ContractViolation);
+}
+
+TEST(EventLoop, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 100) loop.schedule_after(0.001, recur);
+  };
+  loop.schedule_after(0.0, recur);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(loop.now(), 0.099, 1e-9);
+}
+
+TEST(EventLoop, RunWhilePendingStopsAtPredicate) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) loop.schedule_at(i, [&] { ++count; });
+  const bool ok = loop.run_while_pending([&] { return count == 5; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventLoop, RunWhilePendingReturnsFalseWhenDrained) {
+  EventLoop loop;
+  loop.schedule_at(1.0, [] {});
+  EXPECT_FALSE(loop.run_while_pending([] { return false; }));
+}
+
+}  // namespace
+}  // namespace mccs::sim

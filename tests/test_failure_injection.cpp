@@ -1,0 +1,171 @@
+// Failure-injection tests: the service must fail loudly — or degrade to a
+// quiescent, recoverable state — under control-plane and tenant failures, and a
+// failing tenant must never affect another tenant's traffic.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "helpers.h"
+#include "mccs/fabric.h"
+
+namespace mccs {
+namespace {
+
+using coll::DataType;
+using coll::ReduceOp;
+using svc::Fabric;
+using test::await;
+using test::create_comm;
+using test::make_ranks;
+
+struct FailureFixture : ::testing::Test {
+  Fabric fabric{cluster::make_testbed()};
+  AppId app{1};
+  std::vector<GpuId> gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  CommId comm;
+  std::vector<test::RankCtx> ranks;
+  std::vector<gpu::DevicePtr> buf;
+  std::size_t count = 512;
+
+  void SetUp() override {
+    comm = create_comm(fabric, app, gpus);
+    ranks = make_ranks(fabric, app, gpus);
+    buf.resize(gpus.size());
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      buf[r] = ranks[r].shim->alloc(count * sizeof(float));
+      auto s = fabric.gpus().typed<float>(buf[r], count);
+      for (auto& x : s) x = 1.0f;
+    }
+  }
+
+  void issue_round(int& remaining) {
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      ranks[r].shim->all_reduce(comm, buf[r], buf[r], count, DataType::kFloat32,
+                                ReduceOp::kSum, *ranks[r].stream,
+                                [&remaining](Time) { --remaining; });
+    }
+  }
+};
+
+TEST_F(FailureFixture, PartialReconfigDeliveryQuiescesAndLateDeliveryRecovers) {
+  // The controller crashes after delivering the command to 3 of 4 ranks:
+  // those ranks contribute to the barrier and hold new launches; the system
+  // quiesces (no corruption, no spin). Re-delivering to the last rank later
+  // (the restarted controller) completes the barrier and everything held
+  // drains correctly.
+  svc::CommStrategy rev = fabric.strategy_of(comm);
+  for (auto& o : rev.channel_orders) o = o.reversed();
+
+  int r1 = 4;
+  issue_round(r1);
+  // Inject: rank 3's command delayed "forever" (far beyond the test window).
+  fabric.reconfigure(comm, rev, {0.0, 0.0, 0.0, seconds(10.0)});
+  int r2 = 4;
+  issue_round(r2);
+
+  // With the command racing the issues, the ranks that saw it hold every
+  // launch until the barrier completes — which needs rank 3's contribution.
+  // The system quiesces: nothing completes, nothing corrupts, no spinning.
+  fabric.loop().run_until(seconds(1.0));
+  EXPECT_GT(r1 + r2, 0) << "collectives completed before the barrier";
+  for (GpuId g : gpus) {
+    if (g == gpus[3]) continue;
+    EXPECT_TRUE(fabric.proxy_for(g).reconfig_in_progress(comm));
+  }
+
+  // Late delivery at t=10 s (the restarted controller) recovers everything.
+  ASSERT_TRUE(fabric.loop().run_while_pending(
+      [&] { return r1 == 0 && r2 == 0; }));
+  fabric.loop().run();
+  for (GpuId g : gpus) {
+    EXPECT_FALSE(fabric.proxy_for(g).reconfig_in_progress(comm));
+    EXPECT_TRUE(fabric.proxy_for(g).strategy(comm) == rev);
+  }
+  // Sums: two rounds of x4.
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    auto out = fabric.gpus().typed<float>(buf[r], count);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_FLOAT_EQ(out[i], 16.0f);
+  }
+}
+
+TEST_F(FailureFixture, StalledTenantDoesNotAffectOtherTenants) {
+  // Tenant A wedges itself (rank 0 never issues); tenant B shares the same
+  // hosts and links and must be completely unaffected.
+  int a_remaining = 3;
+  for (std::size_t r = 1; r < gpus.size(); ++r) {  // rank 0 missing!
+    ranks[r].shim->all_reduce(comm, buf[r], buf[r], count, DataType::kFloat32,
+                              ReduceOp::kSum, *ranks[r].stream,
+                              [&a_remaining](Time) { --a_remaining; });
+  }
+
+  const AppId app_b{2};
+  const std::vector<GpuId> gpus_b{GpuId{1}, GpuId{3}, GpuId{5}, GpuId{7}};
+  const CommId comm_b = create_comm(fabric, app_b, gpus_b);
+  auto ranks_b = make_ranks(fabric, app_b, gpus_b);
+  std::vector<gpu::DevicePtr> buf_b(4);
+  std::vector<float> expected(count, 0.0f);
+  for (std::size_t r = 0; r < 4; ++r) {
+    buf_b[r] = ranks_b[r].shim->alloc(count * sizeof(float));
+    test::fill_pattern<float>(fabric, buf_b[r], count, static_cast<int>(r));
+    auto s = fabric.gpus().typed<float>(buf_b[r], count);
+    for (std::size_t i = 0; i < count; ++i) expected[i] += s[i];
+  }
+  int b_remaining = 4;
+  for (std::size_t r = 0; r < 4; ++r) {
+    ranks_b[r].shim->all_reduce(comm_b, buf_b[r], buf_b[r], count,
+                                DataType::kFloat32, ReduceOp::kSum,
+                                *ranks_b[r].stream,
+                                [&b_remaining](Time) { --b_remaining; });
+  }
+  ASSERT_TRUE(fabric.loop().run_while_pending([&] { return b_remaining == 0; }));
+  EXPECT_EQ(a_remaining, 3);  // A is still wedged...
+  for (std::size_t r = 0; r < 4; ++r) {
+    auto out = fabric.gpus().typed<float>(buf_b[r], count);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_FLOAT_EQ(out[i], expected[i]);
+  }
+}
+
+TEST_F(FailureFixture, TenantFreeingBufferMidCollectiveFailsLoudly) {
+  // A buggy tenant frees a buffer while its collective is still in flight:
+  // the service must detect the dangling access, not silently corrupt.
+  int remaining = 4;
+  issue_round(remaining);
+  ranks[0].shim->free(buf[0]);
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(FailureFixture, ReconfigDuringDrainToleratesSlowRanks) {
+  // One rank's app thread is descheduled (its issues arrive very late);
+  // reconfigurations interleaved with its catch-up still preserve sums.
+  int r1 = 3;
+  for (std::size_t r = 0; r < 3; ++r) {
+    ranks[r].shim->all_reduce(comm, buf[r], buf[r], count, DataType::kFloat32,
+                              ReduceOp::kSum, *ranks[r].stream,
+                              [&r1](Time) { --r1; });
+  }
+  svc::CommStrategy rev = fabric.strategy_of(comm);
+  for (auto& o : rev.channel_orders) o = o.reversed();
+  fabric.reconfigure(comm, rev);
+  // Rank 3 wakes up 5 ms later and issues its half of the collective.
+  int r1_last = 1;
+  fabric.loop().schedule_at(millis(5), [&] {
+    ranks[3].shim->all_reduce(comm, buf[3], buf[3], count, DataType::kFloat32,
+                              ReduceOp::kSum, *ranks[3].stream,
+                              [&r1_last](Time) { --r1_last; });
+  });
+  ASSERT_TRUE(fabric.loop().run_while_pending(
+      [&] { return r1 == 0 && r1_last == 0; }));
+  fabric.loop().run();
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    auto out = fabric.gpus().typed<float>(buf[r], count);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_FLOAT_EQ(out[i], 4.0f);
+  }
+  for (GpuId g : gpus) {
+    EXPECT_TRUE(fabric.proxy_for(g).strategy(comm) == rev);
+  }
+}
+
+}  // namespace
+}  // namespace mccs

@@ -1,0 +1,303 @@
+#include "netsim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "netsim/routing.h"
+#include "netsim/topology.h"
+#include "sim/event_loop.h"
+
+namespace mccs::net {
+namespace {
+
+// Two hosts connected through one switch, 10 Gbps each way.
+struct SimplePair {
+  Topology topo;
+  NodeId a, b, sw;
+  SimplePair() {
+    a = topo.add_host("a", RackId{0});
+    b = topo.add_host("b", RackId{0});
+    sw = topo.add_switch(NodeKind::kLeafSwitch, "sw");
+    topo.add_duplex_link(a, sw, gbps(10));
+    topo.add_duplex_link(b, sw, gbps(10));
+  }
+};
+
+TEST(Topology, FindLinkReturnsAddedLinks) {
+  SimplePair t;
+  EXPECT_TRUE(t.topo.find_link(t.a, t.sw).valid());
+  EXPECT_TRUE(t.topo.find_link(t.sw, t.a).valid());
+  EXPECT_FALSE(t.topo.find_link(t.a, t.b).valid());
+}
+
+TEST(Topology, HostsListsOnlyHosts) {
+  SimplePair t;
+  const auto hosts = t.topo.hosts();
+  EXPECT_EQ(hosts.size(), 2u);
+}
+
+TEST(Routing, SingleShortestPath) {
+  SimplePair t;
+  Routing routing(t.topo);
+  const auto& ps = routing.paths(t.a, t.b);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].size(), 2u);  // a->sw, sw->b
+}
+
+TEST(Routing, SpineLeafEnumeratesAllSpinePaths) {
+  cluster::SpineLeafSpec spec;
+  spec.num_spines = 4;
+  spec.num_leaves = 2;
+  spec.hosts_per_leaf = 1;
+  spec.gpus_per_host = 1;
+  spec.nics_per_host = 1;
+  auto cl = cluster::make_spine_leaf(spec);
+  Routing routing(cl.topology());
+  const NodeId src = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId dst = cl.host(HostId{1}).nic_nodes[0];
+  const auto& ps = routing.paths(src, dst);
+  // One equal-cost path per spine.
+  EXPECT_EQ(ps.size(), 4u);
+  for (const auto& p : ps) EXPECT_EQ(p.size(), 4u);  // nic-leaf-spine-leaf-nic
+}
+
+TEST(Routing, SameRackPathDoesNotTouchSpines) {
+  auto cl = cluster::make_testbed();
+  Routing routing(cl.topology());
+  const NodeId src = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId dst = cl.host(HostId{1}).nic_nodes[0];  // same rack
+  const auto& ps = routing.paths(src, dst);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].size(), 2u);
+}
+
+TEST(Routing, RouteIdSelectsDeterministically) {
+  cluster::SpineLeafSpec spec;
+  spec.num_spines = 4;
+  spec.num_leaves = 2;
+  spec.hosts_per_leaf = 1;
+  auto cl = cluster::make_spine_leaf(spec);
+  Routing routing(cl.topology());
+  const NodeId src = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId dst = cl.host(HostId{1}).nic_nodes[0];
+  const auto& p0 = routing.by_route_id(src, dst, RouteId{0});
+  const auto& p1 = routing.by_route_id(src, dst, RouteId{1});
+  const auto& p4 = routing.by_route_id(src, dst, RouteId{4});  // wraps
+  EXPECT_NE(p0, p1);
+  EXPECT_EQ(p0, p4);
+}
+
+TEST(Routing, EcmpIsDeterministicPerKey) {
+  cluster::SpineLeafSpec spec;
+  spec.num_spines = 8;
+  spec.num_leaves = 2;
+  spec.hosts_per_leaf = 1;
+  auto cl = cluster::make_spine_leaf(spec);
+  Routing routing(cl.topology());
+  const NodeId src = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId dst = cl.host(HostId{1}).nic_nodes[0];
+  EXPECT_EQ(routing.by_ecmp(src, dst, 42), routing.by_ecmp(src, dst, 42));
+  // Different keys spread over multiple paths.
+  std::set<const Path*> seen;
+  for (std::uint64_t k = 0; k < 64; ++k) seen.insert(&routing.by_ecmp(src, dst, k));
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Network, SingleFlowGetsFullLinkRate) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time done = -1.0;
+  net.start_flow({.src = t.a,
+                  .dst = t.b,
+                  .size = 1250000000ull,  // 1.25e9 B = 1 s at 10 Gbps
+                  .on_complete = [&](FlowId, Time at) { done = at; }});
+  loop.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST(Network, TwoFlowsShareBottleneckFairly) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time d1 = -1, d2 = -1;
+  const Bytes size = 1250000000ull;  // 1 s alone
+  net.start_flow({.src = t.a, .dst = t.b, .size = size,
+                  .on_complete = [&](FlowId, Time at) { d1 = at; }});
+  net.start_flow({.src = t.a, .dst = t.b, .size = size,
+                  .on_complete = [&](FlowId, Time at) { d2 = at; }});
+  loop.run();
+  EXPECT_NEAR(d1, 2.0, 1e-6);
+  EXPECT_NEAR(d2, 2.0, 1e-6);
+}
+
+TEST(Network, ShorterFlowFinishesThenLongerSpeedsUp) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time d_small = -1, d_big = -1;
+  net.start_flow({.src = t.a, .dst = t.b, .size = 625000000ull,  // 0.5 s alone
+                  .on_complete = [&](FlowId, Time at) { d_small = at; }});
+  net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull,
+                  .on_complete = [&](FlowId, Time at) { d_big = at; }});
+  loop.run();
+  // Small: 0.5e9/ (B/2)... shares until done at t=1.0; big then finishes the
+  // remaining 0.625e9 at full rate: 1.0 + 0.5 = 1.5.
+  EXPECT_NEAR(d_small, 1.0, 1e-6);
+  EXPECT_NEAR(d_big, 1.5, 1e-6);
+}
+
+TEST(Network, RateCapLimitsFlow) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time done = -1;
+  net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull,
+                  .rate_cap = gbps(5),
+                  .on_complete = [&](FlowId, Time at) { done = at; }});
+  loop.run();
+  EXPECT_NEAR(done, 2.0, 1e-6);
+}
+
+TEST(Network, CapLeftoverGoesToOtherFlows) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time d1 = -1, d2 = -1;
+  net.start_flow({.src = t.a, .dst = t.b, .size = 250000000ull,  // capped at 2G
+                  .rate_cap = gbps(2),
+                  .on_complete = [&](FlowId, Time at) { d1 = at; }});
+  net.start_flow({.src = t.a, .dst = t.b, .size = 1000000000ull,  // gets 8G
+                  .on_complete = [&](FlowId, Time at) { d2 = at; }});
+  loop.run();
+  EXPECT_NEAR(d1, 1.0, 1e-6);
+  EXPECT_NEAR(d2, 1.0, 1e-6);
+}
+
+TEST(Network, BackgroundFlowHasStrictPriority) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  net.start_flow({.src = t.a, .dst = t.b, .background_demand = gbps(7.5), .on_complete = {}});
+  Time done = -1;
+  // Normal flow gets the residual 2.5 Gbps, not a fair half.
+  net.start_flow({.src = t.a, .dst = t.b, .size = 312500000ull,  // 1 s at 2.5G
+                  .on_complete = [&](FlowId, Time at) { done = at; }});
+  loop.run_until(5.0);
+  EXPECT_NEAR(done, 1.0, 1e-6);
+}
+
+TEST(Network, StartLatencyDelaysTransfer) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time done = -1;
+  net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull,
+                  .start_latency = 0.25,
+                  .on_complete = [&](FlowId, Time at) { done = at; }});
+  loop.run();
+  EXPECT_NEAR(done, 1.25, 1e-6);
+}
+
+TEST(Network, PauseFreezesProgressResumeContinues) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time done = -1;
+  const FlowId f = net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull,
+                                   .on_complete = [&](FlowId, Time at) { done = at; }});
+  loop.schedule_at(0.5, [&] { net.pause_flow(f); });
+  loop.schedule_at(1.5, [&] { net.resume_flow(f); });
+  loop.run();
+  EXPECT_NEAR(done, 2.0, 1e-6);
+}
+
+TEST(Network, CancelledFlowNeverCompletes) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  bool completed = false;
+  const FlowId f = net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull,
+                                   .on_complete = [&](FlowId, Time) { completed = true; }});
+  loop.schedule_at(0.5, [&] { net.cancel_flow(f); });
+  loop.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+TEST(Network, LinkThroughputSumsFlowRates) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull, .on_complete = {}});
+  net.start_flow({.src = t.a, .dst = t.b, .size = 1250000000ull, .on_complete = {}});
+  const LinkId l = t.topo.find_link(t.a, t.sw);
+  EXPECT_NEAR(net.link_throughput(l), gbps(10), 1.0);
+  EXPECT_EQ(net.link_flow_count(l), 2u);
+}
+
+TEST(Network, EcmpCollisionHalvesThroughputExplicitRoutesAvoidIt) {
+  // Two hosts, two equal-cost paths. With explicit distinct routes both
+  // flows run at full speed; a deliberate collision halves each.
+  cluster::SpineLeafSpec spec;
+  spec.num_spines = 2;
+  spec.num_leaves = 2;
+  spec.hosts_per_leaf = 1;
+  spec.nics_per_host = 2;
+  spec.nic_link = gbps(10);
+  spec.fabric_link = gbps(10);
+  auto cl = cluster::make_spine_leaf(spec);
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  const NodeId a0 = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId a1 = cl.host(HostId{0}).nic_nodes[1];
+  const NodeId b0 = cl.host(HostId{1}).nic_nodes[0];
+  const NodeId b1 = cl.host(HostId{1}).nic_nodes[1];
+
+  Time d1 = -1, d2 = -1;
+  const Bytes size = 1250000000ull;  // 1 s at 10G
+  net.start_flow({.src = a0, .dst = b0, .size = size, .route = RouteId{0},
+                  .on_complete = [&](FlowId, Time at) { d1 = at; }});
+  net.start_flow({.src = a1, .dst = b1, .size = size, .route = RouteId{1},
+                  .on_complete = [&](FlowId, Time at) { d2 = at; }});
+  loop.run();
+  EXPECT_NEAR(d1, 1.0, 1e-6);
+  EXPECT_NEAR(d2, 1.0, 1e-6);
+
+  // Now collide both on route 0: each leaf-spine link is shared.
+  d1 = d2 = -1;
+  const Time t0 = loop.now();
+  net.start_flow({.src = a0, .dst = b0, .size = size, .route = RouteId{0},
+                  .on_complete = [&](FlowId, Time at) { d1 = at - t0; }});
+  net.start_flow({.src = a1, .dst = b1, .size = size, .route = RouteId{0},
+                  .on_complete = [&](FlowId, Time at) { d2 = at - t0; }});
+  loop.run();
+  EXPECT_NEAR(d1, 2.0, 1e-6);
+  EXPECT_NEAR(d2, 2.0, 1e-6);
+}
+
+TEST(Network, MaxMinAllocationOnOversubscribedFabric) {
+  // Testbed: intra-rack flow (host0->host1) and cross-rack flow share
+  // nothing; cross-rack bottleneck is the 50G fabric link.
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  const NodeId h0 = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId h1 = cl.host(HostId{1}).nic_nodes[0];
+  const NodeId h2 = cl.host(HostId{2}).nic_nodes[0];
+  Time d_intra = -1, d_cross = -1;
+  const Bytes size = 6250000000ull;  // 1 s at 50G
+  net.start_flow({.src = h0, .dst = h1, .size = size, .route = RouteId{0},
+                  .on_complete = [&](FlowId, Time at) { d_intra = at; }});
+  net.start_flow({.src = h0, .dst = h2, .size = size, .route = RouteId{0},
+                  .on_complete = [&](FlowId, Time at) { d_cross = at; }});
+  loop.run();
+  // Both flows leave h0 via the same 50G NIC link -> share it.
+  EXPECT_NEAR(d_intra, 2.0, 1e-6);
+  EXPECT_NEAR(d_cross, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mccs::net

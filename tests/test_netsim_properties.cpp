@@ -1,0 +1,178 @@
+// Property and fuzz tests of the flow-level network simulator: capacity
+// conservation, max-min fairness certificates, and completion accounting
+// under randomized flow churn.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "netsim/network.h"
+#include "sim/event_loop.h"
+
+namespace mccs::net {
+namespace {
+
+struct FuzzFixture : ::testing::TestWithParam<std::uint64_t> {};
+
+/// No link may carry more than its capacity (within float tolerance).
+void assert_capacity_conserved(const Network& net, const Topology& topo) {
+  for (std::uint32_t l = 0; l < topo.link_count(); ++l) {
+    const LinkId id{l};
+    EXPECT_LE(net.link_throughput(id), topo.link(id).capacity * (1 + 1e-9))
+        << "link " << l << " oversubscribed";
+  }
+}
+
+TEST_P(FuzzFixture, RandomChurnConservesCapacityAndCompletesEveryFlow) {
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  Rng rng(GetParam());
+
+  const auto hosts = cl.topology().hosts();
+  int started = 0;
+  int completed = 0;
+
+  // 60 flows with random endpoints/sizes/latencies, random start times.
+  for (int i = 0; i < 60; ++i) {
+    loop.schedule_at(rng.uniform() * 0.05, [&, i] {
+      const NodeId src = hosts[rng.below(hosts.size())];
+      NodeId dst = hosts[rng.below(hosts.size())];
+      if (dst == src) dst = hosts[(dst.get() + 1) % hosts.size()];
+      FlowSpec spec;
+      spec.src = src;
+      spec.dst = dst;
+      spec.size = 1 + rng.below(200'000'000);
+      spec.ecmp_key = rng.engine()();
+      spec.start_latency = rng.uniform() * 1e-3;
+      if (rng.uniform() < 0.3) spec.rate_cap = gbps(5 + rng.uniform() * 40);
+      spec.on_complete = [&](FlowId, Time) { ++completed; };
+      net.start_flow(std::move(spec));
+      ++started;
+      (void)i;
+    });
+  }
+  // Sample capacity conservation at random instants during the churn.
+  for (int s = 0; s < 30; ++s) {
+    loop.schedule_at(0.001 + rng.uniform() * 0.2, [&] {
+      assert_capacity_conserved(net, cl.topology());
+    });
+  }
+  loop.run();
+  EXPECT_EQ(completed, started);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+TEST_P(FuzzFixture, MaxMinFairnessCertificate) {
+  // Static flow set: every (uncapped, unsatiated) flow must have a
+  // bottleneck link — a saturated link on its path where no other flow gets
+  // a strictly higher rate. This is the standard max-min optimality
+  // certificate.
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  Rng rng(GetParam() ^ 0xabcdef);
+  const auto hosts = cl.topology().hosts();
+
+  std::vector<FlowId> flows;
+  std::vector<double> caps;
+  for (int i = 0; i < 12; ++i) {
+    const NodeId src = hosts[rng.below(hosts.size())];
+    NodeId dst = hosts[rng.below(hosts.size())];
+    if (dst == src) dst = hosts[(dst.get() + 1) % hosts.size()];
+    FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = 1_GB;  // long-lived during the check
+    spec.ecmp_key = rng.engine()();
+    const bool capped = rng.uniform() < 0.25;
+    spec.rate_cap = capped ? gbps(3) : std::numeric_limits<Bandwidth>::infinity();
+    caps.push_back(spec.rate_cap);
+    flows.push_back(net.start_flow(std::move(spec)));
+  }
+
+  // Per-link rates.
+  std::map<std::uint32_t, std::vector<double>> link_rates;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (LinkId l : net.flow_path(flows[i])) {
+      link_rates[l.get()].push_back(net.flow_rate(flows[i]));
+    }
+  }
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double rate = net.flow_rate(flows[i]);
+    EXPECT_GT(rate, 0.0);
+    if (rate >= caps[i] * (1 - 1e-9)) continue;  // satisfied by its own cap
+    bool has_bottleneck = false;
+    for (LinkId l : net.flow_path(flows[i])) {
+      const double cap = cl.topology().link(l).capacity;
+      double sum = 0.0;
+      double max_rate = 0.0;
+      for (double r : link_rates[l.get()]) {
+        sum += r;
+        max_rate = std::max(max_rate, r);
+      }
+      if (sum >= cap * (1 - 1e-6) && rate >= max_rate * (1 - 1e-6)) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck)
+        << "flow " << i << " (rate " << rate << ") lacks a max-min bottleneck";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFixture,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+TEST(NetworkProperties, PausedFlowFreesBandwidthForOthers) {
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  const NodeId a = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId b = cl.host(HostId{1}).nic_nodes[0];
+  const FlowId f1 = net.start_flow({.src = a, .dst = b, .size = 10_GB, .on_complete = {}});
+  const FlowId f2 = net.start_flow({.src = a, .dst = b, .size = 10_GB, .on_complete = {}});
+  EXPECT_NEAR(net.flow_rate(f1), gbps(25), 1.0);
+  net.pause_flow(f1);
+  EXPECT_NEAR(net.flow_rate(f2), gbps(50), 1.0);
+  net.resume_flow(f1);
+  EXPECT_NEAR(net.flow_rate(f2), gbps(25), 1.0);
+}
+
+TEST(NetworkProperties, BackgroundDemandsShareProportionallyWhenOversubscribed) {
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  const NodeId a = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId b = cl.host(HostId{1}).nic_nodes[0];
+  // Two background flows demanding 40G each over a 50G NIC link: weighted
+  // max-min gives each 25G (equal demands).
+  const FlowId b1 = net.start_flow({.src = a, .dst = b, .background_demand = gbps(40), .on_complete = {}});
+  const FlowId b2 = net.start_flow({.src = a, .dst = b, .background_demand = gbps(40), .on_complete = {}});
+  EXPECT_NEAR(net.flow_rate(b1), gbps(25), 1.0);
+  EXPECT_NEAR(net.flow_rate(b2), gbps(25), 1.0);
+}
+
+TEST(NetworkProperties, FlowRemainingDecreasesMonotonically) {
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  Network net(loop, cl.topology());
+  const NodeId a = cl.host(HostId{0}).nic_nodes[0];
+  const NodeId b = cl.host(HostId{1}).nic_nodes[0];
+  const FlowId f = net.start_flow({.src = a, .dst = b, .size = 1_GB, .on_complete = {}});
+  Bytes prev = net.flow_remaining(f);
+  for (int i = 1; i <= 5; ++i) {
+    loop.run_until(i * 0.02);
+    if (!net.flow_active(f)) break;
+    const Bytes now = net.flow_remaining(f);
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace mccs::net

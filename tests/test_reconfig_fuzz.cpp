@@ -1,0 +1,113 @@
+// Randomized stress test of the reconfiguration protocol: bursts of in-place
+// AllReduces interleaved with reconfiguration commands whose per-rank
+// delivery delays, target strategies (reverse / rotate / algorithm flips)
+// and timing are all drawn from a seeded RNG. Safety property: every
+// collective completes and every sum is exact — which can only hold if no
+// sequence number ever executes under mixed configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "helpers.h"
+#include "mccs/fabric.h"
+
+namespace mccs {
+namespace {
+
+class ReconfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReconfigFuzz, RandomizedReconfigurationsNeverCorrupt) {
+  Rng rng(GetParam());
+  svc::Fabric::Options options;
+  options.seed = GetParam();
+  svc::Fabric fabric{cluster::make_testbed(), options};
+
+  const AppId app{1};
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  const CommId comm = test::create_comm(fabric, app, gpus);
+  auto ranks = test::make_ranks(fabric, app, gpus);
+
+  const std::size_t count = 512;
+  std::vector<gpu::DevicePtr> buf(4);
+  std::vector<double> expected(count, 0.0);
+  for (int r = 0; r < 4; ++r) {
+    buf[static_cast<std::size_t>(r)] =
+        ranks[static_cast<std::size_t>(r)].shim->alloc(count * sizeof(float));
+    test::fill_pattern<float>(fabric, buf[static_cast<std::size_t>(r)], count, r);
+    auto s = fabric.gpus().typed<float>(buf[static_cast<std::size_t>(r)], count);
+    for (std::size_t i = 0; i < count; ++i) expected[i] += s[i];
+  }
+
+  int completed = 0;
+  int issued = 0;
+  const int kOps = 40;
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.7 || op < 2) {
+      // One AllReduce across all ranks.
+      ++issued;
+      for (int r = 0; r < 4; ++r) {
+        auto& rk = ranks[static_cast<std::size_t>(r)];
+        rk.shim->all_reduce(comm, buf[static_cast<std::size_t>(r)],
+                            buf[static_cast<std::size_t>(r)], count,
+                            coll::DataType::kFloat32, coll::ReduceOp::kSum,
+                            *rk.stream, [&completed](Time) { ++completed; });
+      }
+    } else {
+      // A reconfiguration with random strategy mutation and random delays.
+      svc::CommStrategy s = fabric.strategy_of(comm);
+      const double mut = rng.uniform();
+      if (mut < 0.4) {
+        for (auto& o : s.channel_orders) o = o.reversed();
+      } else if (mut < 0.7) {
+        // Rotate the ring by a random amount.
+        for (auto& o : s.channel_orders) {
+          std::vector<int> v = o.order();
+          std::rotate(v.begin(),
+                      v.begin() + static_cast<std::ptrdiff_t>(1 + rng.below(v.size() - 1)),
+                      v.end());
+          o = coll::RingOrder(std::move(v));
+        }
+      } else {
+        s.algorithm = s.algorithm == coll::Algorithm::kRing
+                          ? coll::Algorithm::kTree
+                          : coll::Algorithm::kRing;
+        s.tree_pipeline_chunks = 1 + rng.below(6);
+      }
+      std::vector<Time> delays;
+      for (int r = 0; r < 4; ++r) delays.push_back(rng.uniform() * millis(2));
+      fabric.reconfigure(comm, std::move(s), std::move(delays));
+    }
+    // Occasionally let the system drain partially, so some reconfigurations
+    // hit an idle communicator and others hit a deep queue.
+    if (rng.uniform() < 0.3) {
+      fabric.loop().run_until(fabric.loop().now() + rng.uniform() * millis(3));
+    }
+  }
+
+  ASSERT_TRUE(
+      fabric.loop().run_while_pending([&] { return completed == issued * 4; }))
+      << "wedged: " << completed << "/" << issued * 4;
+  fabric.loop().run();
+
+  // Validate sums: issued in-place AllReduces multiply by 4 after the first.
+  for (int r = 0; r < 4; ++r) {
+    auto out = fabric.gpus().typed<float>(buf[static_cast<std::size_t>(r)], count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double want = expected[i] * std::pow(4.0, issued - 1);
+      ASSERT_NEAR(out[i], want, std::abs(want) * 1e-4)
+          << "seed " << GetParam() << " rank " << r << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigFuzz,
+                         ::testing::Values(11, 23, 57, 101, 333, 777, 2024,
+                                           31337));
+
+}  // namespace
+}  // namespace mccs

@@ -1,0 +1,157 @@
+// Error-path tests: the MCCS service is the multi-tenant trust boundary, so
+// misuse — bad rendezvous, invalid buffers, stale control commands,
+// lifecycle violations — must fail loudly and deterministically.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "helpers.h"
+#include "mccs/fabric.h"
+
+namespace mccs {
+namespace {
+
+using svc::Fabric;
+using test::create_comm;
+using test::make_ranks;
+
+struct MisuseFixture : ::testing::Test {
+  Fabric fabric{cluster::make_testbed()};
+  AppId app{1};
+};
+
+TEST_F(MisuseFixture, SameRankJoiningRendezvousTwiceThrows) {
+  const svc::UniqueId uid = fabric.new_unique_id();
+  fabric.connect(app, GpuId{0}).comm_init_rank(uid, 2, 0, {});
+  fabric.connect(app, GpuId{2}).comm_init_rank(uid, 2, 0, {});
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, DisagreeingCommunicatorSizeThrows) {
+  const svc::UniqueId uid = fabric.new_unique_id();
+  fabric.connect(app, GpuId{0}).comm_init_rank(uid, 2, 0, {});
+  fabric.connect(app, GpuId{2}).comm_init_rank(uid, 3, 1, {});
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, CommunicatorSpanningTwoAppsThrows) {
+  const svc::UniqueId uid = fabric.new_unique_id();
+  fabric.connect(AppId{1}, GpuId{0}).comm_init_rank(uid, 2, 0, {});
+  fabric.connect(AppId{2}, GpuId{2}).comm_init_rank(uid, 2, 1, {});
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, ZeroCountCollectiveIsRejected) {
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm = create_comm(fabric, app, gpus);
+  auto ranks = make_ranks(fabric, app, gpus);
+  gpu::DevicePtr buf = ranks[0].shim->alloc(64);
+  ranks[0].shim->all_reduce(comm, buf, buf, 0, coll::DataType::kFloat32,
+                            coll::ReduceOp::kSum, *ranks[0].stream);
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, OutOfBoundsBufferRangeIsRejected) {
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm = create_comm(fabric, app, gpus);
+  auto ranks = make_ranks(fabric, app, gpus);
+  // 64-byte allocation cannot back a 32-element float AllReduce.
+  gpu::DevicePtr small = ranks[0].shim->alloc(64);
+  ranks[0].shim->all_reduce(comm, small, small, 32, coll::DataType::kFloat32,
+                            coll::ReduceOp::kSum, *ranks[0].stream);
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, OffsetBeyondAllocationIsRejected) {
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm = create_comm(fabric, app, gpus);
+  auto ranks = make_ranks(fabric, app, gpus);
+  gpu::DevicePtr buf = ranks[0].shim->alloc(256);
+  // Offset pushes the 32-element range past the 256-byte allocation.
+  ranks[0].shim->all_reduce(comm, buf.at_offset(192), buf.at_offset(192), 32,
+                            coll::DataType::kFloat32, coll::ReduceOp::kSum,
+                            *ranks[0].stream);
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, AnotherTenantsBufferIsRejected) {
+  // App 2's collective naming app 1's allocation must be refused: frontends
+  // keep per-application allocation registries.
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm_b = create_comm(fabric, AppId{2}, gpus);
+  gpu::DevicePtr stolen = fabric.connect(AppId{1}, GpuId{0}).alloc(1024);
+  svc::Shim& shim_b = fabric.connect(AppId{2}, GpuId{0});
+  gpu::Stream& stream = shim_b.create_app_stream();
+  shim_b.all_reduce(comm_b, stolen, stolen, 16, coll::DataType::kFloat32,
+                    coll::ReduceOp::kSum, stream);
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, DoubleFreeThrows) {
+  svc::Shim& shim = fabric.connect(app, GpuId{0});
+  gpu::DevicePtr buf = shim.alloc(64);
+  shim.free(buf);
+  EXPECT_THROW(shim.free(buf), ContractViolation);
+}
+
+TEST_F(MisuseFixture, FreeingAtNonZeroOffsetThrows) {
+  svc::Shim& shim = fabric.connect(app, GpuId{0});
+  gpu::DevicePtr buf = shim.alloc(64);
+  EXPECT_THROW(shim.free(buf.at_offset(8)), ContractViolation);
+}
+
+TEST_F(MisuseFixture, CollectiveOnWrongGpuStreamThrows) {
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm = create_comm(fabric, app, gpus);
+  svc::Shim& shim0 = fabric.connect(app, GpuId{0});
+  svc::Shim& shim1 = fabric.connect(app, GpuId{2});
+  gpu::Stream& wrong_stream = shim1.create_app_stream();  // GPU 2's stream
+  gpu::DevicePtr buf = shim0.alloc(64);
+  EXPECT_THROW(shim0.all_reduce(comm, buf, buf, 16, coll::DataType::kFloat32,
+                                coll::ReduceOp::kSum, wrong_stream),
+               ContractViolation);
+}
+
+TEST_F(MisuseFixture, DestroyWithOutstandingCollectivesThrows) {
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm = create_comm(fabric, app, gpus);
+  auto ranks = make_ranks(fabric, app, gpus);
+  gpu::DevicePtr buf = ranks[0].shim->alloc(1024);
+  // Only rank 0 issues: the collective can never complete.
+  ranks[0].shim->all_reduce(comm, buf, buf, 256, coll::DataType::kFloat32,
+                            coll::ReduceOp::kSum, *ranks[0].stream);
+  ranks[0].shim->comm_destroy(comm);
+  EXPECT_THROW(fabric.loop().run(), ContractViolation);
+}
+
+TEST_F(MisuseFixture, StaleReconfigurationRoundIsRejected) {
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}};
+  const CommId comm = create_comm(fabric, app, gpus);
+  const svc::CommStrategy strategy = fabric.strategy_of(comm);
+  fabric.reconfigure(comm, strategy);
+  fabric.loop().run();
+  // Re-delivering round 1 by hand must be rejected as stale.
+  EXPECT_THROW(
+      fabric.proxy_for(GpuId{0}).request_reconfigure(comm, 1, strategy),
+      ContractViolation);
+}
+
+TEST_F(MisuseFixture, ConnectRejectsGpuOnAnotherHost) {
+  // Service of host 0 cannot hand out a shim for host 1's GPU.
+  EXPECT_THROW(fabric.service(HostId{0}).connect(app, GpuId{2}),
+               ContractViolation);
+}
+
+TEST_F(MisuseFixture, GpuMemoryIsolationIsEnforced) {
+  // Timing-only allocations refuse byte access (defence against benches
+  // silently reading unmaterialized memory).
+  svc::Fabric::Options options;
+  options.gpu_config.materialize_memory = false;
+  Fabric f2{cluster::make_testbed(), options};
+  gpu::DevicePtr p = f2.gpus().gpu(GpuId{0}).allocate(64);
+  EXPECT_THROW(f2.gpus().gpu(GpuId{0}).bytes(p, 64), ContractViolation);
+  EXPECT_EQ(f2.gpus().gpu(GpuId{0}).mem_size(p.mem), 64u);
+}
+
+}  // namespace
+}  // namespace mccs
