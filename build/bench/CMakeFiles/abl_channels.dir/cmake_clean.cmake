@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channels.dir/abl_channels.cpp.o"
+  "CMakeFiles/abl_channels.dir/abl_channels.cpp.o.d"
+  "abl_channels"
+  "abl_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

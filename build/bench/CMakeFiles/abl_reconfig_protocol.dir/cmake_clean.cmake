@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reconfig_protocol.dir/abl_reconfig_protocol.cpp.o"
+  "CMakeFiles/abl_reconfig_protocol.dir/abl_reconfig_protocol.cpp.o.d"
+  "abl_reconfig_protocol"
+  "abl_reconfig_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reconfig_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

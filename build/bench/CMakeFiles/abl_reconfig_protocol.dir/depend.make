@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_reconfig_protocol.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ring_vs_tree.dir/abl_ring_vs_tree.cpp.o"
+  "CMakeFiles/abl_ring_vs_tree.dir/abl_ring_vs_tree.cpp.o.d"
+  "abl_ring_vs_tree"
+  "abl_ring_vs_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ring_vs_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_ring_vs_tree.
+# This may be replaced when dependencies are built.

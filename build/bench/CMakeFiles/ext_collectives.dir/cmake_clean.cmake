@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_collectives.dir/ext_collectives.cpp.o"
+  "CMakeFiles/ext_collectives.dir/ext_collectives.cpp.o.d"
+  "ext_collectives"
+  "ext_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

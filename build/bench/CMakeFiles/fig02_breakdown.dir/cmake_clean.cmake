@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_breakdown.dir/fig02_breakdown.cpp.o"
+  "CMakeFiles/fig02_breakdown.dir/fig02_breakdown.cpp.o.d"
+  "fig02_breakdown"
+  "fig02_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

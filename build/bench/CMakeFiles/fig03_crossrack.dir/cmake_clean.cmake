@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_crossrack.dir/fig03_crossrack.cpp.o"
+  "CMakeFiles/fig03_crossrack.dir/fig03_crossrack.cpp.o.d"
+  "fig03_crossrack"
+  "fig03_crossrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_crossrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

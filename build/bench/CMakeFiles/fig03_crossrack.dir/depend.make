@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_crossrack.
+# This may be replaced when dependencies are built.

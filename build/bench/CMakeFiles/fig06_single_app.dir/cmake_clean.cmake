@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_single_app.dir/fig06_single_app.cpp.o"
+  "CMakeFiles/fig06_single_app.dir/fig06_single_app.cpp.o.d"
+  "fig06_single_app"
+  "fig06_single_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_single_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

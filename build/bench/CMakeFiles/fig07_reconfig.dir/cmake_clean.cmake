@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_reconfig.dir/fig07_reconfig.cpp.o"
+  "CMakeFiles/fig07_reconfig.dir/fig07_reconfig.cpp.o.d"
+  "fig07_reconfig"
+  "fig07_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_multi_app.dir/fig08_multi_app.cpp.o"
+  "CMakeFiles/fig08_multi_app.dir/fig08_multi_app.cpp.o.d"
+  "fig08_multi_app"
+  "fig08_multi_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_qos_jct.dir/fig09_qos_jct.cpp.o"
+  "CMakeFiles/fig09_qos_jct.dir/fig09_qos_jct.cpp.o.d"
+  "fig09_qos_jct"
+  "fig09_qos_jct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_qos_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dynamic_policy.dir/fig10_dynamic_policy.cpp.o"
+  "CMakeFiles/fig10_dynamic_policy.dir/fig10_dynamic_policy.cpp.o.d"
+  "fig10_dynamic_policy"
+  "fig10_dynamic_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dynamic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reconfig.dir/micro_reconfig.cpp.o"
+  "CMakeFiles/micro_reconfig.dir/micro_reconfig.cpp.o.d"
+  "micro_reconfig"
+  "micro_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_schedule_cost.dir/micro_schedule_cost.cpp.o"
+  "CMakeFiles/micro_schedule_cost.dir/micro_schedule_cost.cpp.o.d"
+  "micro_schedule_cost"
+  "micro_schedule_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_schedule_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

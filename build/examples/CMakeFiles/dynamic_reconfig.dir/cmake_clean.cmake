@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reconfig.dir/dynamic_reconfig.cpp.o"
+  "CMakeFiles/dynamic_reconfig.dir/dynamic_reconfig.cpp.o.d"
+  "dynamic_reconfig"
+  "dynamic_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_expert_parallel.dir/moe_expert_parallel.cpp.o"
+  "CMakeFiles/moe_expert_parallel.dir/moe_expert_parallel.cpp.o.d"
+  "moe_expert_parallel"
+  "moe_expert_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_expert_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

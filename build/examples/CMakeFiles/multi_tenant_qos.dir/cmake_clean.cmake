@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_qos.dir/multi_tenant_qos.cpp.o"
+  "CMakeFiles/multi_tenant_qos.dir/multi_tenant_qos.cpp.o.d"
+  "multi_tenant_qos"
+  "multi_tenant_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/training_job.cpp" "examples/CMakeFiles/training_job.dir/training_job.cpp.o" "gcc" "examples/CMakeFiles/training_job.dir/training_job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mccs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mccs_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mccs/CMakeFiles/mccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mccs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/mccs_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mccs_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mccs_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_job.dir/training_job.cpp.o"
+  "CMakeFiles/training_job.dir/training_job.cpp.o.d"
+  "training_job"
+  "training_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mccs_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mccs_cluster.dir/placement.cpp.o"
+  "CMakeFiles/mccs_cluster.dir/placement.cpp.o.d"
+  "libmccs_cluster.a"
+  "libmccs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_collectives.dir/ring.cpp.o"
+  "CMakeFiles/mccs_collectives.dir/ring.cpp.o.d"
+  "CMakeFiles/mccs_collectives.dir/schedule.cpp.o"
+  "CMakeFiles/mccs_collectives.dir/schedule.cpp.o.d"
+  "libmccs_collectives.a"
+  "libmccs_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_gpusim.dir/stream.cpp.o"
+  "CMakeFiles/mccs_gpusim.dir/stream.cpp.o.d"
+  "libmccs_gpusim.a"
+  "libmccs_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

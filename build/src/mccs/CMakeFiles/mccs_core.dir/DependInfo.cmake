@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mccs/fabric.cpp" "src/mccs/CMakeFiles/mccs_core.dir/fabric.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/fabric.cpp.o.d"
+  "/root/repo/src/mccs/frontend_engine.cpp" "src/mccs/CMakeFiles/mccs_core.dir/frontend_engine.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/frontend_engine.cpp.o.d"
+  "/root/repo/src/mccs/proxy_engine.cpp" "src/mccs/CMakeFiles/mccs_core.dir/proxy_engine.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/proxy_engine.cpp.o.d"
+  "/root/repo/src/mccs/service.cpp" "src/mccs/CMakeFiles/mccs_core.dir/service.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/service.cpp.o.d"
+  "/root/repo/src/mccs/shim.cpp" "src/mccs/CMakeFiles/mccs_core.dir/shim.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/shim.cpp.o.d"
+  "/root/repo/src/mccs/strategy.cpp" "src/mccs/CMakeFiles/mccs_core.dir/strategy.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/mccs/trace_export.cpp" "src/mccs/CMakeFiles/mccs_core.dir/trace_export.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/trace_export.cpp.o.d"
+  "/root/repo/src/mccs/transport_engine.cpp" "src/mccs/CMakeFiles/mccs_core.dir/transport_engine.cpp.o" "gcc" "src/mccs/CMakeFiles/mccs_core.dir/transport_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/mccs_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mccs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/mccs_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mccs_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

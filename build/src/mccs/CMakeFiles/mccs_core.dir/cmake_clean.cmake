@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_core.dir/fabric.cpp.o"
+  "CMakeFiles/mccs_core.dir/fabric.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/frontend_engine.cpp.o"
+  "CMakeFiles/mccs_core.dir/frontend_engine.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/proxy_engine.cpp.o"
+  "CMakeFiles/mccs_core.dir/proxy_engine.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/service.cpp.o"
+  "CMakeFiles/mccs_core.dir/service.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/shim.cpp.o"
+  "CMakeFiles/mccs_core.dir/shim.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/strategy.cpp.o"
+  "CMakeFiles/mccs_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/trace_export.cpp.o"
+  "CMakeFiles/mccs_core.dir/trace_export.cpp.o.d"
+  "CMakeFiles/mccs_core.dir/transport_engine.cpp.o"
+  "CMakeFiles/mccs_core.dir/transport_engine.cpp.o.d"
+  "libmccs_core.a"
+  "libmccs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

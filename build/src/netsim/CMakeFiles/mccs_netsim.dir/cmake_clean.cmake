@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_netsim.dir/network.cpp.o"
+  "CMakeFiles/mccs_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/mccs_netsim.dir/routing.cpp.o"
+  "CMakeFiles/mccs_netsim.dir/routing.cpp.o.d"
+  "libmccs_netsim.a"
+  "libmccs_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

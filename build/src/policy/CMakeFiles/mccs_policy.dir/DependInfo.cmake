@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/controller.cpp" "src/policy/CMakeFiles/mccs_policy.dir/controller.cpp.o" "gcc" "src/policy/CMakeFiles/mccs_policy.dir/controller.cpp.o.d"
+  "/root/repo/src/policy/flow_assign.cpp" "src/policy/CMakeFiles/mccs_policy.dir/flow_assign.cpp.o" "gcc" "src/policy/CMakeFiles/mccs_policy.dir/flow_assign.cpp.o.d"
+  "/root/repo/src/policy/ring_config.cpp" "src/policy/CMakeFiles/mccs_policy.dir/ring_config.cpp.o" "gcc" "src/policy/CMakeFiles/mccs_policy.dir/ring_config.cpp.o.d"
+  "/root/repo/src/policy/traffic_schedule.cpp" "src/policy/CMakeFiles/mccs_policy.dir/traffic_schedule.cpp.o" "gcc" "src/policy/CMakeFiles/mccs_policy.dir/traffic_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mccs/CMakeFiles/mccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mccs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mccs_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mccs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/mccs_collectives.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_policy.dir/controller.cpp.o"
+  "CMakeFiles/mccs_policy.dir/controller.cpp.o.d"
+  "CMakeFiles/mccs_policy.dir/flow_assign.cpp.o"
+  "CMakeFiles/mccs_policy.dir/flow_assign.cpp.o.d"
+  "CMakeFiles/mccs_policy.dir/ring_config.cpp.o"
+  "CMakeFiles/mccs_policy.dir/ring_config.cpp.o.d"
+  "CMakeFiles/mccs_policy.dir/traffic_schedule.cpp.o"
+  "CMakeFiles/mccs_policy.dir/traffic_schedule.cpp.o.d"
+  "libmccs_policy.a"
+  "libmccs_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flowsim.cpp" "src/workload/CMakeFiles/mccs_workload.dir/flowsim.cpp.o" "gcc" "src/workload/CMakeFiles/mccs_workload.dir/flowsim.cpp.o.d"
+  "/root/repo/src/workload/models.cpp" "src/workload/CMakeFiles/mccs_workload.dir/models.cpp.o" "gcc" "src/workload/CMakeFiles/mccs_workload.dir/models.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/mccs_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/mccs_workload.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mccs/CMakeFiles/mccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mccs_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mccs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mccs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/mccs_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mccs_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccs_workload.dir/flowsim.cpp.o"
+  "CMakeFiles/mccs_workload.dir/flowsim.cpp.o.d"
+  "CMakeFiles/mccs_workload.dir/models.cpp.o"
+  "CMakeFiles/mccs_workload.dir/models.cpp.o.d"
+  "CMakeFiles/mccs_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/mccs_workload.dir/traffic_gen.cpp.o.d"
+  "libmccs_workload.a"
+  "libmccs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/mccs_tests.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_analytic.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/mccs_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_event_loop.cpp" "tests/CMakeFiles/mccs_tests.dir/test_event_loop.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_event_loop.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/mccs_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/mccs_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_ipc.cpp" "tests/CMakeFiles/mccs_tests.dir/test_ipc.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_ipc.cpp.o.d"
+  "/root/repo/tests/test_management.cpp" "tests/CMakeFiles/mccs_tests.dir/test_management.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_management.cpp.o.d"
+  "/root/repo/tests/test_mccs_service.cpp" "tests/CMakeFiles/mccs_tests.dir/test_mccs_service.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_mccs_service.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/mccs_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_netsim_properties.cpp" "tests/CMakeFiles/mccs_tests.dir/test_netsim_properties.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_netsim_properties.cpp.o.d"
+  "/root/repo/tests/test_p2p.cpp" "tests/CMakeFiles/mccs_tests.dir/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_p2p.cpp.o.d"
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/mccs_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_qos.cpp" "tests/CMakeFiles/mccs_tests.dir/test_qos.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_qos.cpp.o.d"
+  "/root/repo/tests/test_reconfig.cpp" "tests/CMakeFiles/mccs_tests.dir/test_reconfig.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_reconfig.cpp.o.d"
+  "/root/repo/tests/test_reconfig_fuzz.cpp" "tests/CMakeFiles/mccs_tests.dir/test_reconfig_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_reconfig_fuzz.cpp.o.d"
+  "/root/repo/tests/test_reduce_alltoall.cpp" "tests/CMakeFiles/mccs_tests.dir/test_reduce_alltoall.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_reduce_alltoall.cpp.o.d"
+  "/root/repo/tests/test_service_misuse.cpp" "tests/CMakeFiles/mccs_tests.dir/test_service_misuse.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_service_misuse.cpp.o.d"
+  "/root/repo/tests/test_tree.cpp" "tests/CMakeFiles/mccs_tests.dir/test_tree.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_tree.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/mccs_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mccs_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mccs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mccs_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mccs/CMakeFiles/mccs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mccs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/mccs_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mccs_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mccs_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
