@@ -1,0 +1,298 @@
+// Flow-level simulation engine throughput: events/second under flow churn at
+// 64/256/768-GPU scale, incremental (component-scoped) vs reference (global)
+// max-min reallocation — same workload, same binary, selected by
+// `Network::Options::incremental`.
+//
+// The workload mirrors the Fig.-11 regime the engine exists for: many
+// concurrent ring jobs (mostly rack-local, a fraction spanning two racks),
+// iterating { start ring flows -> wait for all -> gap }, plus permanent
+// background flows and pause/resume pulses (the traffic-scheduling QoS
+// pattern). Every job/iteration parameter is precomputed from a fixed seed,
+// so both engine modes execute the identical simulated schedule and the
+// comparison is events-per-wall-second on equal work.
+//
+// Emits one JSON line per (scale, mode) to BENCH_flowsim.json — the perf
+// trajectory future PRs extend; scripts/check.sh gates on its schema.
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "netsim/network.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+using namespace mccs;
+
+struct IterationPlan {
+  std::vector<std::uint64_t> ecmp_keys;  ///< one per flow of the iteration
+  Bytes bytes = 0;
+  bool pause_pulse = false;  ///< gate flow 0 off/on mid-iteration
+  Time pause_after = 0.0;
+  Time pause_len = 0.0;
+};
+
+struct JobPlan {
+  std::vector<NodeId> nics;  ///< ring order; flow i goes nics[i]->nics[i+1]
+  int channels = 1;          ///< rings run over this many NICs per host
+  std::vector<IterationPlan> iterations;
+};
+
+struct SlotPlan {
+  Time first_start = 0.0;
+  std::vector<JobPlan> jobs;
+};
+
+struct Workload {
+  std::vector<SlotPlan> slots;
+  std::vector<std::pair<NodeId, NodeId>> background;  ///< fixed-demand pairs
+};
+
+/// Precompute the whole churn schedule so both engine modes see identical
+/// simulated work regardless of internal event ordering.
+Workload make_workload(const cluster::Cluster& cl, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t hosts = cl.host_count();
+  // Group hosts by rack for the placement draw.
+  std::vector<std::vector<std::uint32_t>> racks;
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    const auto r = cl.host(HostId{h}).rack.get();
+    if (r >= racks.size()) racks.resize(r + 1);
+    racks[r].push_back(h);
+  }
+
+  constexpr int kJobsPerSlot = 3;
+  constexpr int kItersPerJob = 8;
+  Workload w;
+  const std::size_t num_slots = std::max<std::size_t>(2, hosts / 3);
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    SlotPlan slot;
+    slot.first_start = static_cast<double>(s) * millis(0.1);
+    for (int j = 0; j < kJobsPerSlot; ++j) {
+      JobPlan job;
+      const bool cross_rack = rng.uniform() < 0.2 && racks.size() > 1;
+      const int k = 2 + static_cast<int>(rng.below(3));  // 2..4 hosts
+      std::vector<std::uint32_t> chosen;
+      if (cross_rack) {
+        const auto r0 = rng.below(racks.size());
+        auto r1 = rng.below(racks.size());
+        if (r1 == r0) r1 = (r1 + 1) % racks.size();
+        for (int i = 0; i < k; ++i) {
+          const auto& rk = racks[i % 2 == 0 ? r0 : r1];
+          chosen.push_back(rk[rng.below(rk.size())]);
+        }
+      } else {
+        const auto& rk = racks[rng.below(racks.size())];
+        for (int i = 0; i < k; ++i) chosen.push_back(rk[rng.below(rk.size())]);
+      }
+      // Dedup while keeping >= 2 hosts (a ring needs two endpoints).
+      std::vector<std::uint32_t> uniq;
+      for (std::uint32_t h : chosen) {
+        bool seen = false;
+        for (std::uint32_t u : uniq) seen = seen || u == h;
+        if (!seen) uniq.push_back(h);
+      }
+      if (uniq.size() < 2) {
+        uniq.push_back((uniq[0] + 1) % hosts);
+      }
+      const auto& nics0 = cl.host(HostId{uniq[0]}).nic_nodes;
+      job.channels = std::min<int>(4, static_cast<int>(nics0.size()));
+      for (std::uint32_t h : uniq) {
+        for (int c = 0; c < job.channels; ++c) {
+          job.nics.push_back(cl.host(HostId{h}).nic_nodes[static_cast<std::size_t>(c)]);
+        }
+      }
+      for (int it = 0; it < kItersPerJob; ++it) {
+        IterationPlan ip;
+        ip.bytes = 8_MB + rng.below(56) * 1_MB;
+        const std::size_t edges = uniq.size() * static_cast<std::size_t>(job.channels);
+        for (std::size_t e = 0; e < edges; ++e) ip.ecmp_keys.push_back(rng.engine()());
+        if (rng.uniform() < 0.15) {
+          ip.pause_pulse = true;
+          ip.pause_after = millis(0.2 + rng.uniform());
+          ip.pause_len = millis(0.2 + rng.uniform());
+        }
+        job.iterations.push_back(std::move(ip));
+      }
+      slot.jobs.push_back(std::move(job));
+    }
+    w.slots.push_back(std::move(slot));
+  }
+  // One permanent background flow per ~8 racks (min 1): external traffic the
+  // strict-priority phase must serve first.
+  const std::size_t nbg = std::max<std::size_t>(1, racks.size() / 8);
+  for (std::size_t b = 0; b < nbg; ++b) {
+    const std::uint32_t h0 = static_cast<std::uint32_t>(rng.below(hosts));
+    std::uint32_t h1 = static_cast<std::uint32_t>(rng.below(hosts));
+    if (h1 == h0) h1 = (h1 + 1) % hosts;
+    w.background.emplace_back(cl.host(HostId{h0}).nic_nodes[0],
+                              cl.host(HostId{h1}).nic_nodes[0]);
+  }
+  return w;
+}
+
+struct RunResult {
+  std::uint64_t events = 0;  ///< flow starts + completions + pause/resume ops
+  double wall_s = 0.0;
+  Time sim_s = 0.0;
+};
+
+/// Drive one slot's job sequence on the network; `events` counts the churn.
+struct SlotRunner {
+  sim::EventLoop* loop;
+  net::Network* net;
+  const SlotPlan* plan;
+  std::uint64_t* events;
+  std::size_t job_idx = 0;
+  std::size_t iter_idx = 0;
+  int outstanding = 0;
+
+  void start_next_job() {
+    if (job_idx >= plan->jobs.size()) return;
+    iter_idx = 0;
+    start_iteration();
+  }
+
+  void start_iteration() {
+    const JobPlan& job = plan->jobs[job_idx];
+    const IterationPlan& ip = job.iterations[iter_idx];
+    const std::size_t n = job.nics.size();
+    outstanding = static_cast<int>(n);
+    std::optional<FlowId> first;
+    for (std::size_t i = 0; i < n; ++i) {
+      net::FlowSpec spec;
+      spec.src = job.nics[i];
+      spec.dst = job.nics[(i + job.channels >= n) ? (i + job.channels - n)
+                                                  : (i + job.channels)];
+      if (spec.src == spec.dst) spec.dst = job.nics[(i + 1) % n];
+      spec.size = ip.bytes;
+      spec.ecmp_key = ip.ecmp_keys[i];
+      spec.on_complete = [this](FlowId, Time) {
+        ++*events;
+        if (--outstanding == 0) iteration_done();
+      };
+      const FlowId id = net->start_flow(std::move(spec));
+      ++*events;
+      if (!first) first = id;
+    }
+    if (ip.pause_pulse && first) {
+      const FlowId target = *first;
+      const Time t0 = loop->now() + ip.pause_after;
+      const Time t1 = t0 + ip.pause_len;
+      loop->schedule_at(t0, [this, target] {
+        if (!net->flow_active(target)) return;
+        net->pause_flow(target);
+        ++*events;
+      });
+      loop->schedule_at(t1, [this, target] {
+        if (!net->flow_active(target)) return;
+        net->resume_flow(target);
+        ++*events;
+      });
+    }
+  }
+
+  void iteration_done() {
+    const JobPlan& job = plan->jobs[job_idx];
+    if (++iter_idx < job.iterations.size()) {
+      loop->schedule_after(millis(1), [this] { start_iteration(); });
+      return;
+    }
+    ++job_idx;
+    if (job_idx < plan->jobs.size()) {
+      loop->schedule_after(millis(1), [this] { start_next_job(); });
+    }
+  }
+};
+
+RunResult run_workload(const cluster::Cluster& cl, const Workload& w,
+                       bool incremental) {
+  sim::EventLoop loop;
+  net::Network net(loop, cl.topology(), net::Network::Options{incremental});
+  for (const auto& [src, dst] : w.background) {
+    net.start_flow({.src = src, .dst = dst, .background_demand = gbps(40),
+                    .on_complete = {}});
+  }
+
+  RunResult res;
+  std::vector<SlotRunner> runners(w.slots.size());
+  for (std::size_t s = 0; s < w.slots.size(); ++s) {
+    runners[s] = SlotRunner{&loop, &net, &w.slots[s], &res.events};
+    loop.schedule_at(w.slots[s].first_start, [&runners, s] {
+      runners[s].start_next_job();
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  res.sim_s = loop.now();
+  return res;
+}
+
+struct Scale {
+  int gpus;
+  cluster::Cluster cluster;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_flowsim: flow-churn engine throughput ===\n\n");
+
+  std::vector<Scale> scales;
+  {
+    cluster::SpineLeafSpec s64;
+    s64.num_spines = 4;
+    s64.num_leaves = 4;
+    s64.hosts_per_leaf = 2;
+    s64.gpus_per_host = 8;
+    s64.nics_per_host = 8;
+    s64.nic_link = gbps(200);
+    s64.fabric_link = gbps(200);
+    scales.push_back({64, cluster::make_spine_leaf(s64)});
+
+    cluster::SpineLeafSpec s256 = s64;
+    s256.num_spines = 8;
+    s256.num_leaves = 8;
+    s256.hosts_per_leaf = 4;
+    scales.push_back({256, cluster::make_spine_leaf(s256)});
+
+    scales.push_back({768, cluster::make_large_sim_cluster()});
+  }
+
+  std::FILE* json = std::fopen("BENCH_flowsim.json", "w");
+  MCCS_CHECK(json != nullptr, "cannot open BENCH_flowsim.json");
+
+  std::printf("%-6s %-12s %10s %9s %14s %9s\n", "gpus", "mode", "events",
+              "wall(s)", "events/sec", "speedup");
+  for (Scale& sc : scales) {
+    const Workload w = make_workload(sc.cluster, 0xF10F51Dull + sc.gpus);
+    double ref_rate = 0.0;
+    for (const bool incremental : {false, true}) {
+      const RunResult r = run_workload(sc.cluster, w, incremental);
+      const double rate = static_cast<double>(r.events) / r.wall_s;
+      const char* mode = incremental ? "incremental" : "reference";
+      const double speedup = incremental ? rate / ref_rate : 1.0;
+      if (!incremental) ref_rate = rate;
+      std::printf("%-6d %-12s %10llu %9.3f %14.0f %8.2fx\n", sc.gpus, mode,
+                  static_cast<unsigned long long>(r.events), r.wall_s, rate,
+                  speedup);
+      std::fprintf(json,
+                   "{\"bench\":\"micro_flowsim\",\"gpus\":%d,\"mode\":\"%s\","
+                   "\"events\":%llu,\"sim_s\":%.6f,\"wall_s\":%.6f,"
+                   "\"events_per_sec\":%.1f,\"speedup_vs_reference\":%.3f}\n",
+                   sc.gpus, mode, static_cast<unsigned long long>(r.events),
+                   r.sim_s, r.wall_s, rate, speedup);
+    }
+  }
+  std::fclose(json);
+  std::printf("\nBENCH_flowsim.json written (one line per scale x mode).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the test suite, then run the
+# simulation-engine microbench and validate the schema of its JSON output
+# (so perf-tracking tooling downstream never silently breaks).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== micro_flowsim =="
+(cd build/bench && ./micro_flowsim)
+
+json=build/bench/BENCH_flowsim.json
+[[ -s "$json" ]] || { echo "FAIL: $json missing or empty" >&2; exit 1; }
+
+# Every line must be a JSON object with exactly the expected keys; fail on
+# drift so the bench's consumers (EXPERIMENTS.md, trend dashboards) notice.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$json" <<'EOF'
+import json, sys
+
+expected = {"bench", "gpus", "mode", "events", "sim_s", "wall_s",
+            "events_per_sec", "speedup_vs_reference"}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("FAIL: no records in BENCH_flowsim.json")
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    if set(rec) != expected:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != {sorted(expected)}")
+    if rec["mode"] not in ("reference", "incremental"):
+        sys.exit(f"FAIL: line {i} unknown mode {rec['mode']!r}")
+print(f"BENCH_flowsim.json schema OK ({len(lines)} records)")
+EOF
+else
+  # Fallback without python3: check the key skeleton textually.
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench gpus mode events sim_s wall_s events_per_sec \
+               speedup_vs_reference; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+  done < "$json"
+  echo "BENCH_flowsim.json schema OK (grep fallback)"
+fi
+
+echo "ALL CHECKS PASSED"

@@ -5,6 +5,7 @@
 // MCCS_EXPECTS(cond)  - precondition; throws mccs::ContractViolation.
 // MCCS_ENSURES(cond)  - postcondition; throws mccs::ContractViolation.
 // MCCS_CHECK(cond, msg) - invariant with a custom message.
+// MCCS_ASSERT(cond)   - cheap internal invariant (hot paths); no message.
 //
 // Contracts are always on: this library is a research artifact whose tests
 // rely on deterministic, observable failure, so we do not compile them out
@@ -55,4 +56,11 @@ namespace detail {
     if (!(cond))                                                            \
       ::mccs::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
                                     (msg));                                 \
+  } while (0)
+
+#define MCCS_ASSERT(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::mccs::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                    "");                                    \
   } while (0)

@@ -17,13 +17,19 @@ struct AllocFlow {
   bool fixed = false;
 };
 
-/// Weighted max-min fair allocation with per-flow caps (progressive filling).
-/// `residual` is indexed by link id and is consumed in place.
-void max_min_allocate(std::vector<AllocFlow>& flows, std::vector<Bandwidth>& residual) {
+/// Weighted max-min fair allocation with per-flow caps (progressive filling),
+/// scoped to one bottleneck component. `residual` and `weight_on_link` are
+/// link-indexed scratch arrays owned by the caller; only entries for `links`
+/// (the union of the flows' paths) are read or written, so the caller can
+/// reuse them across calls without O(link_count) re-initialisation.
+void max_min_allocate(std::vector<AllocFlow>& flows,
+                      std::vector<Bandwidth>& residual,
+                      std::vector<double>& weight_on_link,
+                      const std::vector<std::uint32_t>& links) {
   if (flows.empty()) return;
 
   // Per-link unfixed weight sums.
-  std::vector<double> weight_on_link(residual.size(), 0.0);
+  for (std::uint32_t l : links) weight_on_link[l] = 0.0;
   for (const AllocFlow& f : flows) {
     for (LinkId l : *f.path) weight_on_link[l.get()] += f.weight;
   }
@@ -88,6 +94,7 @@ FlowId Network::start_flow(FlowSpec spec) {
                 ? routing_.by_route_id(spec.src, spec.dst, spec.route)
                 : routing_.by_ecmp(spec.src, spec.dst, spec.ecmp_key);
   st.remaining = static_cast<double>(spec.size);
+  st.last_update = loop_->now();
   st.spec = std::move(spec);
 
   const Time latency = st.spec.start_latency;
@@ -99,8 +106,8 @@ FlowId Network::start_flow(FlowSpec spec) {
         loop_->schedule_after(latency, [this, id] { activate_flow(id); });
   } else {
     it->second.started = true;
-    advance_progress();
-    reallocate();
+    insert_into_index(id, it->second);
+    reallocate(it->second.path);
   }
   return FlowId{id};
 }
@@ -108,37 +115,53 @@ FlowId Network::start_flow(FlowSpec spec) {
 void Network::activate_flow(std::uint32_t id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;  // cancelled while latent
-  it->second.started = true;
-  advance_progress();
-  reallocate();
+  FlowState& f = it->second;
+  f.started = true;
+  f.last_update = loop_->now();
+  if (f.paused) return;  // paused while latent; resume_flow picks it up
+  insert_into_index(id, f);
+  reallocate(f.path);
 }
 
 void Network::cancel_flow(FlowId id) {
   auto it = flows_.find(id.get());
   if (it == flows_.end()) return;
-  advance_progress();
-  loop_->cancel(it->second.completion);
-  loop_->cancel(it->second.activation);
+  FlowState& f = it->second;
+  loop_->cancel(f.completion);
+  loop_->cancel(f.activation);
+  const bool was_allocated = allocatable(f);
+  if (was_allocated) remove_from_index(id.get(), f);
+  const Path path = std::move(f.path);
   flows_.erase(it);
-  reallocate();
+  // A latent or paused flow had rate 0 and constrained nobody.
+  if (was_allocated) reallocate(path);
 }
 
 void Network::pause_flow(FlowId id) {
   auto it = flows_.find(id.get());
   MCCS_EXPECTS(it != flows_.end());
-  if (it->second.paused) return;
-  advance_progress();
-  it->second.paused = true;
-  reallocate();
+  FlowState& f = it->second;
+  if (f.paused) return;
+  f.paused = true;
+  if (!f.started) return;  // latent: was never allocated
+  touch(f, loop_->now());
+  remove_from_index(id.get(), f);
+  f.rate = 0.0;
+  loop_->cancel(f.completion);
+  f.completion = {};
+  reallocate(f.path);
 }
 
 void Network::resume_flow(FlowId id) {
   auto it = flows_.find(id.get());
   MCCS_EXPECTS(it != flows_.end());
-  if (!it->second.paused) return;
-  advance_progress();
-  it->second.paused = false;
-  reallocate();
+  FlowState& f = it->second;
+  if (!f.paused) return;
+  f.paused = false;
+  if (!f.started) return;  // activation will insert it
+  f.last_update = loop_->now();
+  insert_into_index(id.get(), f);
+  reallocate(f.path);
 }
 
 Bandwidth Network::flow_rate(FlowId id) const {
@@ -150,7 +173,13 @@ Bandwidth Network::flow_rate(FlowId id) const {
 Bytes Network::flow_remaining(FlowId id) const {
   auto it = flows_.find(id.get());
   MCCS_EXPECTS(it != flows_.end());
-  return static_cast<Bytes>(std::ceil(std::max(it->second.remaining, 0.0)));
+  const FlowState& f = it->second;
+  // Lazy progress: integrate the stored counter forward to now on read.
+  double rem = f.remaining;
+  if (allocatable(f) && f.spec.background_demand <= 0.0) {
+    rem -= f.rate * (loop_->now() - f.last_update);
+  }
+  return static_cast<Bytes>(std::ceil(std::max(rem, 0.0)));
 }
 
 const Path& Network::flow_path(FlowId id) const {
@@ -159,65 +188,107 @@ const Path& Network::flow_path(FlowId id) const {
   return it->second.path;
 }
 
-Bandwidth Network::link_throughput(LinkId id) const {
-  Bandwidth total = 0.0;
-  for (const auto& [fid, f] : flows_) {
-    if (!allocatable(f)) continue;
-    for (LinkId l : f.path) {
-      if (l == id) {
-        total += f.rate;
-        break;
-      }
-    }
+void Network::insert_into_index(std::uint32_t id, const FlowState& f) {
+  for (LinkId l : f.path) {
+    LinkIndex& li = links_[l.get()];
+    li.flows.push_back(id);
+    li.throughput += f.rate;
+    if (f.spec.background_demand <= 0.0) ++li.normal_count;
   }
-  return total;
 }
 
-std::size_t Network::link_flow_count(LinkId id) const {
-  std::size_t n = 0;
-  for (const auto& [fid, f] : flows_) {
-    if (!allocatable(f) || f.spec.background_demand > 0.0) continue;
-    for (LinkId l : f.path) {
-      if (l == id) {
-        ++n;
-        break;
-      }
+void Network::remove_from_index(std::uint32_t id, const FlowState& f) {
+  for (LinkId l : f.path) {
+    LinkIndex& li = links_[l.get()];
+    auto pos = std::find(li.flows.begin(), li.flows.end(), id);
+    MCCS_ASSERT(pos != li.flows.end());
+    *pos = li.flows.back();
+    li.flows.pop_back();
+    li.throughput -= f.rate;
+    if (f.spec.background_demand <= 0.0) {
+      MCCS_ASSERT(li.normal_count > 0);
+      --li.normal_count;
     }
   }
-  return n;
 }
 
-void Network::advance_progress() {
-  const Time now = loop_->now();
-  const Time dt = now - last_progress_time_;
-  if (dt <= 0.0) {
-    last_progress_time_ = now;
-    return;
+void Network::collect_component(const Path& seed) {
+  ++epoch_;
+  comp_flows_.clear();
+  comp_links_.clear();
+  auto mark_link = [this](LinkId l) {
+    if (link_mark_[l.get()] != epoch_) {
+      link_mark_[l.get()] = epoch_;
+      comp_links_.push_back(l.get());
+    }
+  };
+  // Seed links are always included (even if now memberless) so their index
+  // throughput is refreshed after a removal.
+  for (LinkId l : seed) mark_link(l);
+  // BFS over links: any flow on a reached link joins the component and
+  // contributes its own links to the frontier.
+  for (std::size_t i = 0; i < comp_links_.size(); ++i) {
+    for (std::uint32_t fid : links_[comp_links_[i]].flows) {
+      FlowState& f = flows_.at(fid);
+      if (f.mark == epoch_) continue;
+      f.mark = epoch_;
+      comp_flows_.push_back(fid);
+      for (LinkId l : f.path) mark_link(l);
+    }
   }
+  // Ascending-id order matches the reference path bit-for-bit (the solver's
+  // floating-point results depend on per-link accumulation order).
+  std::sort(comp_flows_.begin(), comp_flows_.end());
+}
+
+void Network::collect_all() {
+  ++epoch_;
+  comp_flows_.clear();
+  comp_links_.clear();
   for (auto& [id, f] : flows_) {
-    if (!allocatable(f) || f.spec.background_demand > 0.0) continue;
-    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    if (!allocatable(f)) continue;
+    comp_flows_.push_back(id);
+    for (LinkId l : f.path) {
+      if (link_mark_[l.get()] != epoch_) {
+        link_mark_[l.get()] = epoch_;
+        comp_links_.push_back(l.get());
+      }
+    }
   }
-  last_progress_time_ = now;
+  std::sort(comp_flows_.begin(), comp_flows_.end());
 }
 
-void Network::reallocate() {
+void Network::reallocate(const Path& seed) {
+  if (options_.incremental) {
+    collect_component(seed);
+  } else {
+    collect_all();
+    // Reference mode still refreshes the seed's links below even when they
+    // lost their last member.
+    for (LinkId l : seed) {
+      if (link_mark_[l.get()] != epoch_) {
+        link_mark_[l.get()] = epoch_;
+        comp_links_.push_back(l.get());
+      }
+    }
+  }
+  allocate_component();
+}
+
+void Network::allocate_component() {
+  const Time now = loop_->now();
+
+  for (std::uint32_t l : comp_links_) {
+    residual_[l] = topo_->link(LinkId{l}).capacity;
+  }
+
   // Phase 1: background flows take their demand with strict priority,
   // sharing capacity weighted by demand if oversubscribed.
-  std::vector<Bandwidth> residual(topo_->link_count());
-  for (std::size_t i = 0; i < residual.size(); ++i) {
-    residual[i] = topo_->link(LinkId{static_cast<std::uint32_t>(i)}).capacity;
-  }
-
   std::vector<AllocFlow> background;
   std::vector<AllocFlow> normal;
-  for (auto& [id, f] : flows_) {
-    if (!allocatable(f)) {
-      f.rate = 0.0;
-      loop_->cancel(f.completion);
-      f.completion = {};
-      continue;
-    }
+  normal.reserve(comp_flows_.size());
+  for (std::uint32_t id : comp_flows_) {
+    FlowState& f = flows_.at(id);
     if (f.spec.background_demand > 0.0) {
       background.push_back(AllocFlow{id, &f.path, f.spec.background_demand,
                                      f.spec.background_demand});
@@ -226,38 +297,52 @@ void Network::reallocate() {
     }
   }
 
-  max_min_allocate(background, residual);
-  max_min_allocate(normal, residual);
+  max_min_allocate(background, residual_, weight_scratch_, comp_links_);
+  max_min_allocate(normal, residual_, weight_scratch_, comp_links_);
 
   for (const AllocFlow& a : background) flows_.at(a.id).rate = a.rate;
 
-  // Reschedule completion events for normal flows.
+  // Apply normal-flow rates. A flow whose rate is unchanged (within
+  // kRateEpsilon) keeps its rate, its un-integrated progress, and its
+  // already-scheduled completion event — the lazy fast path that lets an
+  // untouched bottleneck component cost nothing.
   for (const AllocFlow& a : normal) {
     FlowState& f = flows_.at(a.id);
+    if (std::abs(a.rate - f.rate) <= kRateEpsilon) continue;
+    touch(f, now);  // integrate at the old rate first
     f.rate = a.rate;
     loop_->cancel(f.completion);
     f.completion = {};
+    const std::uint32_t id = a.id;
     if (f.remaining <= 0.0) {
       // Already delivered; complete "now" (from a fresh event for re-entrancy).
-      const std::uint32_t id = a.id;
       f.completion = loop_->schedule_after(0.0, [this, id] { complete_flow(id); });
     } else if (f.rate > kRateEpsilon) {
-      const std::uint32_t id = a.id;
       const Time eta = f.remaining / f.rate;
       f.completion = loop_->schedule_after(eta, [this, id] { complete_flow(id); });
     }
+  }
+
+  // Refresh the touched links' monitored throughput from their members'
+  // fresh rates (exact recomputation, so incremental updates cannot drift).
+  for (std::uint32_t l : comp_links_) {
+    LinkIndex& li = links_[l];
+    Bandwidth total = 0.0;
+    for (std::uint32_t fid : li.flows) total += flows_.at(fid).rate;
+    li.throughput = total;
   }
 }
 
 void Network::complete_flow(std::uint32_t id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  advance_progress();
-  it->second.remaining = 0.0;
-
-  FlowSpec spec = std::move(it->second.spec);
+  FlowState& f = it->second;
+  f.remaining = 0.0;
+  remove_from_index(id, f);
+  FlowSpec spec = std::move(f.spec);
+  const Path path = std::move(f.path);
   flows_.erase(it);
-  reallocate();
+  reallocate(path);
   if (spec.on_complete) spec.on_complete(FlowId{id}, loop_->now());
 }
 

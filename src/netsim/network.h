@@ -14,6 +14,18 @@
 //  * background flows — model non-collective traffic (e.g., the 75 Gbps
 //    flow in Fig. 7). They demand a fixed rate with strict priority over
 //    normal flows, mirroring how external traffic appears to a tenant.
+//
+// Scaling: per-event cost is proportional to the *bottleneck component* of
+// the changed flow, not the whole flow set. The Network maintains a per-link
+// index (flow members, Σrate, normal-flow count), so a flow-set change only
+// re-solves max-min over the flows transitively sharing a link with the
+// changed flow; all other flows keep their rates and — critically — their
+// already-scheduled completion events. Progress is integrated lazily per
+// flow (`last_update`), so unaffected flows pay nothing. The global solver
+// remains available as a cross-validation oracle via
+// `Options::incremental = false`; both paths order flows identically
+// (ascending id), so they produce bit-identical rates on disjoint
+// components (see tests/test_netsim_properties.cpp).
 
 #include <cstdint>
 #include <functional>
@@ -65,8 +77,25 @@ struct FlowSpec {
 
 class Network {
  public:
+  struct Options {
+    /// Component-scoped reallocation (the fast path). Off = re-solve the
+    /// global max-min program on every flow-set change — the reference
+    /// oracle the property tests cross-validate against.
+    bool incremental = true;
+  };
+
   Network(sim::EventLoop& loop, const Topology& topo)
-      : loop_(&loop), topo_(&topo), routing_(topo) {}
+      : Network(loop, topo, Options{}) {}
+
+  Network(sim::EventLoop& loop, const Topology& topo, Options options)
+      : loop_(&loop),
+        topo_(&topo),
+        routing_(topo),
+        options_(options),
+        links_(topo.link_count()),
+        link_mark_(topo.link_count(), 0),
+        residual_(topo.link_count(), 0.0),
+        weight_scratch_(topo.link_count(), 0.0) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -74,6 +103,7 @@ class Network {
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] const Routing& routing() const { return routing_; }
   [[nodiscard]] sim::EventLoop& loop() { return *loop_; }
+  [[nodiscard]] const Options& options() const { return options_; }
 
   /// Start a flow; the path is resolved immediately (route id or ECMP).
   FlowId start_flow(FlowSpec spec);
@@ -93,33 +123,70 @@ class Network {
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
 
   /// Instantaneous throughput over a link (sum of flow rates), for the
-  /// provider's monitoring plane.
-  [[nodiscard]] Bandwidth link_throughput(LinkId id) const;
+  /// provider's monitoring plane. O(1): served from the per-link index.
+  [[nodiscard]] Bandwidth link_throughput(LinkId id) const {
+    MCCS_EXPECTS(id.get() < links_.size());
+    return links_[id.get()].throughput;
+  }
 
-  /// Number of normal flows currently traversing a link.
-  [[nodiscard]] std::size_t link_flow_count(LinkId id) const;
+  /// Number of normal (non-background) flows currently traversing a link.
+  /// O(1): served from the per-link index.
+  [[nodiscard]] std::size_t link_flow_count(LinkId id) const {
+    MCCS_EXPECTS(id.get() < links_.size());
+    return links_[id.get()].normal_count;
+  }
 
  private:
   struct FlowState {
     FlowSpec spec;
     Path path;
-    double remaining = 0.0;  ///< bytes left; tracked as double for fluid model
+    double remaining = 0.0;  ///< bytes left as of `last_update` (fluid model)
     Bandwidth rate = 0.0;
+    Time last_update = 0.0;  ///< when `remaining` was last integrated
     bool started = false;    ///< start_latency elapsed
     bool paused = false;
+    std::uint64_t mark = 0;  ///< component-BFS visit epoch
     sim::EventLoop::Handle completion;
     sim::EventLoop::Handle activation;
+  };
+
+  /// Per-link view of the allocatable flows crossing it, maintained on every
+  /// flow add/remove/pause/resume and refreshed when rates change.
+  struct LinkIndex {
+    std::vector<std::uint32_t> flows;  ///< allocatable members (both classes)
+    Bandwidth throughput = 0.0;        ///< Σ rate over `flows`
+    std::size_t normal_count = 0;      ///< members with no background demand
   };
 
   [[nodiscard]] bool allocatable(const FlowState& f) const {
     return f.started && !f.paused;
   }
 
-  /// Bring all flow byte counters up to `loop_->now()`.
-  void advance_progress();
+  /// Integrate a flow's progress up to `now` at its current rate.
+  void touch(FlowState& f, Time now) {
+    if (now > f.last_update && f.spec.background_demand <= 0.0) {
+      f.remaining = std::max(0.0, f.remaining - f.rate * (now - f.last_update));
+    }
+    f.last_update = now;
+  }
 
-  /// Recompute all rates and reschedule completion events.
-  void reallocate();
+  void insert_into_index(std::uint32_t id, const FlowState& f);
+  void remove_from_index(std::uint32_t id, const FlowState& f);
+
+  /// Gather the connected component of allocatable flows reachable from
+  /// `seed` through shared links into comp_flows_ (ascending id) and
+  /// comp_links_. Reference mode gathers everything.
+  void collect_component(const Path& seed);
+  void collect_all();
+
+  /// Re-solve max-min over comp_flows_ / comp_links_ and apply: rates,
+  /// link-index throughput, and completion events (kept when the rate is
+  /// unchanged within kRateEpsilon).
+  void allocate_component();
+
+  /// Flow-set change entry point: scope to `seed`'s component (or everything
+  /// in reference mode) and re-allocate.
+  void reallocate(const Path& seed);
 
   void complete_flow(std::uint32_t id);
   void activate_flow(std::uint32_t id);
@@ -127,9 +194,20 @@ class Network {
   sim::EventLoop* loop_;
   const Topology* topo_;
   Routing routing_;
+  Options options_;
   std::unordered_map<std::uint32_t, FlowState> flows_;
   std::uint32_t next_flow_id_ = 0;
-  Time last_progress_time_ = 0.0;
+
+  std::vector<LinkIndex> links_;
+
+  // Scratch for component discovery + allocation (persistent to avoid O(L)
+  // work per event; only entries for comp_links_ are ever read or written).
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> comp_links_;
+  std::vector<std::uint64_t> link_mark_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Bandwidth> residual_;
+  std::vector<double> weight_scratch_;
 };
 
 }  // namespace mccs::net

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "collectives/schedule.h"
+#include "netsim/network.h"
 
 namespace mccs::policy {
 namespace {
@@ -85,7 +86,8 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
                          const std::vector<double>& link_demand,
                          const std::vector<double>& own_demand,
                          const std::unordered_set<std::uint32_t>& reserved,
-                         bool restrict_to_unreserved) {
+                         bool restrict_to_unreserved,
+                         const net::Network* live) {
   const auto& paths = routing.paths(f.src, f.dst);
   double best_score = std::numeric_limits<double>::infinity();
   std::uint32_t best = 0;
@@ -98,7 +100,10 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
     double score = 0.0;
     for (LinkId l : paths[r]) {
       const double cap = cluster.topology().link(l).capacity;
-      const double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
+      double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
+      // Live telemetry (O(1) per-link index lookup): traffic the demand
+      // model can't see — background flows, other tenants' libraries.
+      if (live != nullptr) load += live->link_throughput(l);
       score = std::max(score, (load + f.demand) / cap);
     }
     if (!restrict_to_unreserved && f.high_priority && reserved.count(r) > 0) {
@@ -147,7 +152,8 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
         q.pop_front();
         const std::uint32_t r = best_route(
             f, routing, cluster, link_demand, item_demand[i],
-            options.reserved_routes, /*restrict_to_unreserved=*/!f.high_priority);
+            options.reserved_routes, /*restrict_to_unreserved=*/!f.high_priority,
+            options.network);
         for (LinkId l : routing.paths(f.src, f.dst)[r]) {
           link_demand[l.get()] += f.demand;
           item_demand[i][l.get()] += f.demand;

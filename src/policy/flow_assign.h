@@ -22,6 +22,10 @@
 #include "mccs/strategy.h"
 #include "netsim/routing.h"
 
+namespace mccs::net {
+class Network;
+}
+
 namespace mccs::policy {
 
 /// One communicator whose flows need placement.
@@ -36,6 +40,16 @@ struct AssignItem {
 struct AssignOptions {
   /// Route indices reserved for high-priority apps (PFA). Empty => plain FFA.
   std::unordered_set<std::uint32_t> reserved_routes;
+
+  /// Live network telemetry. When set, best-fit scoring adds each candidate
+  /// link's measured throughput (an O(1) read of the Network's per-link
+  /// index) to the modelled demand, so the assignment steers around traffic
+  /// the demand model cannot see — chiefly background/external flows (the
+  /// Fig.-7 scenario). Collectives being reassigned are typically mid-flight,
+  /// so their own live rates inflate every candidate of every path they
+  /// already use; the demand model remains the primary signal and the live
+  /// term breaks its ties. Null (default) preserves the pure-demand scoring.
+  const net::Network* network = nullptr;
 };
 
 /// Route map per communicator: CommStrategy::route_key -> RouteId.

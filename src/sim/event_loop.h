@@ -6,11 +6,25 @@
 // scheduled for the same virtual time fire in schedule order, which makes
 // entire experiments bit-reproducible — a property the tests for the Fig.-4
 // reconfiguration protocol rely on to replay message races.
+//
+// Storage is a generation-tagged slab with a free list: schedule and cancel
+// are O(1) with no hash lookups on the hot path (the flow-level simulator
+// cancels and reschedules completion events on every rate change, so this is
+// the hottest allocation site in the repo). Cancelling leaves a dead entry in
+// the heap; dead entries are skipped on pop and the heap is compacted in one
+// pass whenever they outnumber the live ones. A slot's generation is bumped
+// every time it is released, so a stale Handle can never cancel an unrelated
+// event that happens to reuse the slot.
+//
+// Determinism contract: events with equal time fire in schedule order. The
+// heap tie-breaks on a monotone sequence number assigned at schedule time
+// (never on slot index, which slab reuse would scramble), so the firing
+// order is a pure function of the schedule-call sequence — compaction and
+// cancellation cannot perturb it.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -22,7 +36,8 @@ class EventLoop {
  public:
   using Callback = std::function<void()>;
 
-  /// Opaque handle used to cancel a scheduled event.
+  /// Opaque handle used to cancel a scheduled event. Encodes slab slot and
+  /// generation; 0 is the invalid handle.
   struct Handle {
     std::uint64_t id = 0;
     [[nodiscard]] bool valid() const { return id != 0; }
@@ -38,10 +53,22 @@ class EventLoop {
   /// Schedule `cb` at absolute virtual time `t` (>= now).
   Handle schedule_at(Time t, Callback cb) {
     MCCS_EXPECTS(t >= now_);
-    const std::uint64_t id = ++next_id_;
-    callbacks_.emplace(id, std::move(cb));
-    queue_.push(Entry{t, id});
-    return Handle{id};
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    MCCS_ASSERT(!s.live);
+    s.cb = std::move(cb);
+    s.live = true;
+    heap_.push_back(Entry{t, ++next_seq_, slot, s.gen});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return Handle{make_id(slot, s.gen)};
   }
 
   /// Schedule `cb` after a relative delay `dt` (>= 0).
@@ -52,30 +79,50 @@ class EventLoop {
 
   /// Cancel a pending event. Cancelling an already-fired or already-cancelled
   /// event is a harmless no-op (the common case when a completion event races
-  /// a rate change).
-  void cancel(Handle h) { callbacks_.erase(h.id); }
+  /// a rate change). O(1): the heap entry goes dead in place and is reclaimed
+  /// by the skip-on-pop path or by compaction.
+  void cancel(Handle h) {
+    const std::uint32_t slot = slot_of(h.id);
+    if (slot >= slots_.size()) return;  // invalid or never-issued handle
+    Slot& s = slots_[slot];
+    if (!s.live || s.gen != gen_of(h.id)) return;  // fired, cancelled, reused
+    release(slot);
+    ++dead_in_heap_;
+    maybe_compact();
+  }
 
   /// Whether an event handle is still pending.
-  [[nodiscard]] bool pending(Handle h) const { return callbacks_.count(h.id) > 0; }
+  [[nodiscard]] bool pending(Handle h) const {
+    const std::uint32_t slot = slot_of(h.id);
+    return slot < slots_.size() && slots_[slot].live &&
+           slots_[slot].gen == gen_of(h.id);
+  }
 
-  /// Number of live (non-cancelled) events.
-  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
-  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  /// Number of live (non-cancelled, not-yet-fired) events. Dead heap entries
+  /// awaiting reclamation are NOT counted.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Run the next event. Returns false when no events remain.
   bool step() {
-    while (!queue_.empty()) {
-      const Entry e = queue_.top();
-      queue_.pop();
-      auto it = callbacks_.find(e.id);
-      if (it == callbacks_.end()) continue;  // cancelled
-      Callback cb = std::move(it->second);
-      callbacks_.erase(it);
+    while (!heap_.empty()) {
+      const Entry e = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      Slot& s = slots_[e.slot];
+      if (!s.live || s.gen != e.gen) {  // cancelled
+        MCCS_ASSERT(dead_in_heap_ > 0);
+        --dead_in_heap_;
+        continue;
+      }
+      Callback cb = std::move(s.cb);
+      release(e.slot);
       MCCS_CHECK(e.time >= now_, "event loop time went backwards");
       now_ = e.time;
       cb();
       return true;
     }
+    MCCS_ASSERT(live_ == 0 && dead_in_heap_ == 0);
     return false;
   }
 
@@ -88,16 +135,22 @@ class EventLoop {
   /// Run events with time <= t, then advance the clock to exactly t.
   void run_until(Time t) {
     MCCS_EXPECTS(t >= now_);
-    while (!queue_.empty()) {
-      // Skip cancelled entries at the head so peeking sees a live event.
-      const Entry e = queue_.top();
-      if (callbacks_.count(e.id) == 0) {
-        queue_.pop();
+    while (!heap_.empty()) {
+      // Skip dead entries at the head so peeking sees a live event; otherwise
+      // a cancelled head scheduled before `t` would stall the loop below `t`.
+      const Entry& e = heap_.front();
+      const Slot& s = slots_[e.slot];
+      if (!s.live || s.gen != e.gen) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        MCCS_ASSERT(dead_in_heap_ > 0);
+        --dead_in_heap_;
         continue;
       }
       if (e.time > t) break;
       step();
     }
+    MCCS_ASSERT(heap_.size() == live_ + dead_in_heap_);
     now_ = t;
   }
 
@@ -112,17 +165,68 @@ class EventLoop {
  private:
   struct Entry {
     Time time;
-    std::uint64_t id;  // schedule order; breaks time ties deterministically
-    friend bool operator>(const Entry& a, const Entry& b) {
+    std::uint64_t seq;  // schedule order; breaks time ties deterministically
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  /// Min-heap comparator: `a` fires strictly later than `b`.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;  // bumped on every release; 0 never used
+    bool live = false;
+  };
+
+  static std::uint64_t make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) | (slot + 1ull);
+  }
+  static std::uint32_t slot_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffull) - 1;  // 0 -> huge
+  }
+  static std::uint32_t gen_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Mark a slot dead and return it to the free list. The heap entry (if any)
+  /// stays behind and is recognised as dead by its stale generation.
+  void release(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    MCCS_ASSERT(s.live);
+    s.cb = nullptr;
+    s.live = false;
+    ++s.gen;
+    free_.push_back(slot);
+    MCCS_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  /// Drop dead entries once they outnumber live ones. One O(n) pass +
+  /// make_heap; ordering is unaffected because (time, seq) totally orders
+  /// entries independent of heap layout.
+  void maybe_compact() {
+    if (dead_in_heap_ <= heap_.size() / 2 || heap_.size() < 64) return;
+    std::erase_if(heap_, [this](const Entry& e) {
+      const Slot& s = slots_[e.slot];
+      return !s.live || s.gen != e.gen;
+    });
+    MCCS_CHECK(heap_.size() == live_, "heap compaction lost a live event");
+    dead_in_heap_ = 0;
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
   Time now_ = 0.0;
-  std::uint64_t next_id_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Entry> heap_;         // binary min-heap on (time, seq)
+  std::vector<Slot> slots_;         // slab; index = Handle slot
+  std::vector<std::uint32_t> free_; // released slot indices
+  std::size_t live_ = 0;            // live events (== size())
+  std::size_t dead_in_heap_ = 0;    // cancelled entries still in the heap
 };
 
 }  // namespace mccs::sim

@@ -126,5 +126,61 @@ TEST(EventLoop, RunWhilePendingReturnsFalseWhenDrained) {
   EXPECT_FALSE(loop.run_while_pending([] { return false; }));
 }
 
+TEST(EventLoop, CancelThenRunUntilKeepsAccounting) {
+  EventLoop loop;
+  int fired = 0;
+  auto h1 = loop.schedule_at(1.0, [&] { ++fired; });
+  auto h2 = loop.schedule_at(2.0, [&] { ++fired; });
+  auto h3 = loop.schedule_at(3.0, [&] { ++fired; });
+  EXPECT_EQ(loop.size(), 3u);
+  loop.cancel(h1);  // cancelled entry sits at the heap head
+  loop.cancel(h3);
+  EXPECT_EQ(loop.size(), 1u);  // dead entries are not counted
+  EXPECT_FALSE(loop.pending(h1));
+  EXPECT_TRUE(loop.pending(h2));
+  loop.run_until(2.5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(loop.pending(h2));
+  EXPECT_TRUE(loop.empty());
+  EXPECT_DOUBLE_EQ(loop.now(), 2.5);
+}
+
+TEST(EventLoop, SameTimeOrderingSurvivesHeapCompaction) {
+  // Interleave 100 same-time survivors with 200 victims, then cancel every
+  // victim: dead entries outnumber live ones, forcing a heap compaction.
+  // The survivors must still fire in schedule order.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventLoop::Handle> doomed;
+  for (int i = 0; i < 100; ++i) {
+    loop.schedule_at(2.0, [&order, i] { order.push_back(i); });
+    doomed.push_back(loop.schedule_at(1.0, [] {}));
+    doomed.push_back(loop.schedule_at(1.0, [] {}));
+  }
+  for (auto h : doomed) loop.cancel(h);
+  EXPECT_EQ(loop.size(), 100u);
+  loop.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, StaleHandleCannotTouchReusedSlot) {
+  // Cancelling A frees its slab slot; B reuses it with a bumped generation.
+  // A's stale handle must neither report pending nor cancel B.
+  EventLoop loop;
+  bool a_fired = false;
+  bool b_fired = false;
+  auto ha = loop.schedule_at(1.0, [&] { a_fired = true; });
+  loop.cancel(ha);
+  auto hb = loop.schedule_at(1.0, [&] { b_fired = true; });
+  EXPECT_FALSE(loop.pending(ha));
+  EXPECT_TRUE(loop.pending(hb));
+  loop.cancel(ha);  // stale
+  EXPECT_TRUE(loop.pending(hb));
+  loop.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
 }  // namespace
 }  // namespace mccs::sim

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "cluster/cluster.h"
+#include "common/rng.h"
 #include "netsim/routing.h"
 #include "netsim/topology.h"
 #include "sim/event_loop.h"
@@ -276,6 +277,98 @@ TEST(Network, EcmpCollisionHalvesThroughputExplicitRoutesAvoidIt) {
   loop.run();
   EXPECT_NEAR(d1, 2.0, 1e-6);
   EXPECT_NEAR(d2, 2.0, 1e-6);
+}
+
+TEST(Network, LinkIndexMatchesShadowScanUnderChurn) {
+  // The O(1) per-link index (link_throughput / link_flow_count) must agree
+  // with a brute-force scan over all active flows at every instant, through
+  // starts, latent activations, pauses, resumes, cancels and completions —
+  // in both the incremental and the reference engine.
+  for (const bool incremental : {true, false}) {
+    auto cl = cluster::make_testbed();
+    const auto& topo = cl.topology();
+    sim::EventLoop loop;
+    Network net(loop, topo, Network::Options{incremental});
+    Rng rng(incremental ? 0xC0FFEEull : 0xBEEFull);
+    const auto hosts = topo.hosts();
+
+    struct Shadow {
+      FlowId id;
+      Path path;
+      Time active_from;  ///< start time + latency
+      bool paused = false;
+      bool background = false;
+    };
+    std::vector<Shadow> shadows;
+    std::set<std::uint32_t> completed;
+
+    auto verify = [&](Time now) {
+      for (std::uint32_t l = 0; l < topo.link_count(); ++l) {
+        const LinkId link{l};
+        double expect_tp = 0.0;
+        std::size_t expect_cnt = 0;
+        for (const Shadow& s : shadows) {
+          if (completed.count(s.id.get()) > 0) continue;
+          if (s.paused || s.active_from > now) continue;
+          bool on_link = false;
+          for (LinkId pl : s.path) on_link = on_link || pl == link;
+          if (!on_link) continue;
+          expect_tp += net.flow_rate(s.id);
+          if (!s.background) ++expect_cnt;
+        }
+        EXPECT_NEAR(net.link_throughput(link), expect_tp, 1e-3)
+            << "link " << l << " incremental=" << incremental;
+        EXPECT_EQ(net.link_flow_count(link), expect_cnt)
+            << "link " << l << " incremental=" << incremental;
+      }
+    };
+
+    for (int step = 0; step < 60; ++step) {
+      const Time now = step * 0.002;
+      loop.run_until(now);
+      const double dice = rng.uniform();
+      if (dice < 0.55 || shadows.empty()) {
+        const NodeId src = hosts[rng.below(hosts.size())];
+        NodeId dst = hosts[rng.below(hosts.size())];
+        if (dst == src) dst = hosts[(dst.get() + 1) % hosts.size()];
+        FlowSpec spec;
+        spec.src = src;
+        spec.dst = dst;
+        const bool background = rng.uniform() < 0.15;
+        if (background) {
+          spec.background_demand = gbps(5 + rng.uniform() * 20);
+        } else {
+          spec.size = 1 + rng.below(50'000'000);
+          spec.start_latency = rng.uniform() < 0.3 ? rng.uniform() * 0.004 : 0.0;
+        }
+        spec.ecmp_key = rng.engine()();
+        spec.on_complete = [&completed](FlowId id, Time) {
+          completed.insert(id.get());
+        };
+        const Time latency = spec.start_latency;
+        const FlowId id = net.start_flow(std::move(spec));
+        shadows.push_back(
+            Shadow{id, net.flow_path(id), now + latency, false, background});
+      } else {
+        const std::size_t pick = rng.below(shadows.size());
+        Shadow& s = shadows[pick];
+        if (completed.count(s.id.get()) > 0) continue;
+        if (dice < 0.7 && !s.background) {
+          if (s.paused) {
+            net.resume_flow(s.id);
+            s.paused = false;
+          } else {
+            net.pause_flow(s.id);
+            s.paused = true;
+          }
+        } else if (dice < 0.8) {
+          net.cancel_flow(s.id);
+          shadows.erase(shadows.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+      }
+      verify(now);
+    }
+  }
 }
 
 TEST(Network, MaxMinAllocationOnOversubscribedFabric) {

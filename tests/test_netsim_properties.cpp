@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
+#include <optional>
+#include <tuple>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -155,6 +160,197 @@ TEST(NetworkProperties, BackgroundDemandsShareProportionallyWhenOversubscribed) 
   const FlowId b2 = net.start_flow({.src = a, .dst = b, .background_demand = gbps(40), .on_complete = {}});
   EXPECT_NEAR(net.flow_rate(b1), gbps(25), 1.0);
   EXPECT_NEAR(net.flow_rate(b2), gbps(25), 1.0);
+}
+
+// --- incremental vs reference cross-validation ------------------------------
+//
+// The component-scoped solver (Options::incremental, the default) must be
+// observationally equivalent to the global reference solver: identical
+// completion events and identical rates at any instant, under arbitrary
+// churn. Both paths iterate flows in ascending id order, so disjoint
+// components produce bit-identical floating point; the tolerance below only
+// absorbs the measure-zero near-tie cases inside the solver.
+
+/// Everything a churn run does, precomputed so both modes replay it exactly.
+struct ChurnPlan {
+  struct Start {
+    Time at;
+    NodeId src, dst;
+    Bytes size;
+    std::uint64_t ecmp_key;
+    Time latency;
+    Bandwidth cap;
+    double weight;
+  };
+  struct Pulse {
+    int target;  ///< index into `starts`
+    Time pause_at, resume_at;
+  };
+  struct Cancel {
+    int target;
+    Time at;
+  };
+  std::vector<std::pair<NodeId, NodeId>> background;
+  std::vector<Start> starts;
+  std::vector<Pulse> pulses;
+  std::vector<Cancel> cancels;
+  std::vector<Time> probes;
+};
+
+ChurnPlan make_plan(const std::vector<NodeId>& hosts, Rng& rng) {
+  ChurnPlan plan;
+  auto pick_pair = [&] {
+    const NodeId src = hosts[rng.below(hosts.size())];
+    NodeId dst = hosts[rng.below(hosts.size())];
+    if (dst == src) dst = hosts[(dst.get() + 1) % hosts.size()];
+    return std::pair{src, dst};
+  };
+  for (int b = 0; b < 2; ++b) plan.background.push_back(pick_pair());
+  for (int i = 0; i < 24; ++i) {
+    const auto [src, dst] = pick_pair();
+    ChurnPlan::Start s;
+    s.at = rng.uniform() * 0.05;
+    s.src = src;
+    s.dst = dst;
+    s.size = 1 + rng.below(100'000'000);
+    s.ecmp_key = rng.engine()();
+    s.latency = rng.uniform() < 0.3 ? rng.uniform() * 1e-3 : 0.0;
+    s.cap = rng.uniform() < 0.25 ? gbps(3 + rng.uniform() * 30)
+                                 : std::numeric_limits<Bandwidth>::infinity();
+    s.weight = rng.uniform() < 0.2 ? 0.5 + rng.uniform() * 3.0 : 1.0;
+    plan.starts.push_back(s);
+  }
+  for (int p = 0; p < 4; ++p) {
+    ChurnPlan::Pulse pulse;
+    pulse.target = static_cast<int>(rng.below(plan.starts.size()));
+    pulse.pause_at = 0.005 + rng.uniform() * 0.05;
+    pulse.resume_at = pulse.pause_at + 0.001 + rng.uniform() * 0.03;
+    plan.pulses.push_back(pulse);
+  }
+  for (int c = 0; c < 4; ++c) {
+    plan.cancels.push_back({static_cast<int>(rng.below(plan.starts.size())),
+                            0.002 + rng.uniform() * 0.06});
+  }
+  for (int s = 0; s < 3; ++s) plan.probes.push_back(0.004 + rng.uniform() * 0.08);
+  return plan;
+}
+
+struct ChurnResult {
+  std::vector<std::pair<std::uint32_t, Time>> completions;  ///< by flow id
+  /// Per probe instant: (start index, rate, lazily-read remaining bytes).
+  std::vector<std::vector<std::tuple<int, double, Bytes>>> samples;
+};
+
+ChurnResult run_churn(const cluster::Cluster& cl, const ChurnPlan& plan,
+                      bool incremental) {
+  sim::EventLoop loop;
+  Network net(loop, cl.topology(), Network::Options{incremental});
+  ChurnResult res;
+  std::vector<std::optional<FlowId>> ids(plan.starts.size());
+
+  for (const auto& [src, dst] : plan.background) {
+    net.start_flow({.src = src, .dst = dst, .background_demand = gbps(20),
+                    .on_complete = {}});
+  }
+  for (std::size_t i = 0; i < plan.starts.size(); ++i) {
+    const ChurnPlan::Start& s = plan.starts[i];
+    loop.schedule_at(s.at, [&, i] {
+      FlowSpec spec;
+      spec.src = plan.starts[i].src;
+      spec.dst = plan.starts[i].dst;
+      spec.size = plan.starts[i].size;
+      spec.ecmp_key = plan.starts[i].ecmp_key;
+      spec.start_latency = plan.starts[i].latency;
+      spec.rate_cap = plan.starts[i].cap;
+      spec.weight = plan.starts[i].weight;
+      spec.on_complete = [&res](FlowId id, Time at) {
+        res.completions.emplace_back(id.get(), at);
+      };
+      ids[i] = net.start_flow(std::move(spec));
+    });
+  }
+  for (const ChurnPlan::Pulse& p : plan.pulses) {
+    loop.schedule_at(p.pause_at, [&, p] {
+      if (ids[static_cast<std::size_t>(p.target)] &&
+          net.flow_active(*ids[static_cast<std::size_t>(p.target)])) {
+        net.pause_flow(*ids[static_cast<std::size_t>(p.target)]);
+      }
+    });
+    loop.schedule_at(p.resume_at, [&, p] {
+      if (ids[static_cast<std::size_t>(p.target)] &&
+          net.flow_active(*ids[static_cast<std::size_t>(p.target)])) {
+        net.resume_flow(*ids[static_cast<std::size_t>(p.target)]);
+      }
+    });
+  }
+  for (const ChurnPlan::Cancel& c : plan.cancels) {
+    loop.schedule_at(c.at, [&, c] {
+      if (ids[static_cast<std::size_t>(c.target)] &&
+          net.flow_active(*ids[static_cast<std::size_t>(c.target)])) {
+        net.cancel_flow(*ids[static_cast<std::size_t>(c.target)]);
+      }
+    });
+  }
+  for (Time t : plan.probes) {
+    loop.schedule_at(t, [&] {
+      std::vector<std::tuple<int, double, Bytes>> sample;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (!ids[i] || !net.flow_active(*ids[i])) continue;
+        sample.emplace_back(static_cast<int>(i), net.flow_rate(*ids[i]),
+                            net.flow_remaining(*ids[i]));
+      }
+      res.samples.push_back(std::move(sample));
+    });
+  }
+  loop.run();
+  std::sort(res.completions.begin(), res.completions.end());
+  return res;
+}
+
+TEST(NetworkProperties, IncrementalMatchesReferenceAcross1000Seeds) {
+  const auto cl = cluster::make_testbed();
+  const auto hosts = cl.topology().hosts();
+  std::size_t total_completions = 0;
+
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    const ChurnPlan plan = make_plan(hosts, rng);
+    const ChurnResult inc = run_churn(cl, plan, /*incremental=*/true);
+    const ChurnResult ref = run_churn(cl, plan, /*incremental=*/false);
+
+    // Completions: same flows, same (virtual) times, event for event.
+    ASSERT_EQ(inc.completions.size(), ref.completions.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < inc.completions.size(); ++i) {
+      ASSERT_EQ(inc.completions[i].first, ref.completions[i].first)
+          << "seed " << seed;
+      const Time ti = inc.completions[i].second;
+      const Time tr = ref.completions[i].second;
+      ASSERT_NEAR(ti, tr, 1e-9 * std::max(1e-3, std::abs(tr)))
+          << "seed " << seed << " flow " << inc.completions[i].first;
+    }
+    total_completions += inc.completions.size();
+
+    // Instantaneous rates and lazily-integrated remaining bytes agree at
+    // every probe instant.
+    ASSERT_EQ(inc.samples.size(), ref.samples.size()) << "seed " << seed;
+    for (std::size_t s = 0; s < inc.samples.size(); ++s) {
+      ASSERT_EQ(inc.samples[s].size(), ref.samples[s].size())
+          << "seed " << seed << " probe " << s;
+      for (std::size_t k = 0; k < inc.samples[s].size(); ++k) {
+        const auto& [ii, ri, bi] = inc.samples[s][k];
+        const auto& [ir, rr, br] = ref.samples[s][k];
+        ASSERT_EQ(ii, ir) << "seed " << seed;
+        ASSERT_NEAR(ri, rr, 1e-9 * std::max(1.0, std::abs(rr)))
+            << "seed " << seed << " flow idx " << ii;
+        ASSERT_NEAR(static_cast<double>(bi), static_cast<double>(br),
+                    1e-9 * std::max(1.0, static_cast<double>(br)) + 1.0)
+            << "seed " << seed << " flow idx " << ii;
+      }
+    }
+  }
+  // The acceptance bar: the equivalence claim is backed by real volume.
+  EXPECT_GE(total_completions, 1000u);
 }
 
 TEST(NetworkProperties, FlowRemainingDecreasesMonotonically) {
