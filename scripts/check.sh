@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the test suite, then run the
-# simulation-engine microbench and validate the schema of its JSON output
-# (so perf-tracking tooling downstream never silently breaks).
+# simulation-engine and datapath microbenches and validate the schema (and
+# speedup gates) of their JSON output (so perf-tracking tooling downstream
+# never silently breaks).
+#
+# SANITIZE=address,undefined ./scripts/check.sh
+#   builds the suite under the given sanitizers in a separate build tree
+#   (build-san/) and runs ctest there instead; benches are skipped (their
+#   timings are meaningless under instrumentation).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ -n "${SANITIZE:-}" ]]; then
+  echo "== sanitizer build: ${SANITIZE} =="
+  cmake -B build-san -S . -DMCCS_SANITIZE="${SANITIZE}" >/dev/null
+  cmake --build build-san -j "$(nproc)" --target mccs_tests
+  (cd build-san && ctest --output-on-failure -j "$(nproc)")
+  echo "ALL CHECKS PASSED (sanitized: ${SANITIZE})"
+  exit 0
+fi
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
@@ -47,6 +62,62 @@ else
     done
   done < "$json"
   echo "BENCH_flowsim.json schema OK (grep fallback)"
+fi
+
+echo "== micro_datapath =="
+(cd build/bench && ./micro_datapath)
+
+dpjson=build/bench/BENCH_datapath.json
+[[ -s "$dpjson" ]] || { echo "FAIL: $dpjson missing or empty" >&2; exit 1; }
+
+# Schema per section plus the PR's perf gates: a cache hit must be >= 3x
+# cheaper than building the plan, and the vectorized float32-sum reduce must
+# be >= 2x the scalar reference.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$dpjson" <<'EOF'
+import json, sys
+
+expected = {
+    "plan": {"bench", "section", "kind", "count", "channels",
+             "cold_ns", "warm_ns", "speedup"},
+    "reduce": {"bench", "section", "dtype", "op", "bytes",
+               "scalar_gbps", "vector_gbps", "speedup"},
+    "e2e": {"bench", "section", "plan_cache", "host_ns_per_collective",
+            "hit_rate"},
+}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("FAIL: no records in BENCH_datapath.json")
+seen = set()
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    sec = rec.get("section")
+    if sec not in expected:
+        sys.exit(f"FAIL: line {i} unknown section {sec!r}")
+    if set(rec) != expected[sec]:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != "
+                 f"{sorted(expected[sec])}")
+    seen.add(sec)
+    if sec == "plan" and rec["speedup"] < 3.0:
+        sys.exit(f"FAIL: plan cache speedup {rec['speedup']:.2f} < 3x "
+                 f"for {rec['kind']}")
+    if (sec == "reduce" and rec["dtype"] == "f32" and rec["op"] == "sum"
+            and rec["speedup"] < 2.0):
+        sys.exit(f"FAIL: f32-sum reduce speedup {rec['speedup']:.2f} < 2x")
+if seen != set(expected):
+    sys.exit(f"FAIL: sections {sorted(seen)} != {sorted(expected)}")
+print(f"BENCH_datapath.json schema + gates OK ({len(lines)} records)")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench section; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+  done < "$dpjson"
+  echo "BENCH_datapath.json schema OK (grep fallback; gates skipped)"
 fi
 
 echo "ALL CHECKS PASSED"

@@ -57,9 +57,20 @@ inline std::string to_string(CollectiveKind k) {
 
 namespace detail {
 
+// Keep the reference implementation genuinely scalar: it is the correctness
+// oracle the vectorized kernels (reduce.cpp) are tested and benchmarked
+// against, so the compiler must not quietly vectorize it too.
+#if defined(__GNUC__) && !defined(__clang__)
+#define MCCS_NO_VECTORIZE \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define MCCS_NO_VECTORIZE
+#endif
+
 template <class T>
-void reduce_typed(std::span<std::byte> acc, std::span<const std::byte> in,
-                  ReduceOp op) {
+MCCS_NO_VECTORIZE void reduce_typed_scalar(std::span<std::byte> acc,
+                                           std::span<const std::byte> in,
+                                           ReduceOp op) {
   auto* a = reinterpret_cast<T*>(acc.data());
   const auto* b = reinterpret_cast<const T*>(in.data());
   const std::size_t n = acc.size() / sizeof(T);
@@ -79,19 +90,30 @@ void reduce_typed(std::span<std::byte> acc, std::span<const std::byte> in,
   }
 }
 
+#undef MCCS_NO_VECTORIZE
+
 }  // namespace detail
 
 /// acc[i] = acc[i] (op) in[i], elementwise over raw device bytes.
-inline void reduce_bytes(std::span<std::byte> acc, std::span<const std::byte> in,
-                         DataType dtype, ReduceOp op) {
+/// Implemented in reduce.cpp as op-specialized restrict-pointer loops that
+/// auto-vectorize; bit-identical to reduce_bytes_reference (elementwise ops
+/// involve no reassociation, so vectorization preserves IEEE semantics).
+void reduce_bytes(std::span<std::byte> acc, std::span<const std::byte> in,
+                  DataType dtype, ReduceOp op);
+
+/// Scalar reference implementation, kept as the oracle for tests and the
+/// datapath microbench.
+inline void reduce_bytes_reference(std::span<std::byte> acc,
+                                   std::span<const std::byte> in,
+                                   DataType dtype, ReduceOp op) {
   MCCS_EXPECTS(acc.size() == in.size());
   MCCS_EXPECTS(acc.size() % dtype_size(dtype) == 0);
   switch (dtype) {
-    case DataType::kFloat32: detail::reduce_typed<float>(acc, in, op); break;
-    case DataType::kFloat64: detail::reduce_typed<double>(acc, in, op); break;
-    case DataType::kInt32: detail::reduce_typed<std::int32_t>(acc, in, op); break;
-    case DataType::kInt64: detail::reduce_typed<std::int64_t>(acc, in, op); break;
-    case DataType::kUint8: detail::reduce_typed<std::uint8_t>(acc, in, op); break;
+    case DataType::kFloat32: detail::reduce_typed_scalar<float>(acc, in, op); break;
+    case DataType::kFloat64: detail::reduce_typed_scalar<double>(acc, in, op); break;
+    case DataType::kInt32: detail::reduce_typed_scalar<std::int32_t>(acc, in, op); break;
+    case DataType::kInt64: detail::reduce_typed_scalar<std::int64_t>(acc, in, op); break;
+    case DataType::kUint8: detail::reduce_typed_scalar<std::uint8_t>(acc, in, op); break;
   }
 }
 

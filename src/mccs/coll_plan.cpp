@@ -1,0 +1,212 @@
+#include "mccs/coll_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mccs/proxy_engine.h"
+#include "mccs/strategy.h"
+
+namespace mccs::svc {
+namespace {
+
+// Byte range of (buffer_chunk, channel) within the logical work buffer.
+// Blocks: AllGather/ReduceScatter have fixed per-rank blocks of `count`
+// elements (num_chunks == nranks); AllReduce/Broadcast partition `count`
+// elements into num_chunks near-equal pieces (rings use nranks chunks,
+// trees their pipeline granularity). Each channel owns a stripe of every
+// block.
+PlanByteRange chunk_byte_range(coll::CollectiveKind kind, std::size_t count,
+                               std::size_t esize, std::size_t num_chunks,
+                               int num_channels, int channel,
+                               std::size_t buffer_chunk) {
+  std::size_t block_begin = 0;
+  std::size_t block_count = 0;
+  switch (kind) {
+    case coll::CollectiveKind::kAllReduce:
+    case coll::CollectiveKind::kBroadcast:
+    case coll::CollectiveKind::kReduce: {
+      const auto cr = coll::chunk_range(count, num_chunks, buffer_chunk);
+      block_begin = cr.begin_elem;
+      block_count = cr.count_elem;
+      break;
+    }
+    case coll::CollectiveKind::kAllGather:
+    case coll::CollectiveKind::kReduceScatter:
+    case coll::CollectiveKind::kAllToAll:
+    case coll::CollectiveKind::kGather:
+    case coll::CollectiveKind::kScatter: {
+      block_begin = buffer_chunk * count;
+      block_count = count;
+      break;
+    }
+  }
+  const auto sub = coll::chunk_range(block_count,
+                                     static_cast<std::size_t>(num_channels),
+                                     static_cast<std::size_t>(channel));
+  return PlanByteRange{(block_begin + sub.begin_elem) * esize,
+                       sub.count_elem * esize};
+}
+
+/// Build the per-channel schedule exactly as the pre-plan proxy engine did.
+coll::ChannelSchedule build_channel_schedule(const CommStrategy& strategy,
+                                             int nranks, int rank, int channel,
+                                             coll::CollectiveKind kind,
+                                             int root, bool* is_ring,
+                                             int* my_position) {
+  *is_ring = false;
+  *my_position = 0;
+  // Trees apply to AllReduce/Broadcast/Reduce (AllGather/ReduceScatter fall
+  // back to rings: their outputs are ring-structured by construction).
+  const bool use_tree = strategy.algorithm == coll::Algorithm::kTree &&
+                        (kind == coll::CollectiveKind::kAllReduce ||
+                         kind == coll::CollectiveKind::kBroadcast ||
+                         kind == coll::CollectiveKind::kReduce);
+  if (kind == coll::CollectiveKind::kAllToAll) {
+    return coll::build_alltoall_schedule(nranks, rank);
+  }
+  if (kind == coll::CollectiveKind::kGather) {
+    return coll::build_gather_schedule(nranks, rank, root);
+  }
+  if (kind == coll::CollectiveKind::kScatter) {
+    return coll::build_scatter_schedule(nranks, rank, root);
+  }
+  if (use_tree) {
+    switch (kind) {
+      case coll::CollectiveKind::kAllReduce:
+        return coll::build_tree_allreduce_schedule(
+            nranks, rank, strategy.tree_pipeline_chunks);
+      case coll::CollectiveKind::kBroadcast:
+        return coll::build_tree_broadcast_schedule(
+            nranks, rank, root, strategy.tree_pipeline_chunks);
+      default:
+        return coll::build_tree_reduce_schedule(nranks, rank, root,
+                                                strategy.tree_pipeline_chunks);
+    }
+  }
+  const coll::RingOrder& order =
+      strategy.channel_orders[static_cast<std::size_t>(channel)];
+  *is_ring = true;
+  *my_position = order.position_of(rank);
+  if (kind == coll::CollectiveKind::kReduce) {
+    return coll::build_chain_reduce_schedule(order, rank, root);
+  }
+  return coll::build_ring_schedule(kind, order, rank, root);
+}
+
+}  // namespace
+
+std::shared_ptr<const CollPlan> build_coll_plan(
+    const CommSetup& setup, const CommStrategy& strategy,
+    const cluster::Cluster& cluster, coll::CollectiveKind kind,
+    std::size_t count, coll::DataType dtype, int root) {
+  const int n = setup.nranks;
+  const int rank = setup.rank;
+  const int num_channels = strategy.num_channels();
+  const std::size_t esize = coll::dtype_size(dtype);
+  const GpuId my_gpu = setup.gpus[static_cast<std::size_t>(rank)];
+  MCCS_EXPECTS(n >= 2);
+  MCCS_EXPECTS(num_channels >= 1);
+
+  auto plan = std::make_shared<CollPlan>();
+  plan->kind = kind;
+  plan->count = count;
+  plan->dtype = dtype;
+  plan->root = root;
+  plan->channels.resize(static_cast<std::size_t>(num_channels));
+
+  for (int c = 0; c < num_channels; ++c) {
+    CollPlan::Channel& pc = plan->channels[static_cast<std::size_t>(c)];
+    const coll::ChannelSchedule sched = build_channel_schedule(
+        strategy, n, rank, c, kind, root, &pc.is_ring, &pc.my_position);
+    plan->num_chunks = sched.num_chunks;
+
+    pc.chunk_ranges.reserve(sched.num_chunks);
+    for (std::size_t chunk = 0; chunk < sched.num_chunks; ++chunk) {
+      pc.chunk_ranges.push_back(chunk_byte_range(
+          kind, count, esize, sched.num_chunks, num_channels, c, chunk));
+    }
+
+    pc.steps.reserve(sched.steps.size());
+    for (const coll::CommStep& step : sched.steps) {
+      CollPlan::Step ps;
+      if (step.has_send()) {
+        ps.send_to = step.send_to;
+        ps.send_chunk = step.send_chunk;
+        ps.send_tag = step.send_tag;
+        ps.send_range = pc.chunk_ranges[step.send_chunk];
+        ps.send_gpu = setup.gpus[static_cast<std::size_t>(step.send_to)];
+        ps.send_same_host = cluster.same_host(my_gpu, ps.send_gpu);
+      }
+      if (step.has_recv()) {
+        MCCS_EXPECTS(step.recv_tag >= 0);
+        const auto tag = static_cast<std::size_t>(step.recv_tag);
+        if (tag >= pc.tag_to_slot.size()) pc.tag_to_slot.resize(tag + 1, -1);
+        MCCS_CHECK(pc.tag_to_slot[tag] < 0,
+                   "duplicate recv tag within a channel schedule");
+        pc.tag_to_slot[tag] = static_cast<std::int32_t>(pc.recv_slots.size());
+        ps.recv_slot = pc.tag_to_slot[tag];
+        CollPlan::RecvSlot slot;
+        slot.tag = step.recv_tag;
+        slot.chunk = step.recv_chunk;
+        slot.reduce = step.reduce;
+        slot.range = pc.chunk_ranges[step.recv_chunk];
+        pc.recv_slots.push_back(slot);
+      }
+      pc.steps.push_back(ps);
+    }
+
+    if (kind == coll::CollectiveKind::kReduceScatter) {
+      // This rank's fully-reduced chunk (this channel's stripe) moves from
+      // the scratch buffer to the user's recv buffer on channel finish.
+      MCCS_CHECK(pc.is_ring, "reduce-scatter executes on rings");
+      const std::size_t owned = coll::reducescatter_owned_chunk(n, pc.my_position);
+      const std::size_t buffer_chunk = coll::chunk_to_buffer_index(
+          kind, strategy.channel_orders[static_cast<std::size_t>(c)], owned);
+      MCCS_CHECK(buffer_chunk == static_cast<std::size_t>(rank),
+                 "reduce-scatter chunk ownership mismatch");
+      pc.rs_src = pc.chunk_ranges[buffer_chunk];
+      const auto sub = coll::chunk_range(count,
+                                         static_cast<std::size_t>(num_channels),
+                                         static_cast<std::size_t>(c));
+      pc.rs_dst = PlanByteRange{sub.begin_elem * esize, sub.count_elem * esize};
+      MCCS_CHECK(pc.rs_src.len == pc.rs_dst.len,
+                 "reduce-scatter stripe length mismatch");
+    }
+  }
+  return plan;
+}
+
+std::shared_ptr<const CollPlan> CollPlanCache::acquire(
+    std::uint64_t epoch, bool enabled, const CommSetup& setup,
+    const CommStrategy& strategy, const cluster::Cluster& cluster,
+    coll::CollectiveKind kind, std::size_t count, coll::DataType dtype,
+    int root) {
+  if (epoch != epoch_) {
+    if (!plans_.empty()) ++stats_.invalidations;
+    plans_.clear();
+    epoch_ = epoch;
+  }
+  const PlanKey key{kind, count, dtype, root, strategy.num_channels()};
+  if (enabled) {
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  ++stats_.misses;
+  auto plan = build_coll_plan(setup, strategy, cluster, kind, count, dtype, root);
+  if (enabled) plans_.emplace(key, plan);
+  return plan;
+}
+
+std::shared_ptr<const CollPlan> CollPlanCache::peek(coll::CollectiveKind kind,
+                                                    std::size_t count,
+                                                    coll::DataType dtype,
+                                                    int root,
+                                                    int num_channels) const {
+  auto it = plans_.find(PlanKey{kind, count, dtype, root, num_channels});
+  return it == plans_.end() ? nullptr : it->second;
+}
+
+}  // namespace mccs::svc

@@ -53,6 +53,13 @@ struct ServiceConfig {
   /// real data.
   bool move_data = true;
 
+  /// Cache compiled collective plans per (comm, kind, count, dtype, root)
+  /// across launches (host-side fast path; see mccs/coll_plan.h). Plans are
+  /// invalidated on every reconfiguration epoch. Affects host CPU time only,
+  /// never simulated timing; `false` rebuilds every plan from scratch (the
+  /// cold path bench/micro_datapath measures against).
+  bool enable_plan_cache = true;
+
   /// ABLATION ONLY: apply reconfiguration commands immediately on receipt,
   /// skipping the Fig.-4 sequence-number barrier. Demonstrates the
   /// correctness failure the protocol exists to prevent (collectives

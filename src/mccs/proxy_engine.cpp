@@ -9,47 +9,6 @@
 namespace mccs::svc {
 namespace {
 
-struct ByteRange {
-  Bytes offset = 0;
-  Bytes len = 0;
-};
-
-// Byte range of (buffer_chunk, channel) within the logical work buffer.
-// Blocks: AllGather/ReduceScatter have fixed per-rank blocks of `count`
-// elements (num_chunks == nranks); AllReduce/Broadcast partition `count`
-// elements into num_chunks near-equal pieces (rings use nranks chunks,
-// trees their pipeline granularity). Each channel owns a stripe of every
-// block.
-ByteRange chunk_byte_range(coll::CollectiveKind kind, std::size_t count,
-                           std::size_t esize, std::size_t num_chunks,
-                           int num_channels, int channel,
-                           std::size_t buffer_chunk) {
-  std::size_t block_begin = 0;
-  std::size_t block_count = 0;
-  switch (kind) {
-    case coll::CollectiveKind::kAllReduce:
-    case coll::CollectiveKind::kBroadcast:
-    case coll::CollectiveKind::kReduce: {
-      const auto cr = coll::chunk_range(count, num_chunks, buffer_chunk);
-      block_begin = cr.begin_elem;
-      block_count = cr.count_elem;
-      break;
-    }
-    case coll::CollectiveKind::kAllGather:
-    case coll::CollectiveKind::kReduceScatter:
-    case coll::CollectiveKind::kAllToAll:
-    case coll::CollectiveKind::kGather:
-    case coll::CollectiveKind::kScatter: {
-      block_begin = buffer_chunk * count;
-      block_count = count;
-      break;
-    }
-  }
-  const auto sub = coll::chunk_range(block_count, static_cast<std::size_t>(num_channels),
-                                     static_cast<std::size_t>(channel));
-  return ByteRange{(block_begin + sub.begin_elem) * esize, sub.count_elem * esize};
-}
-
 std::uint64_t connection_ecmp_key(CommId comm, int channel, int src_rank,
                                   int dst_rank, std::uint64_t epoch,
                                   std::uint64_t seed) {
@@ -129,6 +88,22 @@ bool ProxyEngine::reconfig_in_progress(CommId comm) const {
 
 std::size_t ProxyEngine::active_count(CommId comm) const {
   return comm_state(comm).active.size();
+}
+
+CollPlanCache::Stats ProxyEngine::plan_cache_stats(CommId comm) const {
+  return comm_state(comm).plan_cache.stats();
+}
+
+std::size_t ProxyEngine::plan_cache_size(CommId comm) const {
+  return comm_state(comm).plan_cache.size();
+}
+
+std::shared_ptr<const CollPlan> ProxyEngine::cached_plan(
+    CommId comm, coll::CollectiveKind kind, std::size_t count,
+    coll::DataType dtype, int root) const {
+  const CommRank& st = comm_state(comm);
+  return st.plan_cache.peek(kind, count, dtype, root,
+                            st.strategy.num_channels());
 }
 
 // --- issue / launch -----------------------------------------------------------
@@ -331,62 +306,26 @@ void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
     return;
   }
 
-  // Build per-channel step machines. Trees apply to AllReduce/Broadcast
-  // (AllGather/ReduceScatter fall back to rings: their outputs are ring-
-  // structured by construction).
-  const int num_channels = st.strategy.num_channels();
-  const bool use_tree =
-      st.strategy.algorithm == coll::Algorithm::kTree &&
-      (args.kind == coll::CollectiveKind::kAllReduce ||
-       args.kind == coll::CollectiveKind::kBroadcast ||
-       args.kind == coll::CollectiveKind::kReduce);
-  a.channels.reserve(static_cast<std::size_t>(num_channels));
+  // Attach the (cached) collective plan and reset pooled per-channel cursor
+  // state — on a warm cache this allocates nothing.
+  a.plan = st.plan_cache.acquire(st.epoch, ctx_->config.enable_plan_cache,
+                                 st.setup, st.strategy, *ctx_->cluster,
+                                 args.kind, args.count, args.dtype, args.root);
+  const int num_channels = static_cast<int>(a.plan->channels.size());
+  if (!st.exec_pool.empty()) {
+    a.channels = std::move(st.exec_pool.back());
+    st.exec_pool.pop_back();
+  }
+  a.channels.resize(static_cast<std::size_t>(num_channels));
   for (int c = 0; c < num_channels; ++c) {
-    ChannelExec ch;
+    ChannelExec& ch = a.channels[static_cast<std::size_t>(c)];
     ch.channel = c;
-    if (args.kind == coll::CollectiveKind::kAllToAll) {
-      ch.is_ring = false;
-      ch.sched = coll::build_alltoall_schedule(n, rank);
-    } else if (args.kind == coll::CollectiveKind::kGather) {
-      ch.is_ring = false;
-      ch.sched = coll::build_gather_schedule(n, rank, args.root);
-    } else if (args.kind == coll::CollectiveKind::kScatter) {
-      ch.is_ring = false;
-      ch.sched = coll::build_scatter_schedule(n, rank, args.root);
-    } else if (use_tree) {
-      ch.is_ring = false;
-      switch (args.kind) {
-        case coll::CollectiveKind::kAllReduce:
-          ch.sched = coll::build_tree_allreduce_schedule(
-              n, rank, st.strategy.tree_pipeline_chunks);
-          break;
-        case coll::CollectiveKind::kBroadcast:
-          ch.sched = coll::build_tree_broadcast_schedule(
-              n, rank, args.root, st.strategy.tree_pipeline_chunks);
-          break;
-        default:
-          ch.sched = coll::build_tree_reduce_schedule(
-              n, rank, args.root, st.strategy.tree_pipeline_chunks);
-          break;
-      }
-    } else if (args.kind == coll::CollectiveKind::kReduce) {
-      ch.is_ring = true;
-      ch.order = st.strategy.channel_orders[static_cast<std::size_t>(c)];
-      ch.my_position = ch.order.position_of(rank);
-      ch.sched = coll::build_chain_reduce_schedule(ch.order, rank, args.root);
-    } else {
-      ch.is_ring = true;
-      ch.order = st.strategy.channel_orders[static_cast<std::size_t>(c)];
-      ch.my_position = ch.order.position_of(rank);
-      ch.sched = coll::build_ring_schedule(args.kind, ch.order, rank, args.root);
-    }
-    for (const coll::CommStep& step : ch.sched.steps) {
-      if (step.has_recv()) {
-        ch.recv_info.emplace(step.recv_tag,
-                             ChannelExec::RecvInfo{step.recv_chunk, step.reduce});
-      }
-    }
-    a.channels.push_back(std::move(ch));
+    ch.cur = 0;
+    ch.send_done = false;
+    ch.started = false;
+    ch.finished = false;
+    ch.arrived.assign(
+        a.plan->channels[static_cast<std::size_t>(c)].recv_slots.size(), 0);
   }
   a.channels_remaining = num_channels;
 
@@ -412,20 +351,16 @@ void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
 
 void ProxyEngine::start_step(CommRank& st, ActiveColl& a, ChannelExec& ch) {
   if (ch.finished) return;
-  if (ch.cur >= ch.sched.steps.size()) {
+  const CollPlan::Channel& pc =
+      a.plan->channels[static_cast<std::size_t>(ch.channel)];
+  if (ch.cur >= pc.steps.size()) {
     finish_channel(st, a, ch);
     return;
   }
-  const coll::CommStep& step = ch.sched.steps[ch.cur];
-  const CollectiveArgs& args = a.req.args;
+  const CollPlan::Step& step = pc.steps[ch.cur];
 
   if (step.has_send()) {
-    const GpuId dst_gpu = st.setup.gpus[static_cast<std::size_t>(step.send_to)];
-    const ByteRange range = chunk_byte_range(
-        args.kind, args.count, coll::dtype_size(args.dtype), ch.sched.num_chunks,
-        static_cast<int>(a.channels.size()), ch.channel, step.send_chunk);
-
-    ProxyEngine* recv_proxy = &ctx_->proxy_for(dst_gpu);
+    ProxyEngine* recv_proxy = &ctx_->proxy_for(step.send_gpu);
     const CommId comm = st.setup.id;
     const std::uint64_t seq = a.seq;
     const int channel = ch.channel;
@@ -444,11 +379,12 @@ void ProxyEngine::start_step(CommRank& st, ActiveColl& a, ChannelExec& ch) {
       check_advance(s, it->second, c);
     };
 
-    if (ctx_->cluster->same_host(gpu_, dst_gpu)) {
+    if (step.send_same_host) {
       // Intra-host shared-memory channel, managed by the proxy directly.
       const gpu::DeviceConfig& dc = ctx_->gpus->gpu(gpu_).config();
-      const Time dt = ctx_->config.intra_host_hop_latency +
-                      static_cast<double>(range.len) / dc.intra_host_bandwidth;
+      const Time dt =
+          ctx_->config.intra_host_hop_latency +
+          static_cast<double>(step.send_range.len) / dc.intra_host_bandwidth;
       ctx_->loop->schedule_after(dt, [deliver = std::move(deliver),
                                       on_sent = std::move(on_sent)] {
         deliver();
@@ -458,8 +394,11 @@ void ProxyEngine::start_step(CommRank& st, ActiveColl& a, ChannelExec& ch) {
       ChunkTransfer t;
       t.app = st.setup.app;
       t.src_gpu = gpu_;
-      t.dst_gpu = dst_gpu;
-      t.bytes = range.len;
+      t.dst_gpu = step.send_gpu;
+      t.bytes = step.send_range.len;
+      // Route and ECMP key are resolved live (not from the plan): the
+      // unsafe-reconfig ablation swaps strategy/epoch mid-flight and must
+      // keep observing the swap, exactly as before the plan cache.
       auto rit = st.strategy.routes.find(
           CommStrategy::route_key(ch.channel, st.setup.rank, step.send_to));
       if (rit != st.strategy.routes.end()) t.route = rit->second;
@@ -481,10 +420,13 @@ void ProxyEngine::start_step(CommRank& st, ActiveColl& a, ChannelExec& ch) {
 }
 
 void ProxyEngine::check_advance(CommRank& st, ActiveColl& a, ChannelExec& ch) {
-  if (!ch.started || ch.finished || ch.cur >= ch.sched.steps.size()) return;
-  const coll::CommStep& step = ch.sched.steps[ch.cur];
+  const CollPlan::Channel& pc =
+      a.plan->channels[static_cast<std::size_t>(ch.channel)];
+  if (!ch.started || ch.finished || ch.cur >= pc.steps.size()) return;
+  const CollPlan::Step& step = pc.steps[ch.cur];
   const bool send_ok = !step.has_send() || ch.send_done;
-  const bool recv_ok = !step.has_recv() || ch.arrived.count(step.recv_tag) > 0;
+  const bool recv_ok =
+      !step.has_recv() || ch.arrived[static_cast<std::size_t>(step.recv_slot)];
   if (send_ok && recv_ok) {
     ++ch.cur;
     ch.send_done = false;
@@ -511,31 +453,34 @@ void ProxyEngine::deliver_chunk(CommId comm, std::uint64_t seq, int channel,
 void ProxyEngine::apply_delivery(CommRank& st, ActiveColl& a, const Delivery& d) {
   const CollectiveArgs& args = a.req.args;
   ChannelExec& ch = a.channels[static_cast<std::size_t>(d.channel)];
-  auto info_it = ch.recv_info.find(d.transfer_tag);
-  MCCS_CHECK(info_it != ch.recv_info.end(),
+  const CollPlan::Channel& pc =
+      a.plan->channels[static_cast<std::size_t>(d.channel)];
+  const std::int32_t slot_idx =
+      (d.transfer_tag >= 0 &&
+       static_cast<std::size_t>(d.transfer_tag) < pc.tag_to_slot.size())
+          ? pc.tag_to_slot[static_cast<std::size_t>(d.transfer_tag)]
+          : -1;
+  MCCS_CHECK(slot_idx >= 0,
              "transfer tag not expected by the receiver's schedule");
-  const ChannelExec::RecvInfo& info = info_it->second;
-  const ByteRange dst_range = chunk_byte_range(
-      args.kind, args.count, coll::dtype_size(args.dtype), ch.sched.num_chunks,
-      static_cast<int>(a.channels.size()), d.channel, info.chunk);
+  const CollPlan::RecvSlot& slot =
+      pc.recv_slots[static_cast<std::size_t>(slot_idx)];
   // Source and destination chunk indices differ for AllToAll (sender reads
   // its block for *us*, we store it at the sender's block index).
-  const ByteRange src_range = chunk_byte_range(
-      args.kind, args.count, coll::dtype_size(args.dtype), ch.sched.num_chunks,
-      static_cast<int>(a.channels.size()), d.channel, d.src_chunk);
-  MCCS_CHECK(src_range.len == dst_range.len, "transfer length mismatch");
-  if (ctx_->config.move_data && dst_range.len > 0) {
+  MCCS_EXPECTS(d.src_chunk < pc.chunk_ranges.size());
+  const PlanByteRange& src_range = pc.chunk_ranges[d.src_chunk];
+  MCCS_CHECK(src_range.len == slot.range.len, "transfer length mismatch");
+  if (ctx_->config.move_data && slot.range.len > 0) {
     auto src = ctx_->gpus->gpu(d.src_gpu).bytes(
         d.src_workbuf.at_offset(src_range.offset), src_range.len);
-    auto dst = ctx_->gpus->gpu(gpu_).bytes(a.workbuf.at_offset(dst_range.offset),
-                                           dst_range.len);
-    if (info.reduce) {
+    auto dst = ctx_->gpus->gpu(gpu_).bytes(
+        a.workbuf.at_offset(slot.range.offset), slot.range.len);
+    if (slot.reduce) {
       coll::reduce_bytes(dst, src, args.dtype, args.op);
     } else {
       std::memcpy(dst.data(), src.data(), src.size());
     }
   }
-  ch.arrived.insert(d.transfer_tag);
+  ch.arrived[static_cast<std::size_t>(slot_idx)] = 1;
   check_advance(st, a, ch);
 }
 
@@ -546,26 +491,15 @@ void ProxyEngine::finish_channel(CommRank& st, ActiveColl& a, ChannelExec& ch) {
 
   if (args.kind == coll::CollectiveKind::kReduceScatter) {
     // Copy this rank's fully-reduced chunk (this channel's stripe) from the
-    // scratch buffer to the user's recv buffer.
-    MCCS_CHECK(ch.is_ring, "reduce-scatter executes on rings");
-    const int n = st.setup.nranks;
-    const std::size_t owned =
-        coll::reducescatter_owned_chunk(n, ch.my_position);
-    const std::size_t buffer_chunk =
-        coll::chunk_to_buffer_index(args.kind, ch.order, owned);
-    MCCS_CHECK(buffer_chunk == static_cast<std::size_t>(st.setup.rank),
-               "reduce-scatter chunk ownership mismatch");
-    const std::size_t esize = coll::dtype_size(args.dtype);
-    const ByteRange src_range = chunk_byte_range(
-        args.kind, args.count, esize, ch.sched.num_chunks,
-        static_cast<int>(a.channels.size()), ch.channel, buffer_chunk);
-    if (ctx_->config.move_data && src_range.len > 0) {
-      const auto sub = coll::chunk_range(args.count, a.channels.size(),
-                                         static_cast<std::size_t>(ch.channel));
-      auto src = ctx_->gpus->gpu(gpu_).bytes(
-          a.scratch.at_offset(src_range.offset), src_range.len);
+    // scratch buffer to the user's recv buffer; ranges are precomputed (and
+    // ownership asserted) at plan-build time.
+    const CollPlan::Channel& pc =
+        a.plan->channels[static_cast<std::size_t>(ch.channel)];
+    if (ctx_->config.move_data && pc.rs_src.len > 0) {
+      auto src = ctx_->gpus->gpu(gpu_).bytes(a.scratch.at_offset(pc.rs_src.offset),
+                                             pc.rs_src.len);
       auto dst = ctx_->gpus->gpu(gpu_).bytes(
-          args.recv.at_offset(sub.begin_elem * esize), sub.count_elem * esize);
+          args.recv.at_offset(pc.rs_dst.offset), pc.rs_dst.len);
       std::memcpy(dst.data(), src.data(), src.size());
     }
   }
@@ -595,6 +529,7 @@ void ProxyEngine::complete_collective(CommRank& st, std::uint64_t seq) {
 
   MCCS_CHECK(st.pending_deliveries.count(seq) == 0,
              "collective completed with unapplied deliveries");
+  if (!a.channels.empty()) st.exec_pool.push_back(std::move(a.channels));
   st.active.erase(it);
 
   maybe_begin_update(st);

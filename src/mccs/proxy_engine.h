@@ -19,8 +19,8 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +30,7 @@
 #include "common/ids.h"
 #include "gpusim/runtime.h"
 #include "mccs/api.h"
+#include "mccs/coll_plan.h"
 #include "mccs/context.h"
 #include "mccs/strategy.h"
 #include "mccs/trace.h"
@@ -137,26 +138,29 @@ class ProxyEngine {
   /// Number of currently outstanding (launched, unfinished) collectives.
   [[nodiscard]] std::size_t active_count(CommId comm) const;
 
+  /// Plan-cache counters of one communicator (see coll_plan.h).
+  [[nodiscard]] CollPlanCache::Stats plan_cache_stats(CommId comm) const;
+  /// Number of plans currently cached for one communicator.
+  [[nodiscard]] std::size_t plan_cache_size(CommId comm) const;
+  /// The cached plan for a shape under the current strategy, or nullptr.
+  /// Test/bench hook; never builds.
+  [[nodiscard]] std::shared_ptr<const CollPlan> cached_plan(
+      CommId comm, coll::CollectiveKind kind, std::size_t count,
+      coll::DataType dtype, int root) const;
+
  private:
   static constexpr std::int64_t kNone = -1;
 
+  /// Mutable per-channel cursor + arrival state; everything structural lives
+  /// in the shared CollPlan. Flat and reusable — instances are pooled per
+  /// communicator so a warm launch allocates nothing here.
   struct ChannelExec {
     int channel = 0;
-    bool is_ring = true;
-    coll::RingOrder order{std::vector<int>{0}};  ///< ring mode only
-    int my_position = 0;                          ///< ring mode only
-    coll::ChannelSchedule sched;
     std::size_t cur = 0;
     bool send_done = false;
     bool started = false;
     bool finished = false;
-    std::set<int> arrived;  ///< recv tags already applied
-    /// What to do with an incoming transfer, resolved from *our* schedule.
-    struct RecvInfo {
-      std::size_t chunk;
-      bool reduce;
-    };
-    std::map<int, RecvInfo> recv_info;  ///< by tag
+    std::vector<std::uint8_t> arrived;  ///< by plan recv-slot index
   };
 
   struct Delivery {
@@ -175,6 +179,7 @@ class ProxyEngine {
                                  ///< (== workbuf except AllToAll)
     gpu::DevicePtr scratch;  ///< ReduceScatter / Reduce working copy
     bool executing = false;
+    std::shared_ptr<const CollPlan> plan;  ///< launch-invariant structure
     std::vector<ChannelExec> channels;
     int channels_remaining = 0;
     gpu::ExternalOpToken token;
@@ -222,9 +227,15 @@ class ProxyEngine {
     std::int64_t last_launched_seq = kNone;
     std::int64_t last_completed_seq = kNone;
     std::uint64_t epoch = 0;  ///< connection generation (re-rolls ECMP)
-    std::map<std::uint64_t, ActiveColl> active;
+    // Launch-path lookups are by exact sequence number and never iterated,
+    // so hashed containers replace the ordered maps here.
+    std::unordered_map<std::uint64_t, ActiveColl> active;
     std::deque<std::pair<std::uint64_t, WorkRequest>> held;
-    std::map<std::uint64_t, std::vector<Delivery>> pending_deliveries;
+    std::unordered_map<std::uint64_t, std::vector<Delivery>> pending_deliveries;
+    CollPlanCache plan_cache;  ///< epoch-keyed (see coll_plan.h)
+    /// Retired channel-exec vectors, reused to make warm launches
+    /// allocation-free.
+    std::vector<std::vector<ChannelExec>> exec_pool;
     std::map<std::uint64_t, RoundState> rounds;  ///< un-applied reconfig rounds
     std::uint64_t last_applied_round = 0;
     std::map<int, P2pPeerState> p2p;  ///< by peer rank

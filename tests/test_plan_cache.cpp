@@ -1,0 +1,261 @@
+// Tests of the collective plan cache (mccs/coll_plan.h): hit/miss
+// accounting, epoch invalidation on reconfiguration, structural equality of
+// cached vs freshly built plans over randomized shapes, and behavioural
+// equivalence (results and virtual time) with the cache disabled.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "helpers.h"
+#include "mccs/coll_plan.h"
+#include "mccs/fabric.h"
+#include "mccs/proxy_engine.h"
+#include "mccs/strategy.h"
+
+namespace mccs {
+namespace {
+
+using coll::CollectiveKind;
+using coll::DataType;
+using coll::ReduceOp;
+using svc::CollPlan;
+using svc::CommStrategy;
+using svc::Fabric;
+using test::await;
+using test::create_comm;
+using test::make_ranks;
+
+struct PlanCacheFixture : ::testing::Test {
+  Fabric fabric{cluster::make_testbed()};
+  AppId app{1};
+  std::vector<GpuId> gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  CommId comm;
+  std::vector<test::RankCtx> ranks;
+  std::vector<gpu::DevicePtr> buf;
+  std::size_t count = 1024;
+
+  void SetUp() override {
+    comm = create_comm(fabric, app, gpus);
+    ranks = make_ranks(fabric, app, gpus);
+    buf.resize(gpus.size());
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      buf[r] = ranks[r].shim->alloc(count * sizeof(float));
+    }
+  }
+
+  void fill_ones() {
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      auto s = fabric.gpus().typed<float>(buf[r], count);
+      for (auto& x : s) x = 1.0f;
+    }
+  }
+
+  /// One in-place AllReduce round on every rank, awaited.
+  void run_round() {
+    int remaining = static_cast<int>(gpus.size());
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      ranks[r].shim->all_reduce(comm, buf[r], buf[r], count, DataType::kFloat32,
+                                ReduceOp::kSum, *ranks[r].stream,
+                                [&remaining](Time) { --remaining; });
+    }
+    ASSERT_TRUE(await(fabric, remaining));
+  }
+
+  void expect_all_equal(float expected) {
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      auto out = fabric.gpus().typed<float>(buf[r], count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_FLOAT_EQ(out[i], expected) << "rank " << r << " elem " << i;
+      }
+    }
+  }
+};
+
+TEST_F(PlanCacheFixture, RepeatedLaunchesHitTheCache) {
+  fill_ones();
+  constexpr int kRounds = 5;
+  for (int i = 0; i < kRounds; ++i) run_round();
+  for (GpuId g : gpus) {
+    const auto st = fabric.proxy_for(g).plan_cache_stats(comm);
+    EXPECT_EQ(st.misses, 1u) << "gpu " << g.get();
+    EXPECT_EQ(st.hits, static_cast<std::uint64_t>(kRounds - 1))
+        << "gpu " << g.get();
+    EXPECT_EQ(fabric.proxy_for(g).plan_cache_size(comm), 1u);
+  }
+}
+
+TEST_F(PlanCacheFixture, DistinctShapesGetDistinctEntries) {
+  fill_ones();
+  run_round();
+  // Same kind, different count => new entry; different kind => new entry.
+  int remaining = static_cast<int>(gpus.size());
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    ranks[r].shim->all_reduce(comm, buf[r], buf[r], count / 2,
+                              DataType::kFloat32, ReduceOp::kSum,
+                              *ranks[r].stream, [&remaining](Time) { --remaining; });
+  }
+  ASSERT_TRUE(await(fabric, remaining));
+  int remaining2 = static_cast<int>(gpus.size());
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    ranks[r].shim->broadcast(comm, buf[r], buf[r], count, DataType::kFloat32, 0,
+                             *ranks[r].stream,
+                             [&remaining2](Time) { --remaining2; });
+  }
+  ASSERT_TRUE(await(fabric, remaining2));
+  for (GpuId g : gpus) {
+    EXPECT_EQ(fabric.proxy_for(g).plan_cache_size(comm), 3u);
+    EXPECT_EQ(fabric.proxy_for(g).plan_cache_stats(comm).misses, 3u);
+  }
+}
+
+TEST_F(PlanCacheFixture, ReconfigurationInvalidatesCachedPlans) {
+  fill_ones();
+  run_round();
+  std::vector<std::shared_ptr<const CollPlan>> before;
+  for (GpuId g : gpus) {
+    auto p = fabric.proxy_for(g).cached_plan(comm, CollectiveKind::kAllReduce,
+                                             count, DataType::kFloat32, 0);
+    ASSERT_NE(p, nullptr);
+    before.push_back(p);
+  }
+
+  CommStrategy target = fabric.strategy_of(comm);
+  for (auto& o : target.channel_orders) o = o.reversed();
+  fabric.reconfigure(comm, target);
+  fabric.loop().run();
+
+  // The flush is lazy (on the first acquire under the new epoch), and the
+  // post-reconfig plan must differ structurally: the ring direction reversed.
+  fill_ones();
+  run_round();
+  expect_all_equal(4.0f);
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    const auto& proxy = fabric.proxy_for(gpus[r]);
+    const auto st = proxy.plan_cache_stats(comm);
+    EXPECT_GE(st.invalidations, 1u) << "rank " << r;
+    EXPECT_EQ(st.misses, 2u) << "rank " << r;
+    auto after = proxy.cached_plan(comm, CollectiveKind::kAllReduce, count,
+                                   DataType::kFloat32, 0);
+    ASSERT_NE(after, nullptr);
+    EXPECT_NE(after, before[r]) << "rank " << r;
+    EXPECT_FALSE(*after == *before[r])
+        << "rank " << r << ": reversed ring must change the plan";
+  }
+}
+
+TEST_F(PlanCacheFixture, DisabledCacheStillProducesCorrectResults) {
+  svc::Fabric::Options options;
+  options.config.enable_plan_cache = false;
+  Fabric cold(cluster::make_testbed(), options);
+  const CommId c = create_comm(cold, app, gpus);
+  auto rks = make_ranks(cold, app, gpus);
+  std::vector<gpu::DevicePtr> b(gpus.size());
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    b[r] = rks[r].shim->alloc(count * sizeof(float));
+    auto s = cold.gpus().typed<float>(b[r], count);
+    for (auto& x : s) x = 1.0f;
+  }
+  constexpr int kRounds = 3;
+  for (int i = 0; i < kRounds; ++i) {
+    int remaining = static_cast<int>(gpus.size());
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      rks[r].shim->all_reduce(c, b[r], b[r], count, DataType::kFloat32,
+                              ReduceOp::kSum, *rks[r].stream,
+                              [&remaining](Time) { --remaining; });
+    }
+    ASSERT_TRUE(await(cold, remaining));
+  }
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    auto out = cold.gpus().typed<float>(b[r], count);
+    ASSERT_FLOAT_EQ(out[0], 64.0f);  // ((1*4)*4)*4
+  }
+  for (GpuId g : gpus) {
+    const auto st = cold.proxy_for(g).plan_cache_stats(c);
+    EXPECT_EQ(st.hits, 0u);
+    EXPECT_EQ(st.misses, static_cast<std::uint64_t>(kRounds));
+    EXPECT_EQ(cold.proxy_for(g).plan_cache_size(c), 0u);
+  }
+
+  // The cache affects host CPU time only: the warm fixture fabric and the
+  // cold fabric must agree on simulated time for the same workload.
+  fill_ones();
+  for (int i = 0; i < kRounds; ++i) run_round();
+  EXPECT_DOUBLE_EQ(fabric.loop().now(), cold.loop().now());
+}
+
+// --- property test: cached plans are structurally identical to fresh builds --
+
+CollectiveKind random_kind(Rng& rng) {
+  static const CollectiveKind kinds[] = {
+      CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
+      CollectiveKind::kReduceScatter, CollectiveKind::kBroadcast,
+      CollectiveKind::kReduce, CollectiveKind::kAllToAll,
+      CollectiveKind::kGather, CollectiveKind::kScatter};
+  return kinds[rng.below(std::size(kinds))];
+}
+
+TEST(PlanCacheProperty, CachedPlanEqualsFreshBuildOverRandomShapes) {
+  const cluster::Cluster cl = cluster::make_testbed();
+  Rng rng(20240806);
+  const std::vector<std::vector<GpuId>> comm_shapes = {
+      {GpuId{0}, GpuId{4}},                      // 2 ranks, cross host
+      {GpuId{0}, GpuId{1}},                      // 2 ranks, one host
+      {GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}},  // 4 ranks, one per host
+      {GpuId{0}, GpuId{1}, GpuId{2}, GpuId{3},   // all 8 GPUs
+       GpuId{4}, GpuId{5}, GpuId{6}, GpuId{7}},
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto& gpus = comm_shapes[rng.below(comm_shapes.size())];
+    const int nranks = static_cast<int>(gpus.size());
+
+    svc::CommSetup setup;
+    setup.id = CommId{static_cast<std::uint32_t>(trial)};
+    setup.app = AppId{1};
+    setup.nranks = nranks;
+    setup.gpus = gpus;
+    setup.rank = static_cast<int>(rng.below(nranks));
+
+    std::vector<int> base(nranks);
+    for (int r = 0; r < nranks; ++r) base[r] = r;
+    rng.shuffle(base);
+    CommStrategy strategy;
+    const int max_channels = nranks > 4 ? 2 : 1;
+    strategy.channel_orders = svc::make_channel_orders(
+        base, gpus, cl, 1 + static_cast<int>(rng.below(max_channels)));
+    const CollectiveKind kind = random_kind(rng);
+    if ((kind == CollectiveKind::kAllReduce ||
+         kind == CollectiveKind::kBroadcast ||
+         kind == CollectiveKind::kReduce) &&
+        rng.below(2) == 0) {
+      strategy.algorithm = coll::Algorithm::kTree;
+    }
+    setup.strategy = strategy;
+
+    const std::size_t count = 1 + rng.below(5000);
+    const DataType dtype =
+        rng.below(2) == 0 ? DataType::kFloat32 : DataType::kInt64;
+    const int root = static_cast<int>(rng.below(nranks));
+
+    svc::CollPlanCache cache;
+    const auto first =
+        cache.acquire(0, true, setup, strategy, cl, kind, count, dtype, root);
+    const auto cached =
+        cache.acquire(0, true, setup, strategy, cl, kind, count, dtype, root);
+    const auto fresh =
+        svc::build_coll_plan(setup, strategy, cl, kind, count, dtype, root);
+
+    ASSERT_EQ(first, cached) << "second acquire must be a hit, trial " << trial;
+    ASSERT_NE(cached, fresh);
+    ASSERT_TRUE(*cached == *fresh)
+        << "trial " << trial << ": kind " << coll::to_string(kind) << " count "
+        << count << " nranks " << nranks << " rank " << setup.rank << " root "
+        << root << " channels " << strategy.num_channels();
+  }
+}
+
+}  // namespace
+}  // namespace mccs
