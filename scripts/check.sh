@@ -7,16 +7,29 @@
 # SANITIZE=address,undefined ./scripts/check.sh
 #   builds the suite under the given sanitizers in a separate build tree
 #   (build-san/) and runs ctest there instead; benches are skipped (their
-#   timings are meaningless under instrumentation).
+#   timings are meaningless under instrumentation). The chaos fault-injection
+#   sweep still runs (it hunts memory bugs, not timings).
+#
+# CHAOS_SEEDS=N (default 100) sizes the seeded random fault-schedule sweep of
+# tests/test_chaos_fuzz.cpp run in both modes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+chaos_sweep() {
+  local tests_bin="$1"
+  local seeds="${CHAOS_SEEDS:-100}"
+  echo "== chaos sweep (${seeds} seeds) =="
+  MCCS_CHAOS_SEEDS="${seeds}" "$tests_bin" \
+    --gtest_filter='*ChaosFuzz*' --gtest_brief=1
+}
 
 if [[ -n "${SANITIZE:-}" ]]; then
   echo "== sanitizer build: ${SANITIZE} =="
   cmake -B build-san -S . -DMCCS_SANITIZE="${SANITIZE}" >/dev/null
   cmake --build build-san -j "$(nproc)" --target mccs_tests
   (cd build-san && ctest --output-on-failure -j "$(nproc)")
+  chaos_sweep build-san/tests/mccs_tests
   echo "ALL CHECKS PASSED (sanitized: ${SANITIZE})"
   exit 0
 fi
@@ -118,6 +131,68 @@ else
     done
   done < "$dpjson"
   echo "BENCH_datapath.json schema OK (grep fallback; gates skipped)"
+fi
+
+chaos_sweep build/tests/mccs_tests
+
+echo "== micro_recovery =="
+(cd build/bench && ./micro_recovery)
+
+rcjson=build/bench/BENCH_recovery.json
+[[ -s "$rcjson" ]] || { echo "FAIL: $rcjson missing or empty" >&2; exit 1; }
+
+# Schema plus the robustness gates: both recovery modes must end bit-correct
+# with a finite detection + recovery time, and the full pipeline (transport
+# escalation -> controller reconfiguration) must retain >= 50% goodput on the
+# degraded topology.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$rcjson" <<'EOF'
+import json, math, sys
+
+expected = {"bench", "mode", "gpus", "bytes", "healthy_iter_s",
+            "disrupted_iter_s", "degraded_iter_s", "time_to_detect_s",
+            "time_to_recover_s", "goodput_retained", "retries",
+            "escalations", "comms_reconfigured", "bit_correct"}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("FAIL: no records in BENCH_recovery.json")
+modes = set()
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    if set(rec) != expected:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != {sorted(expected)}")
+    mode = rec["mode"]
+    if mode not in ("rehash", "reconfig"):
+        sys.exit(f"FAIL: line {i} unknown mode {mode!r}")
+    modes.add(mode)
+    if rec["bit_correct"] is not True:
+        sys.exit(f"FAIL: {mode} result not bit-correct after recovery")
+    for key in ("time_to_detect_s", "time_to_recover_s"):
+        if not (0.0 < rec[key] < math.inf):
+            sys.exit(f"FAIL: {mode} {key} = {rec[key]} not finite-positive")
+    if mode == "reconfig":
+        if rec["goodput_retained"] < 0.5:
+            sys.exit(f"FAIL: reconfig goodput_retained "
+                     f"{rec['goodput_retained']:.3f} < 0.5")
+        if rec["comms_reconfigured"] < 1:
+            sys.exit("FAIL: reconfig mode reconfigured no communicators")
+if modes != {"rehash", "reconfig"}:
+    sys.exit(f"FAIL: modes {sorted(modes)} != ['reconfig', 'rehash']")
+print(f"BENCH_recovery.json schema + gates OK ({len(lines)} records)")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench mode goodput_retained time_to_recover_s bit_correct; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+    grep -q '"bit_correct":true' <<<"$line" || {
+      echo "FAIL: not bit-correct: $line" >&2; exit 1;
+    }
+  done < "$rcjson"
+  echo "BENCH_recovery.json schema OK (grep fallback; gates skipped)"
 fi
 
 echo "ALL CHECKS PASSED"

@@ -60,6 +60,26 @@ struct ServiceConfig {
   /// cold path bench/micro_datapath measures against).
   bool enable_plan_cache = true;
 
+  // --- fault tolerance (see DESIGN.md "Failure model and recovery protocol") -
+  /// Stall detection: each posted chunk gets a no-progress deadline of
+  /// `chunk_deadline_slack` x its analytic lower bound (start latency plus
+  /// serialization at the path's bottleneck capacity), floored at
+  /// `chunk_deadline_floor`. A deadline that fires with progress since the
+  /// last check simply re-arms; only a full window of zero progress (and not
+  /// QoS-gated) triggers the retry ladder. <= 0 disables detection entirely —
+  /// the default, so the healthy path schedules no timers and is bit-for-bit
+  /// identical to a build without the machinery.
+  double chunk_deadline_slack = 0.0;
+  Time chunk_deadline_floor = millis(2);
+  /// Retry ladder: a stalled chunk is re-posted under a re-hashed ECMP key
+  /// (dropping any pinned explicit route). After `transport_max_retries`
+  /// silent attempts the transport escalates to the controller via the
+  /// fabric's stall handler; retries continue either way (with linear
+  /// backoff, capped at 16x) so a reconfiguration can still drain the
+  /// stalled collective over surviving paths.
+  int transport_max_retries = 3;
+  Time transport_retry_backoff = micros(100);
+
   /// ABLATION ONLY: apply reconfiguration commands immediately on receipt,
   /// skipping the Fig.-4 sequence-number barrier. Demonstrates the
   /// correctness failure the protocol exists to prevent (collectives

@@ -18,6 +18,20 @@ namespace mccs::svc {
 
 class ProxyEngine;
 
+/// A transport engine's escalation after exhausting its silent retry ladder
+/// on one chunk: the provider-side signal that a path is persistently dead
+/// (the controller cross-checks the reported links against the network's
+/// monitoring plane and reconfigures around confirmed failures).
+struct StallReport {
+  AppId app{};
+  HostId host{};
+  GpuId src_gpu{};
+  GpuId dst_gpu{};
+  Bytes bytes = 0;
+  int attempts = 0;               ///< completed no-progress windows so far
+  std::vector<LinkId> path;       ///< path of the attempt that stalled
+};
+
 struct ServiceContext {
   sim::EventLoop* loop = nullptr;
   net::Network* network = nullptr;
@@ -33,6 +47,11 @@ struct ServiceContext {
   /// top of the configured control-hop latency.
   std::function<void(HostId from, HostId to, std::function<void()> fn, Time extra)>
       send_control;
+
+  /// Escalation sink for transport stalls (set via Fabric::set_stall_handler,
+  /// typically by a policy::Controller with fault recovery enabled). Null =>
+  /// transports keep retrying on their own.
+  std::function<void(const StallReport&)> on_transport_stall;
 };
 
 }  // namespace mccs::svc

@@ -1,6 +1,7 @@
 #include "mccs/fabric.h"
 
 #include <algorithm>
+#include <ostream>
 
 namespace mccs::svc {
 
@@ -138,6 +139,14 @@ const CommInfo& Fabric::comm_info(CommId comm) const {
   return it->second;
 }
 
+const CommInfo* Fabric::find_comm_info(CommId comm) const {
+  auto it = comms_.find(comm.get());
+  if (it != comms_.end()) return &it->second;
+  MCCS_CHECK(killed_comms_.count(comm.get()) > 0,
+             "reference to an unknown communicator");
+  return nullptr;
+}
+
 const CommStrategy& Fabric::strategy_of(CommId comm) {
   const CommInfo& info = comm_info(comm);
   return proxy_for(info.gpus.front()).strategy(comm);
@@ -171,6 +180,101 @@ void Fabric::destroy_communicator(CommId comm) {
   }
   comms_.erase(comm.get());
   reconfig_rounds_.erase(comm.get());
+}
+
+KillReport Fabric::kill_app(AppId app) {
+  KillReport report;
+  report.app = app;
+
+  // Abort every communicator of the app on every rank's proxy. A host crash
+  // has no control-plane grace: the state vanishes now, and peers discover it
+  // by their in-flight messages being dropped on arrival.
+  std::vector<CommId> doomed;
+  for (const auto& [id, info] : comms_) {
+    if (info.app == app) doomed.push_back(info.id);
+  }
+  std::sort(doomed.begin(), doomed.end());
+  for (CommId comm : doomed) {
+    const CommInfo info = comms_.at(comm.get());
+    for (GpuId gpu : info.gpus) {
+      report.collectives += proxy_for(gpu).abort_communicator(comm);
+    }
+    comms_.erase(comm.get());
+    reconfig_rounds_.erase(comm.get());
+    killed_comms_.insert(comm.get());
+    ++report.comms;
+  }
+
+  // Cancel the app's in-flight network sends and drop its QoS gates on every
+  // transport engine in the cluster.
+  for (auto& svc : services_) {
+    const auto& host = cluster_.host(svc->host());
+    for (std::size_t nic = 0; nic < host.nic_nodes.size(); ++nic) {
+      report.sends += svc->transport(static_cast<int>(nic)).abort_app(app);
+    }
+  }
+  return report;
+}
+
+void Fabric::set_stall_handler(std::function<void(const StallReport&)> handler) {
+  context_.on_transport_stall = std::move(handler);
+}
+
+void Fabric::debug_dump(std::ostream& os) {
+  os << "=== fabric dump @ t=" << loop_.now() << "s ===\n";
+  os << "event loop: " << loop_.size() << " live events\n";
+
+  os << "links (non-up only):\n";
+  const net::Topology& topo = network_->topology();
+  std::size_t degraded = 0;
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const LinkId id{static_cast<std::uint32_t>(l)};
+    if (network_->link_state(id) == net::LinkState::kUp) continue;
+    ++degraded;
+    os << "  link " << l
+       << (network_->link_state(id) == net::LinkState::kDown ? " DOWN"
+                                                             : " DEGRADED")
+       << " (capacity x" << network_->link_capacity_fraction(id) << ")\n";
+  }
+  if (degraded == 0) os << "  (all up)\n";
+
+  os << "active flows:\n";
+  for (FlowId f : network_->active_flows()) {
+    const net::FlowSpec& spec = network_->flow_spec(f);
+    os << "  flow " << f.get() << " app=" << spec.app.get()
+       << " remaining=" << network_->flow_remaining(f)
+       << "B rate=" << network_->flow_rate(f) << "B/s\n";
+  }
+  os << "allocation errors: " << network_->allocation_error_count() << "\n";
+
+  os << "communicators:\n";
+  for (const CommInfo& info : list_communicators()) {
+    os << "  comm " << info.id.get() << " app=" << info.app.get() << ":";
+    for (GpuId gpu : info.gpus) {
+      ProxyEngine& p = proxy_for(gpu);
+      os << " [gpu" << gpu.get() << " launched=" << p.last_launched(info.id)
+         << " completed=" << p.last_completed(info.id)
+         << " active=" << p.active_count(info.id)
+         << " held=" << p.held_count(info.id)
+         << (p.reconfig_in_progress(info.id) ? " reconfig" : "") << "]";
+    }
+    os << "\n";
+  }
+
+  os << "transport stats:\n";
+  for (auto& svc : services_) {
+    const auto& host = cluster_.host(svc->host());
+    for (std::size_t nic = 0; nic < host.nic_nodes.size(); ++nic) {
+      const TransportEngine::Stats& st =
+          svc->transport(static_cast<int>(nic)).stats();
+      if (st.deadline_checks == 0 && st.retries == 0 && st.escalations == 0) {
+        continue;
+      }
+      os << "  host" << svc->host().get() << "/nic" << nic
+         << " checks=" << st.deadline_checks << " retries=" << st.retries
+         << " escalations=" << st.escalations << "\n";
+    }
+  }
 }
 
 void Fabric::set_traffic_schedule(AppId app, const TrafficSchedule& schedule) {

@@ -11,9 +11,11 @@
 //   * retrieve per-application collective traces.
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -36,6 +38,14 @@ struct CommInfo {
   AppId app;
   int nranks = 0;
   std::vector<GpuId> gpus;  ///< by rank
+};
+
+/// What a tenant kill tore down (observability for tests and chaos runs).
+struct KillReport {
+  AppId app{};
+  std::size_t comms = 0;        ///< communicators removed from the registry
+  std::size_t collectives = 0;  ///< active + held collectives aborted
+  std::size_t sends = 0;        ///< in-flight transport sends cancelled
 };
 
 class Fabric {
@@ -81,6 +91,12 @@ class Fabric {
   [[nodiscard]] std::vector<CommInfo> list_communicators() const;
   [[nodiscard]] const CommInfo& comm_info(CommId comm) const;
 
+  /// Tolerant lookup for datapath races: null when the communicator was torn
+  /// down by kill_app (the issuing tenant may not have learned of the kill
+  /// yet). A communicator that never existed or was destroyed in an orderly
+  /// way still fails loudly — only a kill excuses a dangling reference.
+  [[nodiscard]] const CommInfo* find_comm_info(CommId comm) const;
+
   /// Current strategy as seen by rank 0's proxy.
   [[nodiscard]] const CommStrategy& strategy_of(CommId comm);
 
@@ -103,6 +119,23 @@ class Fabric {
   /// registry, so policies stop planning for it. Outstanding collectives on
   /// any rank make the teardown fail loudly.
   void destroy_communicator(CommId comm);
+
+  /// Failure injection: forcibly tear down everything an application owns —
+  /// its communicators (on every rank's proxy, immediately, no control-plane
+  /// grace), its in-flight transport sends, and its QoS schedules. Unlike
+  /// destroy_communicator, outstanding work is ABORTED: completion callbacks
+  /// of dropped collectives never fire, and peers' in-flight messages to the
+  /// dead communicator are dropped on arrival. Idempotent.
+  KillReport kill_app(AppId app);
+
+  /// Install the escalation sink for transport stall reports (see
+  /// ServiceContext::on_transport_stall). Pass nullptr to detach.
+  void set_stall_handler(std::function<void(const StallReport&)> handler);
+
+  /// Human-readable snapshot of sim time, pending events, live flows, link
+  /// states, and per-communicator progress — printed by test harnesses when
+  /// an await times out.
+  void debug_dump(std::ostream& os);
 
   // --- internal wiring ------------------------------------------------------------
   [[nodiscard]] ProxyEngine& proxy_for(GpuId gpu);
@@ -133,6 +166,7 @@ class Fabric {
   std::unordered_map<std::uint64_t, BootstrapState> bootstraps_;
   std::unordered_map<std::uint32_t, CommInfo> comms_;
   std::unordered_map<std::uint32_t, std::uint64_t> reconfig_rounds_;  ///< per comm
+  std::unordered_set<std::uint32_t> killed_comms_;  ///< tombstones from kill_app
   std::uint64_t next_unique_id_ = 1;
   std::uint32_t next_comm_id_ = 0;
 };

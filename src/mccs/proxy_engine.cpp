@@ -40,6 +40,14 @@ const ProxyEngine::CommRank& ProxyEngine::comm_state(CommId comm) const {
   return it->second;
 }
 
+ProxyEngine::CommRank* ProxyEngine::find_comm(CommId comm) {
+  auto it = comms_.find(comm.get());
+  if (it != comms_.end()) return &it->second;
+  MCCS_CHECK(aborted_.count(comm.get()) > 0,
+             "message for an unknown communicator");
+  return nullptr;
+}
+
 void ProxyEngine::install_communicator(const CommSetup& setup) {
   MCCS_EXPECTS(setup.nranks >= 1);
   MCCS_EXPECTS(setup.gpus.size() == static_cast<std::size_t>(setup.nranks));
@@ -66,6 +74,23 @@ void ProxyEngine::destroy_communicator(CommId comm) {
   comms_.erase(comm.get());
 }
 
+std::size_t ProxyEngine::abort_communicator(CommId comm) {
+  auto it = comms_.find(comm.get());
+  if (it == comms_.end()) return 0;
+  CommRank& st = it->second;
+  const std::size_t dropped = st.active.size() + st.held.size();
+  // Scratch buffers of active collectives would leak with the tenant gone;
+  // everything else (events, tokens, rounds) dies with the CommRank. The
+  // communicator stream simply never advances past its dangling external
+  // ops — it belongs to the killed tenant's communicator, so nobody waits.
+  for (auto& [seq, a] : st.active) {
+    if (a.scratch.valid()) ctx_->gpus->gpu(gpu_).release(a.scratch.mem);
+  }
+  comms_.erase(it);
+  aborted_.insert(comm.get());
+  return dropped;
+}
+
 const CommStrategy& ProxyEngine::strategy(CommId comm) const {
   return comm_state(comm).strategy;
 }
@@ -90,6 +115,10 @@ std::size_t ProxyEngine::active_count(CommId comm) const {
   return comm_state(comm).active.size();
 }
 
+std::size_t ProxyEngine::held_count(CommId comm) const {
+  return comm_state(comm).held.size();
+}
+
 CollPlanCache::Stats ProxyEngine::plan_cache_stats(CommId comm) const {
   return comm_state(comm).plan_cache.stats();
 }
@@ -109,7 +138,12 @@ std::shared_ptr<const CollPlan> ProxyEngine::cached_plan(
 // --- issue / launch -----------------------------------------------------------
 
 void ProxyEngine::issue_collective(CommId comm, WorkRequest request) {
-  CommRank& st = comm_state(comm);
+  // Tolerant lookup: the frontend hands requests over after an engine hop, so
+  // a tenant kill can land while a request is in flight. Dropping it is the
+  // correct semantics — the tenant is gone.
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;
+  CommRank& st = *stp;
   MCCS_EXPECTS(request.args.count > 0);
   const std::uint64_t seq = st.next_seq++;
 
@@ -170,14 +204,18 @@ void ProxyEngine::launch(CommRank& st, std::uint64_t seq, WorkRequest request) {
 }
 
 void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
-  CommRank& st = comm_state(comm);
+  // The comm stream fires this through an external-op callback; both the
+  // communicator and the collective may have been torn down by a tenant kill.
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;
+  CommRank& st = *stp;
   {
     const RoundState* gate = active_round(st);
     MCCS_CHECK(gate == nullptr || !gate->updating,
                "collective executing during connection update");
   }
   auto it = st.active.find(seq);
-  MCCS_EXPECTS(it != st.active.end());
+  if (it == st.active.end()) return;
   ActiveColl& a = it->second;
   a.executing = true;
   trace_[a.trace_index].started = ctx_->loop->now();
@@ -300,8 +338,9 @@ void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
     // Single-participant communicator: the local copy is the collective.
     ctx_->loop->schedule_after(ctx_->config.comm_kernel_launch,
                                [this, comm, seq] {
-                                 CommRank& s = comm_state(comm);
-                                 complete_collective(s, seq);
+                                 CommRank* s = find_comm(comm);
+                                 if (s == nullptr) return;
+                                 complete_collective(*s, seq);
                                });
     return;
   }
@@ -339,12 +378,13 @@ void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
 
   // Kick the step machines after the kernel-launch overhead.
   ctx_->loop->schedule_after(ctx_->config.comm_kernel_launch, [this, comm, seq] {
-    CommRank& s = comm_state(comm);
-    auto ait = s.active.find(seq);
-    MCCS_EXPECTS(ait != s.active.end());
+    CommRank* s = find_comm(comm);
+    if (s == nullptr) return;
+    auto ait = s->active.find(seq);
+    if (ait == s->active.end()) return;
     for (ChannelExec& ch : ait->second.channels) {
       ch.started = true;
-      start_step(s, ait->second, ch);
+      start_step(*s, ait->second, ch);
     }
   });
 }
@@ -371,12 +411,15 @@ void ProxyEngine::start_step(CommRank& st, ActiveColl& a, ChannelExec& ch) {
                                 src_gpu);
     };
     auto on_sent = [this, comm, seq, channel] {
-      CommRank& s = comm_state(comm);
-      auto it = s.active.find(seq);
-      MCCS_EXPECTS(it != s.active.end());
+      // In-flight completions of a killed tenant's sends land here after the
+      // CommRank is gone (intra-host hops bypass the transport's abort sweep).
+      CommRank* s = find_comm(comm);
+      if (s == nullptr) return;
+      auto it = s->active.find(seq);
+      if (it == s->active.end()) return;
       ChannelExec& c = it->second.channels[static_cast<std::size_t>(channel)];
       c.send_done = true;
-      check_advance(s, it->second, c);
+      check_advance(*s, it->second, c);
     };
 
     if (step.send_same_host) {
@@ -437,7 +480,12 @@ void ProxyEngine::check_advance(CommRank& st, ActiveColl& a, ChannelExec& ch) {
 void ProxyEngine::deliver_chunk(CommId comm, std::uint64_t seq, int channel,
                                 int transfer_tag, std::size_t src_chunk,
                                 gpu::DevicePtr src_workbuf, GpuId src_gpu) {
-  CommRank& st = comm_state(comm);
+  // All ranks of a killed tenant's communicator are aborted together, so a
+  // chunk arriving for a missing comm is a self-delivery of that teardown:
+  // drop it before touching any (possibly released) source buffer.
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;
+  CommRank& st = *stp;
   Delivery d{channel, transfer_tag, src_chunk, src_workbuf, src_gpu};
   auto it = st.active.find(seq);
   if (it == st.active.end() || !it->second.executing) {
@@ -538,7 +586,9 @@ void ProxyEngine::complete_collective(CommRank& st, std::uint64_t seq) {
 // --- point-to-point (§5) --------------------------------------------------------
 
 void ProxyEngine::issue_p2p(CommId comm, P2pRequest request) {
-  CommRank& st = comm_state(comm);
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;  // tenant killed while the request was in flight
+  CommRank& st = *stp;
   MCCS_EXPECTS(request.peer >= 0 && request.peer < st.setup.nranks);
   MCCS_EXPECTS(request.peer != st.setup.rank);
   MCCS_EXPECTS(request.count > 0);
@@ -562,8 +612,9 @@ void ProxyEngine::issue_p2p(CommId comm, P2pRequest request) {
   const int peer_rank = it->second.req.peer;
   it->second.req.ready_event->on_signal(
       [this, comm, peer_rank, index, is_send] {
-        CommRank& s = comm_state(comm);
-        p2p_launch(s, peer_rank, index, is_send);
+        CommRank* s = find_comm(comm);
+        if (s == nullptr) return;  // tenant killed before its compute finished
+        p2p_launch(*s, peer_rank, index, is_send);
       });
 }
 
@@ -595,7 +646,9 @@ void ProxyEngine::p2p_launch(CommRank& st, int peer, std::uint64_t op_index,
 void ProxyEngine::on_p2p_send_request(CommId comm, int src_rank,
                                       std::uint64_t op_index, Bytes bytes,
                                       gpu::DevicePtr src_buffer, GpuId src_gpu) {
-  CommRank& st = comm_state(comm);
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;  // rendezvous raced with a tenant kill
+  CommRank& st = *stp;
   P2pPeerState& ps = st.p2p[src_rank];
   ps.announced[op_index] = P2pPeerState::PendingSend{bytes, src_buffer, src_gpu};
   p2p_try_start_transfer(st, src_rank, op_index);
@@ -634,9 +687,15 @@ void ProxyEngine::p2p_try_start_transfer(CommRank& st, int src_rank,
 void ProxyEngine::on_p2p_recv_posted(CommId comm, int dst_rank,
                                      std::uint64_t op_index,
                                      gpu::DevicePtr dst_buffer) {
-  CommRank& st = comm_state(comm);
-  P2pPeerState& ps = st.p2p.at(dst_rank);
-  P2pOp& op = ps.sends.at(op_index);
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;  // rendezvous raced with a tenant kill
+  CommRank& st = *stp;
+  auto pit = st.p2p.find(dst_rank);
+  if (pit == st.p2p.end()) return;
+  P2pPeerState& ps = pit->second;
+  auto oit = ps.sends.find(op_index);
+  if (oit == ps.sends.end()) return;
+  P2pOp& op = oit->second;
   const Bytes bytes = op.req.count * coll::dtype_size(op.req.dtype);
   const GpuId dst_gpu = st.setup.gpus[static_cast<std::size_t>(dst_rank)];
   ProxyEngine* remote = &ctx_->proxy_for(dst_gpu);
@@ -646,15 +705,16 @@ void ProxyEngine::on_p2p_recv_posted(CommId comm, int dst_rank,
   auto finish = [this, remote, comm_id, my_rank, dst_rank, op_index, bytes,
                  src = op.req.buffer, dst = dst_buffer, src_gpu = gpu_,
                  dst_gpu] {
+    // A kill aborts every rank of the comm, so one check suffices; skipping
+    // the copy keeps us off buffers the teardown may have released.
+    if (find_comm(comm_id) == nullptr) return;
     if (ctx_->config.move_data) {
       auto s = ctx_->gpus->gpu(src_gpu).bytes(src, bytes);
       auto d = ctx_->gpus->gpu(dst_gpu).bytes(dst, bytes);
       std::memcpy(d.data(), s.data(), s.size());
     }
-    CommRank& st2 = comm_state(comm_id);
-    p2p_complete(st2, dst_rank, op_index, /*is_send=*/true);
-    remote->p2p_complete(remote->comm_state(comm_id), my_rank, op_index,
-                         /*is_send=*/false);
+    p2p_complete(comm_id, dst_rank, op_index, /*is_send=*/true);
+    remote->p2p_complete(comm_id, my_rank, op_index, /*is_send=*/false);
   };
 
   if (ctx_->cluster->same_host(gpu_, dst_gpu)) {
@@ -679,12 +739,16 @@ void ProxyEngine::on_p2p_recv_posted(CommId comm, int dst_rank,
   }
 }
 
-void ProxyEngine::p2p_complete(CommRank& st, int peer, std::uint64_t op_index,
+void ProxyEngine::p2p_complete(CommId comm, int peer, std::uint64_t op_index,
                                bool is_send) {
-  P2pPeerState& ps = st.p2p.at(peer);
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;  // transfer completed into a killed tenant
+  auto pit = stp->p2p.find(peer);
+  if (pit == stp->p2p.end()) return;
+  P2pPeerState& ps = pit->second;
   auto& slot = is_send ? ps.sends : ps.recvs;
   auto it = slot.find(op_index);
-  MCCS_EXPECTS(it != slot.end());
+  if (it == slot.end()) return;
   it->second.req.done_event->signal(ctx_->loop->now());
   if (it->second.req.on_complete) {
     ctx_->loop->schedule_after(
@@ -717,7 +781,12 @@ ProxyEngine::RoundState* ProxyEngine::active_round(CommRank& st) {
 
 void ProxyEngine::request_reconfigure(CommId comm, std::uint64_t round,
                                       CommStrategy new_strategy) {
-  CommRank& st = comm_state(comm);
+  // Tolerate a comm torn down before the controller's command landed (kill
+  // racing a failure-triggered reconfiguration); stale rounds for a LIVE comm
+  // are still a contract violation below.
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;
+  CommRank& st = *stp;
   MCCS_EXPECTS(new_strategy.num_channels() >= 1);
   if (ctx_->config.unsafe_immediate_reconfig) {
     // Ablation mode: swap the strategy with no synchronization. Ranks that
@@ -761,7 +830,9 @@ void ProxyEngine::try_activate(CommRank& st) {
 
 void ProxyEngine::on_control_value(CommId comm, std::uint64_t round,
                                    int origin_rank, std::int64_t value) {
-  CommRank& st = comm_state(comm);
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;  // barrier value arrived after a tenant kill
+  CommRank& st = *stp;
   if (round <= st.last_applied_round) return;  // late echo of a done round
   RoundState& rs = get_round(st, round);
   auto& slot = rs.values[static_cast<std::size_t>(origin_rank)];
@@ -840,7 +911,9 @@ void ProxyEngine::begin_update(CommRank& st, std::uint64_t round) {
 }
 
 void ProxyEngine::finish_update(CommId comm, std::uint64_t round) {
-  CommRank& st = comm_state(comm);
+  CommRank* stp = find_comm(comm);
+  if (stp == nullptr) return;  // killed during the connection update
+  CommRank& st = *stp;
   auto it = st.rounds.find(round);
   MCCS_CHECK(it != st.rounds.end() && it->second.updating,
              "finish_update without begin_update");

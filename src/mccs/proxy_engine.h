@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "collectives/ring.h"
@@ -86,6 +87,15 @@ class ProxyEngine {
   // --- communicator lifecycle -------------------------------------------------
   void install_communicator(const CommSetup& setup);
   void destroy_communicator(CommId comm);
+
+  /// Forced teardown (tenant kill): drop the rank's state for `comm`
+  /// unconditionally — active collectives, held launches, pending
+  /// deliveries, P2P rendezvous, barrier rounds. Completion callbacks of the
+  /// dropped work never fire; late control/data messages addressed to the
+  /// dead communicator are ignored on arrival. Returns the number of
+  /// launched-or-held collectives dropped. No-op (returns 0) if the
+  /// communicator is not installed here.
+  std::size_t abort_communicator(CommId comm);
   [[nodiscard]] bool has_communicator(CommId comm) const {
     return comms_.count(comm.get()) > 0;
   }
@@ -137,6 +147,10 @@ class ProxyEngine {
 
   /// Number of currently outstanding (launched, unfinished) collectives.
   [[nodiscard]] std::size_t active_count(CommId comm) const;
+
+  /// Number of issued-but-held launches (waiting on a reconfiguration
+  /// barrier). Diagnostics (test::await dumps).
+  [[nodiscard]] std::size_t held_count(CommId comm) const;
 
   /// Plan-cache counters of one communicator (see coll_plan.h).
   [[nodiscard]] CollPlanCache::Stats plan_cache_stats(CommId comm) const;
@@ -243,6 +257,12 @@ class ProxyEngine {
 
   CommRank& comm_state(CommId comm);
   const CommRank& comm_state(CommId comm) const;
+  /// Tolerant lookup for entry points that can legitimately race with a
+  /// tenant kill (late control messages, in-flight deliveries): null when
+  /// the communicator was torn down by abort_communicator. A comm that was
+  /// never installed here — or went away through the orderly destroy path —
+  /// is still a contract violation: only a kill excuses dangling messages.
+  CommRank* find_comm(CommId comm);
 
   void launch(CommRank& st, std::uint64_t seq, WorkRequest request);
   void begin_execution(CommId comm, std::uint64_t seq);
@@ -256,7 +276,7 @@ class ProxyEngine {
   void p2p_launch(CommRank& st, int peer, std::uint64_t op_index, bool is_send);
   void p2p_try_start_transfer(CommRank& st, int src_rank,
                               std::uint64_t op_index);
-  void p2p_complete(CommRank& st, int peer, std::uint64_t op_index,
+  void p2p_complete(CommId comm, int peer, std::uint64_t op_index,
                     bool is_send);
 
   // Reconfiguration protocol helpers.
@@ -277,6 +297,9 @@ class ProxyEngine {
   GpuId gpu_;
   std::function<TransportEngine&(int)> transport_for_nic_;
   std::unordered_map<std::uint32_t, CommRank> comms_;
+  /// Tombstones of comms removed by abort_communicator; find_comm tolerates
+  /// exactly these (a killed tenant's in-flight messages are not errors).
+  std::unordered_set<std::uint32_t> aborted_;
   std::vector<TraceRecord> trace_;
 };
 

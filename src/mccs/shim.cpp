@@ -43,6 +43,12 @@ void Shim::comm_destroy(CommId comm) {
 void Shim::collective(CommId comm, CollectiveArgs args, gpu::Stream& app_stream,
                       CompletionCallback on_complete) {
   MCCS_EXPECTS(app_stream.device() == gpu_);
+  // A tenant races its own teardown: an issue that arrives after the
+  // provider killed the communicator is dropped — the callback never fires,
+  // matching the fate of collectives that were in flight at the kill. The
+  // app stream is left untouched so surviving work on it proceeds.
+  const CommInfo* info = service_->fabric().find_comm_info(comm);
+  if (info == nullptr) return;
   gpu::Gpu& dev = ctx_->gpus->gpu(gpu_);
 
   // Dependency capture (§4.1): the collective must wait for compute already
@@ -56,11 +62,10 @@ void Shim::collective(CommId comm, CollectiveArgs args, gpu::Stream& app_stream,
   app_stream.record_event(req.ready_event);
   app_stream.wait_event(req.done_event);
 
-  const CommInfo& info = service_->fabric().comm_info(comm);
   CollectiveCommand cmd;
   cmd.comm = comm;
   cmd.gpu = gpu_;
-  cmd.nranks = info.nranks;
+  cmd.nranks = info->nranks;
   cmd.request = std::move(req);
   service_->frontend(app_).command_queue(gpu_).push(std::move(cmd));
 }

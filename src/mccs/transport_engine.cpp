@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "netsim/routing.h"
 
 namespace mccs::svc {
 
@@ -40,49 +43,172 @@ Time TrafficSchedule::next_boundary(Time t) const {
 
 void TransportEngine::post_send(ChunkTransfer transfer) {
   MCCS_EXPECTS(transfer.deliver && transfer.on_sent);
-  auto it = gates_.find(transfer.app.get());
+  const AppId app = transfer.app;
+  const std::uint64_t sid = next_send_id_++;
+  Inflight send;
+  send.transfer = std::move(transfer);
+  inflight_.emplace(sid, std::move(send));
+
+  auto it = gates_.find(app.get());
   AppGate* gate = it == gates_.end() ? nullptr : &it->second;
   if (gate != nullptr && !gate->schedule.open_at(ctx_->loop->now())) {
-    const AppId app = transfer.app;
-    gate->waiting.push_back(std::move(transfer));
+    gate->waiting.push_back(sid);
     arm_timer(app, *gate);
     return;
   }
-  start_flow(std::move(transfer), gate);
+  start_flow(sid, gate);
 }
 
-void TransportEngine::start_flow(ChunkTransfer transfer, AppGate* gate) {
-  const AppId gate_app = transfer.app;
+void TransportEngine::start_flow(std::uint64_t sid, AppGate* gate) {
+  Inflight& s = inflight_.at(sid);
+  const ChunkTransfer& t = s.transfer;
   const cluster::Cluster& cl = *ctx_->cluster;
   net::FlowSpec spec;
-  spec.src = cl.nic_node_of_gpu(transfer.src_gpu);
-  spec.dst = cl.nic_node_of_gpu(transfer.dst_gpu);
-  spec.size = std::max<Bytes>(transfer.bytes, 1);  // zero-byte steps still sync
-  spec.route = transfer.route;
-  spec.ecmp_key = transfer.ecmp_key;
-  spec.app = transfer.app;
-  spec.start_latency =
-      ctx_->config.network_hop_latency + ctx_->config.transport_step_overhead;
-
-  const AppId app = transfer.app;
-  auto deliver = std::move(transfer.deliver);
-  auto on_sent = std::move(transfer.on_sent);
-  spec.on_complete = [this, app, deliver = std::move(deliver),
-                      on_sent = std::move(on_sent)](FlowId id, Time) {
-    auto git = gates_.find(app.get());
-    if (git != gates_.end()) {
-      auto& fl = git->second.active_flows;
-      fl.erase(std::remove(fl.begin(), fl.end(), id), fl.end());
-    }
-    deliver();   // RDMA write lands at the receiver...
-    on_sent();   // ...then the sender sees its completion event
-  };
-
-  const FlowId fid = ctx_->network->start_flow(std::move(spec));
-  if (gate != nullptr) {
-    gate->active_flows.push_back(fid);
-    arm_timer(gate_app, *gate);  // pause this flow at the next window close
+  spec.src = cl.nic_node_of_gpu(t.src_gpu);
+  spec.dst = cl.nic_node_of_gpu(t.dst_gpu);
+  spec.size = std::max<Bytes>(t.bytes, 1);  // zero-byte steps still sync
+  if (s.attempts == 0) {
+    spec.route = t.route;
+    spec.ecmp_key = t.ecmp_key;
+  } else {
+    // Retry: abandon the connection's pinned route and re-hash the ECMP
+    // placement — the cheapest way off a dead path. Deterministic per
+    // (connection key, attempt).
+    spec.route = RouteId{};
+    spec.ecmp_key = net::Routing::ecmp_hash(
+        t.ecmp_key + static_cast<std::uint64_t>(s.attempts));
   }
+  spec.app = t.app;
+  spec.start_latency =
+      ctx_->config.network_hop_latency + ctx_->config.transport_step_overhead +
+      ctx_->config.transport_retry_backoff * std::min(s.attempts, 16);
+  spec.on_complete = [this, sid](FlowId, Time) { finish_send(sid); };
+
+  s.flow = ctx_->network->start_flow(std::move(spec));
+  s.watermark = std::max<Bytes>(t.bytes, 1);
+  if (gate != nullptr) {
+    gate->active_sends.push_back(sid);
+    arm_timer(t.app, *gate);  // pause this flow at the next window close
+  }
+  arm_deadline(sid);
+}
+
+void TransportEngine::finish_send(std::uint64_t sid) {
+  auto it = inflight_.find(sid);
+  MCCS_ASSERT(it != inflight_.end());
+  Inflight s = std::move(it->second);
+  inflight_.erase(it);
+  ctx_->loop->cancel(s.deadline);
+  auto git = gates_.find(s.transfer.app.get());
+  if (git != gates_.end()) {
+    auto& v = git->second.active_sends;
+    v.erase(std::remove(v.begin(), v.end(), sid), v.end());
+  }
+  s.transfer.deliver();  // RDMA write lands at the receiver...
+  s.transfer.on_sent();  // ...then the sender sees its completion event
+}
+
+void TransportEngine::arm_deadline(std::uint64_t sid) {
+  const double slack = ctx_->config.chunk_deadline_slack;
+  if (slack <= 0.0) return;  // detection disabled: zero healthy-path cost
+  Inflight& s = inflight_.at(sid);
+  // Analytic lower bound: the flow's fixed start latency plus serialization
+  // at the nominal bottleneck capacity of its current path (full capacity on
+  // purpose — the bound must not loosen when the fault itself degrades it).
+  Bandwidth bottleneck = std::numeric_limits<Bandwidth>::infinity();
+  for (LinkId l : ctx_->network->flow_path(s.flow)) {
+    bottleneck =
+        std::min(bottleneck, ctx_->network->topology().link(l).capacity);
+  }
+  const double bytes = static_cast<double>(std::max<Bytes>(s.transfer.bytes, 1));
+  Time bound = ctx_->config.network_hop_latency +
+               ctx_->config.transport_step_overhead +
+               ctx_->config.transport_retry_backoff * std::min(s.attempts, 16);
+  if (std::isfinite(bottleneck) && bottleneck > 0.0) bound += bytes / bottleneck;
+  s.deadline_dt = std::max(slack * bound, ctx_->config.chunk_deadline_floor);
+  s.deadline =
+      ctx_->loop->schedule_after(s.deadline_dt, [this, sid] { on_deadline(sid); });
+}
+
+void TransportEngine::on_deadline(std::uint64_t sid) {
+  auto it = inflight_.find(sid);
+  if (it == inflight_.end()) return;
+  Inflight& s = it->second;
+  s.deadline = {};
+  ++stats_.deadline_checks;
+  if (!ctx_->network->flow_active(s.flow)) return;  // completing this instant
+
+  auto git = gates_.find(s.transfer.app.get());
+  const bool gated =
+      git != gates_.end() && git->second.gated_closed;
+  const Bytes remaining = ctx_->network->flow_remaining(s.flow);
+  if (gated || remaining < s.watermark) {
+    // Progress (or deliberately paused by QoS): re-arm and keep watching.
+    // Firing here never perturbs simulated flow state, so enabling detection
+    // does not change healthy-path results.
+    s.watermark = remaining;
+    s.deadline = ctx_->loop->schedule_after(s.deadline_dt,
+                                            [this, sid] { on_deadline(sid); });
+    return;
+  }
+
+  // A full deadline window with zero progress: retry on a re-hashed path.
+  ++s.attempts;
+  ++stats_.retries;
+  const bool escalate = s.attempts > ctx_->config.transport_max_retries &&
+                        ctx_->on_transport_stall != nullptr;
+  StallReport report;
+  if (escalate) {
+    report.app = s.transfer.app;
+    report.host = host_;
+    report.src_gpu = s.transfer.src_gpu;
+    report.dst_gpu = s.transfer.dst_gpu;
+    report.bytes = s.transfer.bytes;
+    report.attempts = s.attempts;
+    report.path = ctx_->network->flow_path(s.flow);
+  }
+  ctx_->network->cancel_flow(s.flow);
+  AppGate* gate = git == gates_.end() ? nullptr : &git->second;
+  if (gate != nullptr) {
+    auto& v = gate->active_sends;
+    v.erase(std::remove(v.begin(), v.end(), sid), v.end());
+  }
+  start_flow(sid, gate);
+  if (escalate) {
+    ++stats_.escalations;
+    ctx_->on_transport_stall(report);
+  }
+}
+
+std::size_t TransportEngine::abort_app(AppId app) {
+  auto git = gates_.find(app.get());
+  if (git != gates_.end()) {
+    ctx_->loop->cancel(git->second.timer);
+    gates_.erase(git);
+  }
+  std::size_t dropped = 0;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.transfer.app != app) {
+      ++it;
+      continue;
+    }
+    ctx_->loop->cancel(it->second.deadline);
+    // Waiting (gated) sends have no flow yet; their id stays invalid.
+    if (it->second.flow.valid() && ctx_->network->flow_active(it->second.flow)) {
+      ctx_->network->cancel_flow(it->second.flow);
+    }
+    it = inflight_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+std::size_t TransportEngine::inflight_count(AppId app) const {
+  std::size_t n = 0;
+  for (const auto& [sid, s] : inflight_) {
+    if (s.transfer.app == app) ++n;
+  }
+  return n;
 }
 
 void TransportEngine::set_schedule(AppId app, TrafficSchedule schedule) {
@@ -98,13 +224,16 @@ void TransportEngine::clear_schedule(AppId app) {
   ctx_->loop->cancel(gate.timer);
   // Release everything that was held back.
   if (gate.gated_closed) {
-    for (FlowId f : gate.active_flows) {
+    for (std::uint64_t sid : gate.active_sends) {
+      auto sit = inflight_.find(sid);
+      if (sit == inflight_.end()) continue;
+      const FlowId f = sit->second.flow;
       if (ctx_->network->flow_active(f)) ctx_->network->resume_flow(f);
     }
   }
-  std::deque<ChunkTransfer> waiting = std::move(gate.waiting);
+  std::deque<std::uint64_t> waiting = std::move(gate.waiting);
   gates_.erase(it);
-  for (auto& t : waiting) start_flow(std::move(t), nullptr);
+  for (std::uint64_t sid : waiting) start_flow(sid, nullptr);
 }
 
 void TransportEngine::arm_timer(AppId app, AppGate& gate) {
@@ -112,7 +241,7 @@ void TransportEngine::arm_timer(AppId app, AppGate& gate) {
   // Only keep a timer while there is something to gate: pending sends, or
   // in-flight flows that must pause at the next close. Otherwise the event
   // loop would never drain.
-  if (gate.waiting.empty() && gate.active_flows.empty()) return;
+  if (gate.waiting.empty() && gate.active_sends.empty()) return;
   Time boundary = gate.schedule.next_boundary(ctx_->loop->now());
   if (boundary >= kTimeInfinity) return;
   // Guarantee strictly-future firing: floating-point folding can place the
@@ -128,11 +257,16 @@ void TransportEngine::on_boundary(AppId app) {
   const bool open = gate.schedule.open_at(ctx_->loop->now());
 
   // Pause or resume in-flight flows to track the window state.
-  gate.active_flows.erase(
-      std::remove_if(gate.active_flows.begin(), gate.active_flows.end(),
-                     [this](FlowId f) { return !ctx_->network->flow_active(f); }),
-      gate.active_flows.end());
-  for (FlowId f : gate.active_flows) {
+  gate.active_sends.erase(
+      std::remove_if(gate.active_sends.begin(), gate.active_sends.end(),
+                     [this](std::uint64_t sid) {
+                       auto sit = inflight_.find(sid);
+                       return sit == inflight_.end() ||
+                              !ctx_->network->flow_active(sit->second.flow);
+                     }),
+      gate.active_sends.end());
+  for (std::uint64_t sid : gate.active_sends) {
+    const FlowId f = inflight_.at(sid).flow;
     if (open) {
       ctx_->network->resume_flow(f);
     } else {
@@ -142,9 +276,9 @@ void TransportEngine::on_boundary(AppId app) {
   gate.gated_closed = !open;
 
   if (open) {
-    std::deque<ChunkTransfer> waiting = std::move(gate.waiting);
+    std::deque<std::uint64_t> waiting = std::move(gate.waiting);
     gate.waiting.clear();
-    for (auto& t : waiting) start_flow(std::move(t), &gate);
+    for (std::uint64_t sid : waiting) start_flow(sid, &gate);
   }
   arm_timer(app, gate);
 }

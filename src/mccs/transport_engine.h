@@ -52,6 +52,14 @@ struct ChunkTransfer {
 
 class TransportEngine {
  public:
+  /// Detection / retry counters (fault-tolerance observability). All zero on
+  /// the healthy path with detection disabled.
+  struct Stats {
+    std::uint64_t deadline_checks = 0;  ///< deadline timers that fired
+    std::uint64_t retries = 0;          ///< re-posts after a no-progress window
+    std::uint64_t escalations = 0;      ///< stall reports sent to the handler
+  };
+
   TransportEngine(ServiceContext& ctx, HostId host, int nic_index)
       : ctx_(&ctx), host_(host), nic_index_(nic_index) {}
 
@@ -61,6 +69,8 @@ class TransportEngine {
   /// Post an inter-host send. Applies the traffic schedule of the owning
   /// app, then starts a network flow; on completion the receiver's deliver
   /// callback runs before the sender's on_sent (RDMA-write-then-CQE order).
+  /// With stall detection enabled (ServiceConfig::chunk_deadline_slack > 0)
+  /// the send also gets a no-progress deadline and a bounded retry ladder.
   void post_send(ChunkTransfer transfer);
 
   /// Install / replace the QoS traffic schedule for an app. Active flows of
@@ -68,25 +78,51 @@ class TransportEngine {
   void set_schedule(AppId app, TrafficSchedule schedule);
   void clear_schedule(AppId app);
 
+  /// Tenant teardown: cancel every in-flight flow, pending deadline timer,
+  /// and gated send owned by `app`. Their deliver/on_sent callbacks never
+  /// run. Returns the number of sends dropped.
+  std::size_t abort_app(AppId app);
+
+  /// In-flight (posted, not yet delivered) sends of one app on this engine.
+  [[nodiscard]] std::size_t inflight_count(AppId app) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] int nic_index() const { return nic_index_; }
 
  private:
+  /// One posted send for its whole lifetime (across retries): the transfer's
+  /// callbacks, the current network flow, and the detection state.
+  struct Inflight {
+    ChunkTransfer transfer;
+    FlowId flow{};
+    int attempts = 0;        ///< completed no-progress windows (retry count)
+    Bytes watermark = 0;     ///< flow_remaining at the last deadline check
+    Time deadline_dt = 0.0;  ///< per-arm deadline window
+    sim::EventLoop::Handle deadline;
+  };
+
   struct AppGate {
     TrafficSchedule schedule;
-    std::vector<FlowId> active_flows;
-    std::deque<ChunkTransfer> waiting;  ///< posted while the window is closed
+    std::vector<std::uint64_t> active_sends;  ///< send ids with a live flow
+    std::deque<std::uint64_t> waiting;  ///< posted while the window is closed
     sim::EventLoop::Handle timer;
     bool gated_closed = false;
   };
 
-  void start_flow(ChunkTransfer transfer, AppGate* gate);
+  void start_flow(std::uint64_t sid, AppGate* gate);
+  void finish_send(std::uint64_t sid);
+  void arm_deadline(std::uint64_t sid);
+  void on_deadline(std::uint64_t sid);
   void arm_timer(AppId app, AppGate& gate);
   void on_boundary(AppId app);
 
   ServiceContext* ctx_;
   HostId host_;
   int nic_index_;
-  std::unordered_map<std::uint32_t, AppGate> gates_;  ///< by AppId
+  std::unordered_map<std::uint32_t, AppGate> gates_;      ///< by AppId
+  std::unordered_map<std::uint64_t, Inflight> inflight_;  ///< by send id
+  std::uint64_t next_send_id_ = 0;
+  Stats stats_;
 };
 
 }  // namespace mccs::svc

@@ -22,11 +22,26 @@ struct AllocFlow {
 /// link-indexed scratch arrays owned by the caller; only entries for `links`
 /// (the union of the flows' paths) are read or written, so the caller can
 /// reuse them across calls without O(link_count) re-initialisation.
-void max_min_allocate(std::vector<AllocFlow>& flows,
+///
+/// Returns true on a clean solve. A pathological capacity state (an
+/// unconstrained flow, or an iteration that cannot fix anything) pins the
+/// remaining unfixed flows at rate zero, appends their ids to `unsatisfied`,
+/// and returns false — degrading those flows instead of aborting the service.
+bool max_min_allocate(std::vector<AllocFlow>& flows,
                       std::vector<Bandwidth>& residual,
                       std::vector<double>& weight_on_link,
-                      const std::vector<std::uint32_t>& links) {
-  if (flows.empty()) return;
+                      const std::vector<std::uint32_t>& links,
+                      std::vector<std::uint32_t>& unsatisfied) {
+  auto pin_unfixed_at_zero = [&flows, &unsatisfied] {
+    for (AllocFlow& f : flows) {
+      if (f.fixed) continue;
+      f.rate = 0.0;
+      f.fixed = true;
+      unsatisfied.push_back(f.id);
+    }
+    return false;
+  };
+  if (flows.empty()) return true;
 
   // Per-link unfixed weight sums.
   for (std::uint32_t l : links) weight_on_link[l] = 0.0;
@@ -49,7 +64,7 @@ void max_min_allocate(std::vector<AllocFlow>& flows,
       }
       if (std::isfinite(f.cap)) best_share = std::min(best_share, f.cap / f.weight);
     }
-    MCCS_CHECK(std::isfinite(best_share), "unconstrained flow in max-min allocation");
+    if (!std::isfinite(best_share)) return pin_unfixed_at_zero();
 
     // Fix every unfixed flow that is bound by this share: flows whose cap is
     // reached, and flows crossing a link whose residual-per-weight equals it.
@@ -77,8 +92,9 @@ void max_min_allocate(std::vector<AllocFlow>& flows,
         weight_on_link[l.get()] -= f.weight;
       }
     }
-    MCCS_CHECK(fixed_any, "max-min allocation failed to make progress");
+    if (!fixed_any) return pin_unfixed_at_zero();
   }
+  return true;
 }
 
 }  // namespace
@@ -188,6 +204,44 @@ const Path& Network::flow_path(FlowId id) const {
   return it->second.path;
 }
 
+const FlowSpec& Network::flow_spec(FlowId id) const {
+  auto it = flows_.find(id.get());
+  MCCS_EXPECTS(it != flows_.end());
+  return it->second.spec;
+}
+
+std::vector<FlowId> Network::active_flows() const {
+  std::vector<FlowId> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) out.push_back(FlowId{id});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Network::set_link_state(LinkId id, LinkState state, double capacity_fraction) {
+  MCCS_EXPECTS(id.get() < links_.size());
+  double scale = 1.0;
+  switch (state) {
+    case LinkState::kUp:
+      scale = 1.0;
+      break;
+    case LinkState::kDegraded:
+      MCCS_EXPECTS(capacity_fraction > 0.0 && capacity_fraction <= 1.0);
+      scale = capacity_fraction;
+      break;
+    case LinkState::kDown:
+      scale = 0.0;
+      break;
+  }
+  if (link_states_[id.get()] == state && capacity_scale_[id.get()] == scale) return;
+  link_states_[id.get()] = state;
+  capacity_scale_[id.get()] = scale;
+  // The link is its own seed: every flow crossing it (and their bottleneck
+  // component) re-solves; everyone else keeps their rates and events.
+  const Path seed{id};
+  reallocate(seed);
+}
+
 void Network::insert_into_index(std::uint32_t id, const FlowState& f) {
   for (LinkId l : f.path) {
     LinkIndex& li = links_[l.get()];
@@ -279,7 +333,10 @@ void Network::allocate_component() {
   const Time now = loop_->now();
 
   for (std::uint32_t l : comp_links_) {
-    residual_[l] = topo_->link(LinkId{l}).capacity;
+    // Effective capacity folds in the administrative link state: degraded
+    // links keep a fraction, down links contribute zero (their flows come
+    // out of the solve at rate zero and simply stall — no completion event).
+    residual_[l] = topo_->link(LinkId{l}).capacity * capacity_scale_[l];
   }
 
   // Phase 1: background flows take their demand with strict priority,
@@ -297,8 +354,26 @@ void Network::allocate_component() {
     }
   }
 
-  max_min_allocate(background, residual_, weight_scratch_, comp_links_);
-  max_min_allocate(normal, residual_, weight_scratch_, comp_links_);
+  unsatisfied_scratch_.clear();
+  const bool bg_ok = max_min_allocate(background, residual_, weight_scratch_,
+                                      comp_links_, unsatisfied_scratch_);
+  const bool normal_ok = max_min_allocate(normal, residual_, weight_scratch_,
+                                          comp_links_, unsatisfied_scratch_);
+  if (!bg_ok || !normal_ok) {
+    ++allocation_error_count_;
+    if (allocation_error_handler_) {
+      AllocationError err;
+      err.at = now;
+      err.flows.reserve(unsatisfied_scratch_.size());
+      std::sort(unsatisfied_scratch_.begin(), unsatisfied_scratch_.end());
+      for (std::uint32_t id : unsatisfied_scratch_) err.flows.push_back(FlowId{id});
+      // Fresh event: the handler may mutate the flow set (cancel the
+      // offending flows, start replacements) without re-entering this solve.
+      loop_->schedule_after(0.0, [this, err = std::move(err)] {
+        if (allocation_error_handler_) allocation_error_handler_(err);
+      });
+    }
+  }
 
   for (const AllocFlow& a : background) flows_.at(a.id).rate = a.rate;
 

@@ -75,6 +75,24 @@ struct FlowSpec {
   std::function<void(FlowId, Time)> on_complete;
 };
 
+/// Administrative state of a physical link (fault injection). A down link
+/// contributes zero capacity: flows crossing it keep their bytes and simply
+/// stall at rate zero (no completion event) until the link recovers or the
+/// flow is cancelled — never a silent completion. A degraded link keeps a
+/// fraction of its nominal capacity; the rescale flows through the same
+/// incremental max-min path as any other flow-set change.
+enum class LinkState { kUp, kDegraded, kDown };
+
+/// Structured outcome of a max-min solve that could not make progress (a
+/// pathological capacity state, e.g. a weight so small the share-per-weight
+/// overflows). The affected flows are pinned at rate zero — degrading the
+/// tenants that own them — instead of killing the whole multi-tenant service
+/// with a contract violation.
+struct AllocationError {
+  Time at = 0.0;
+  std::vector<FlowId> flows;  ///< pinned at rate zero, ascending id
+};
+
 class Network {
  public:
   struct Options {
@@ -93,6 +111,8 @@ class Network {
         routing_(topo),
         options_(options),
         links_(topo.link_count()),
+        link_states_(topo.link_count(), LinkState::kUp),
+        capacity_scale_(topo.link_count(), 1.0),
         link_mark_(topo.link_count(), 0),
         residual_(topo.link_count(), 0.0),
         weight_scratch_(topo.link_count(), 0.0) {}
@@ -120,7 +140,34 @@ class Network {
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
   [[nodiscard]] Bytes flow_remaining(FlowId id) const;
   [[nodiscard]] const Path& flow_path(FlowId id) const;
+  [[nodiscard]] const FlowSpec& flow_spec(FlowId id) const;
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+  /// All live flow ids, ascending (diagnostics / debug dumps).
+  [[nodiscard]] std::vector<FlowId> active_flows() const;
+
+  // --- fault injection -------------------------------------------------------
+  /// Administratively change a link's state. kDegraded keeps
+  /// `capacity_fraction` (in (0, 1]) of the nominal capacity; kDown drops it
+  /// to zero (flows crossing the link stall); kUp restores it. Rates of the
+  /// affected bottleneck component are recomputed immediately.
+  void set_link_state(LinkId id, LinkState state, double capacity_fraction = 1.0);
+  [[nodiscard]] LinkState link_state(LinkId id) const {
+    MCCS_EXPECTS(id.get() < link_states_.size());
+    return link_states_[id.get()];
+  }
+  [[nodiscard]] double link_capacity_fraction(LinkId id) const {
+    MCCS_EXPECTS(id.get() < capacity_scale_.size());
+    return capacity_scale_[id.get()];
+  }
+
+  /// Observer for unsatisfiable allocations (see AllocationError). Invoked
+  /// from a fresh event-loop event, so the handler may start/cancel flows.
+  void set_allocation_error_handler(std::function<void(const AllocationError&)> h) {
+    allocation_error_handler_ = std::move(h);
+  }
+  [[nodiscard]] std::uint64_t allocation_error_count() const {
+    return allocation_error_count_;
+  }
 
   /// Instantaneous throughput over a link (sum of flow rates), for the
   /// provider's monitoring plane. O(1): served from the per-link index.
@@ -199,6 +246,12 @@ class Network {
   std::uint32_t next_flow_id_ = 0;
 
   std::vector<LinkIndex> links_;
+  std::vector<LinkState> link_states_;
+  std::vector<double> capacity_scale_;  ///< effective = nominal * scale
+
+  std::function<void(const AllocationError&)> allocation_error_handler_;
+  std::uint64_t allocation_error_count_ = 0;
+  std::vector<std::uint32_t> unsatisfied_scratch_;
 
   // Scratch for component discovery + allocation (persistent to avoid O(L)
   // work per event; only entries for comp_links_ are ever read or written).

@@ -48,6 +48,7 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
 
   AssignOptions options;
   if (flow_policy_ == FlowPolicy::kPfa) options.reserved_routes = reserved_routes_;
+  options.failed_links = failed_links_;
   return assign_flows(items, fabric_->cluster(), fabric_->network().routing(),
                       options);
 }
@@ -87,6 +88,88 @@ void Controller::rebalance() {
       fabric_->reconfigure(info.id, std::move(s));
     }
   }
+}
+
+void Controller::enable_fault_recovery() {
+  fabric_->set_stall_handler(
+      [this](const svc::StallReport& report) { on_stall(report); });
+}
+
+void Controller::on_stall(const svc::StallReport& report) {
+  ++stall_reports_;
+  // Cross-check the stalled path against the network's monitoring plane: act
+  // only on links that are actually down AND not yet handled. Congestion
+  // stalls and repeat escalations over a known-dead link fall through here,
+  // which keeps recovery idempotent.
+  std::vector<LinkId> fresh;
+  for (LinkId l : report.path) {
+    if (fabric_->network().link_state(l) == net::LinkState::kDown &&
+        failed_links_.count(l.get()) == 0) {
+      fresh.push_back(l);
+    }
+  }
+  if (fresh.empty()) return;
+
+  const Time detected = fabric_->loop().now();
+  for (LinkId l : fresh) failed_links_.insert(l.get());
+  const int n = reconfigure_around_failures(report.app);
+  for (LinkId l : fresh) {
+    recovery_log_.push_back(
+        RecoveryRecord{detected, fabric_->loop().now(), l, n});
+  }
+}
+
+void Controller::mark_link_failed(LinkId link) {
+  if (!failed_links_.insert(link.get()).second) return;
+  const Time detected = fabric_->loop().now();
+  const int n = reconfigure_around_failures(AppId{});
+  recovery_log_.push_back(
+      RecoveryRecord{detected, fabric_->loop().now(), link, n});
+}
+
+void Controller::clear_link_failed(LinkId link) {
+  if (failed_links_.erase(link.get()) == 0) return;
+  // Restored capacity: spread flows back over the full path set.
+  reconfigure_around_failures(AppId{});
+}
+
+std::vector<LinkId> Controller::failed_links() const {
+  std::vector<LinkId> out;
+  out.reserve(failed_links_.size());
+  for (std::uint32_t l : failed_links_) out.push_back(LinkId{l});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Controller::reconfigure_around_failures(AppId must_move) {
+  int reconfigured = 0;
+  if (flow_policy_ == FlowPolicy::kEcmp) {
+    // No explicit routes to steer: reconfigure the affected app's comms so
+    // the epoch bump re-rolls every connection's ECMP placement.
+    for (const svc::CommInfo& info : fabric_->list_communicators()) {
+      if (!must_move.valid() || info.app != must_move) continue;
+      fabric_->reconfigure(info.id, fabric_->strategy_of(info.id));
+      ++reconfigured;
+    }
+    return reconfigured;
+  }
+
+  std::unordered_map<std::uint32_t, std::vector<GpuId>> gpu_storage;
+  std::unordered_map<std::uint32_t, svc::CommStrategy> strategy_storage;
+  auto routes = compute_routes(nullptr, nullptr, gpu_storage, strategy_storage);
+  for (const svc::CommInfo& info : fabric_->list_communicators()) {
+    const RouteMap& updated = routes[info.id.get()];
+    svc::CommStrategy s = strategy_storage[info.id.get()];
+    // The stalled app reconfigures even with unchanged routes: the barrier's
+    // epoch bump re-rolls its ECMP-placed connections too.
+    if (s.routes != updated ||
+        (must_move.valid() && info.app == must_move)) {
+      s.routes = updated;
+      fabric_->reconfigure(info.id, std::move(s));
+      ++reconfigured;
+    }
+  }
+  return reconfigured;
 }
 
 bool Controller::apply_time_schedule(AppId prio, const std::vector<AppId>& others,

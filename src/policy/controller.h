@@ -74,8 +74,40 @@ class Controller {
   /// flow assignment applied).
   [[nodiscard]] svc::CommStrategy ring_strategy(const svc::CommInfo& info) const;
 
+  // --- fault recovery -------------------------------------------------------------
+
+  /// One failure-triggered reconfiguration, for tests and benchmarks.
+  struct RecoveryRecord {
+    Time detected = 0.0;      ///< stall report confirmed against a dead link
+    Time reconfigured = 0.0;  ///< reconfigure commands issued to all ranks
+    LinkId link{};            ///< the newly confirmed-failed link
+    int comms_reconfigured = 0;
+  };
+
+  /// Register as the fabric's transport-stall sink: escalations whose path
+  /// crosses a link the network reports down mark that link failed and
+  /// trigger a reconfiguration of every affected communicator over the
+  /// surviving capacity (through the Fig.-4 barrier). Idempotent per link.
+  void enable_fault_recovery();
+
+  /// Manual failure management (operator / test hooks). Marking also
+  /// triggers the same reconfiguration pass as an escalation would.
+  void mark_link_failed(LinkId link);
+  void clear_link_failed(LinkId link);
+
+  [[nodiscard]] std::vector<LinkId> failed_links() const;
+  [[nodiscard]] const std::vector<RecoveryRecord>& recovery_log() const {
+    return recovery_log_;
+  }
+  [[nodiscard]] std::uint64_t stall_reports() const { return stall_reports_; }
+
  private:
   svc::CommStrategy provide(const svc::CommInfo& info);
+
+  void on_stall(const svc::StallReport& report);
+  /// Re-route all live communicators around failed_links_; reconfigures the
+  /// ones whose routes changed (always including `must_move` if valid).
+  int reconfigure_around_failures(AppId must_move);
 
   /// Flow placement for all known comms (+ optionally one not yet
   /// registered); returns per-comm route maps.
@@ -90,6 +122,9 @@ class Controller {
   bool route_mesh_ = false;
   std::unordered_set<std::uint32_t> priority_apps_;
   std::unordered_set<std::uint32_t> reserved_routes_;
+  std::unordered_set<std::uint32_t> failed_links_;
+  std::vector<RecoveryRecord> recovery_log_;
+  std::uint64_t stall_reports_ = 0;
 };
 
 }  // namespace mccs::policy

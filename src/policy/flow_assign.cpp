@@ -87,33 +87,50 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
                          const std::vector<double>& own_demand,
                          const std::unordered_set<std::uint32_t>& reserved,
                          bool restrict_to_unreserved,
-                         const net::Network* live) {
+                         const net::Network* live,
+                         const std::unordered_set<std::uint32_t>& failed) {
   const auto& paths = routing.paths(f.src, f.dst);
   double best_score = std::numeric_limits<double>::infinity();
   std::uint32_t best = 0;
   bool found = false;
-  for (std::uint32_t r = 0; r < paths.size(); ++r) {
-    if (restrict_to_unreserved && reserved.count(r) > 0 &&
-        paths.size() > reserved.size()) {
-      continue;
+  // First pass avoids confirmed-failed links entirely; if that leaves no
+  // admissible path (e.g. a NIC's only uplink died), the second pass places
+  // the flow anyway so the assignment is always total.
+  for (const bool avoid_failed : {true, false}) {
+    for (std::uint32_t r = 0; r < paths.size(); ++r) {
+      if (restrict_to_unreserved && reserved.count(r) > 0 &&
+          paths.size() > reserved.size()) {
+        continue;
+      }
+      if (avoid_failed && !failed.empty()) {
+        bool crosses = false;
+        for (LinkId l : paths[r]) {
+          if (failed.count(l.get()) > 0) {
+            crosses = true;
+            break;
+          }
+        }
+        if (crosses) continue;
+      }
+      double score = 0.0;
+      for (LinkId l : paths[r]) {
+        const double cap = cluster.topology().link(l).capacity;
+        double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
+        // Live telemetry (O(1) per-link index lookup): traffic the demand
+        // model can't see — background flows, other tenants' libraries.
+        if (live != nullptr) load += live->link_throughput(l);
+        score = std::max(score, (load + f.demand) / cap);
+      }
+      if (!restrict_to_unreserved && f.high_priority && reserved.count(r) > 0) {
+        score -= 1e-6;  // prefer the dedicated route on ties
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = r;
+        found = true;
+      }
     }
-    double score = 0.0;
-    for (LinkId l : paths[r]) {
-      const double cap = cluster.topology().link(l).capacity;
-      double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
-      // Live telemetry (O(1) per-link index lookup): traffic the demand
-      // model can't see — background flows, other tenants' libraries.
-      if (live != nullptr) load += live->link_throughput(l);
-      score = std::max(score, (load + f.demand) / cap);
-    }
-    if (!restrict_to_unreserved && f.high_priority && reserved.count(r) > 0) {
-      score -= 1e-6;  // prefer the dedicated route on ties
-    }
-    if (score < best_score) {
-      best_score = score;
-      best = r;
-      found = true;
-    }
+    if (found) break;
   }
   MCCS_CHECK(found, "no admissible route for flow");
   return best;
@@ -153,7 +170,7 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
         const std::uint32_t r = best_route(
             f, routing, cluster, link_demand, item_demand[i],
             options.reserved_routes, /*restrict_to_unreserved=*/!f.high_priority,
-            options.network);
+            options.network, options.failed_links);
         for (LinkId l : routing.paths(f.src, f.dst)[r]) {
           link_demand[l.get()] += f.demand;
           item_demand[i][l.get()] += f.demand;

@@ -50,6 +50,13 @@ struct AssignOptions {
   /// already use; the demand model remains the primary signal and the live
   /// term breaks its ties. Null (default) preserves the pure-demand scoring.
   const net::Network* network = nullptr;
+
+  /// Links the controller has confirmed failed (by LinkId value). Paths
+  /// crossing any of them are excluded from best-fit placement; if EVERY
+  /// path between a pair crosses a failed link (no surviving route), the
+  /// exclusion is dropped for that flow — transport-level retry remains the
+  /// only recourse there.
+  std::unordered_set<std::uint32_t> failed_links;
 };
 
 /// Route map per communicator: CommStrategy::route_key -> RouteId.

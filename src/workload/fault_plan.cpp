@@ -1,0 +1,116 @@
+#include "workload/fault_plan.h"
+
+#include <algorithm>
+
+#include "mccs/fabric.h"
+
+namespace mccs::workload {
+namespace {
+
+// splitmix64: small, seedable, and stable across platforms — the plan must
+// be a pure function of (seed, options) everywhere the chaos sweep runs.
+std::uint64_t next_u64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::link_down(Time at, LinkId link) {
+  MCCS_EXPECTS(at >= 0.0 && link.valid());
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kLinkDown, link, 0.0, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_degrade(Time at, LinkId link, double fraction) {
+  MCCS_EXPECTS(at >= 0.0 && link.valid());
+  MCCS_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  events_.push_back(
+      FaultEvent{at, FaultEvent::Kind::kLinkDegrade, link, fraction, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_restore(Time at, LinkId link) {
+  MCCS_EXPECTS(at >= 0.0 && link.valid());
+  events_.push_back(
+      FaultEvent{at, FaultEvent::Kind::kLinkRestore, link, 1.0, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_app(Time at, AppId app) {
+  MCCS_EXPECTS(at >= 0.0 && app.valid());
+  events_.push_back(FaultEvent{at, FaultEvent::Kind::kKillApp, {}, 1.0, app});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomOptions& options) {
+  MCCS_EXPECTS(options.link_count > 0);
+  MCCS_EXPECTS(options.horizon > 0.0);
+  MCCS_EXPECTS(options.min_outage > 0.0 &&
+               options.max_outage >= options.min_outage);
+  std::uint64_t state = seed * 0x2545f4914f6cdd1dull + 1;
+  FaultPlan plan;
+
+  for (int e = 0; e < options.episodes; ++e) {
+    const LinkId link{
+        static_cast<std::uint32_t>(next_u64(state) % options.link_count)};
+    const Time outage =
+        options.min_outage +
+        uniform(state) * (options.max_outage - options.min_outage);
+    // The episode (fault + restore) fits strictly inside the horizon.
+    const Time span = std::max(options.horizon - outage, 0.0);
+    const Time at = uniform(state) * span;
+    if (uniform(state) < options.degrade_prob) {
+      // Surviving fraction in [0.05, 0.5]: harsh enough to matter, alive
+      // enough that flows keep trickling (exercises the watermark path).
+      plan.link_degrade(at, link, 0.05 + 0.45 * uniform(state));
+    } else {
+      plan.link_down(at, link);
+    }
+    plan.link_restore(at + outage, link);
+  }
+
+  if (!options.killable.empty() && uniform(state) < options.kill_prob) {
+    const std::size_t victim = next_u64(state) % options.killable.size();
+    plan.kill_app(uniform(state) * options.horizon, options.killable[victim]);
+  }
+
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+void FaultPlan::schedule(svc::Fabric& fabric) const {
+  for (const FaultEvent& e : events_) {
+    const Time at = std::max(e.at, fabric.loop().now());
+    svc::Fabric* f = &fabric;
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown:
+        fabric.loop().schedule_at(at, [f, link = e.link] {
+          f->network().set_link_state(link, net::LinkState::kDown);
+        });
+        break;
+      case FaultEvent::Kind::kLinkDegrade:
+        fabric.loop().schedule_at(at, [f, link = e.link, frac = e.fraction] {
+          f->network().set_link_state(link, net::LinkState::kDegraded, frac);
+        });
+        break;
+      case FaultEvent::Kind::kLinkRestore:
+        fabric.loop().schedule_at(at, [f, link = e.link] {
+          f->network().set_link_state(link, net::LinkState::kUp);
+        });
+        break;
+      case FaultEvent::Kind::kKillApp:
+        fabric.loop().schedule_at(at, [f, app = e.app] { f->kill_app(app); });
+        break;
+    }
+  }
+}
+
+}  // namespace mccs::workload

@@ -3,7 +3,9 @@
 // until asynchronous service operations (communicator bootstrap, collective
 // completion) finish.
 
+#include <chrono>
 #include <functional>
+#include <iostream>
 #include <vector>
 
 #include "mccs/fabric.h"
@@ -51,8 +53,40 @@ inline std::vector<RankCtx> make_ranks(svc::Fabric& fabric, AppId app,
 
 /// Run the loop until `remaining` drops to zero (collective completions
 /// decrement it) or the loop drains; returns true on success.
-inline bool await(svc::Fabric& fabric, const int& remaining) {
-  return fabric.loop().run_while_pending([&] { return remaining == 0; });
+///
+/// Guarded by a wall-clock deadline: a bug that keeps the loop busy forever
+/// (a retry storm, a livelocked timer) would otherwise hang the whole test
+/// binary. On timeout the fabric's full diagnostic state (flows, link
+/// states, per-communicator progress, transport retry counters) is dumped
+/// to stderr and the await fails instead of hanging.
+inline bool await_until(svc::Fabric& fabric, const std::function<bool()>& done,
+                        std::chrono::seconds wall_budget = std::chrono::seconds(30)) {
+  const auto deadline = std::chrono::steady_clock::now() + wall_budget;
+  std::uint64_t steps = 0;
+  bool timed_out = false;
+  fabric.loop().run_while_pending([&] {
+    if (done()) return true;
+    // Check the wall clock every 4096 events — cheap enough to leave on.
+    if ((++steps & 0xFFFu) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      timed_out = true;
+      return true;
+    }
+    return false;
+  });
+  if (timed_out && !done()) {
+    std::cerr << "test::await: wall-clock deadline (" << wall_budget.count()
+              << "s) exceeded\n";
+    fabric.debug_dump(std::cerr);
+    return false;
+  }
+  return done();
+}
+
+inline bool await(svc::Fabric& fabric, const int& remaining,
+                  std::chrono::seconds wall_budget = std::chrono::seconds(30)) {
+  return await_until(fabric, [&remaining] { return remaining == 0; },
+                     wall_budget);
 }
 
 /// Fill a device buffer with a deterministic per-rank pattern.

@@ -1,0 +1,203 @@
+// Chaos fuzzing: seeded random fault scripts (link downs, degradations,
+// restorations, tenant kills) run against a two-tenant steady-state AllReduce
+// workload. Invariants checked per seed:
+//
+//   * the run terminates — the event loop drains within the wall budget;
+//   * every collective completes exactly once, or — only when its tenant was
+//     killed — never (no double deliveries, no resurrection after a kill);
+//   * surviving tenants' results stay bit-correct through every fault.
+//
+// Seed count comes from MCCS_CHAOS_SEEDS (default 10); scripts/check.sh
+// sweeps a larger range, including under ASan+UBSan. Plans come from
+// workload::FaultPlan::random, which pairs every outage with a restoration
+// inside the horizon so a stalled collective always regains a path.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "helpers.h"
+#include "mccs/fabric.h"
+#include "policy/controller.h"
+#include "workload/fault_plan.h"
+
+namespace mccs {
+namespace {
+
+using coll::DataType;
+using coll::ReduceOp;
+using test::await_until;
+using test::create_comm;
+using test::make_ranks;
+
+std::vector<std::uint64_t> chaos_seeds() {
+  const char* env = std::getenv("MCCS_CHAOS_SEEDS");
+  int n = env != nullptr ? std::atoi(env) : 10;
+  if (n < 1) n = 1;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) seeds.push_back(static_cast<std::uint64_t>(i));
+  return seeds;
+}
+
+class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosFuzz, RandomFaultScriptPreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+
+  svc::Fabric::Options opt;
+  opt.config.chunk_deadline_slack = 4.0;
+  opt.config.chunk_deadline_floor = micros(100);
+  svc::Fabric fabric{cluster::make_testbed(), opt};
+
+  // Half the seeds run with a recovery controller attached (escalation +
+  // reconfigure-around-failures active); the other half exercise the
+  // transport's standalone retry ladder.
+  std::optional<policy::Controller> controller;
+  if (seed % 2 == 0) {
+    controller.emplace(fabric);
+    controller->attach();
+    controller->enable_fault_recovery();
+  }
+
+  const AppId app_a{1};  // survivor: never killed, must stay bit-correct
+  const AppId app_b{2};  // chaos victim: eligible for a mid-run kill
+  const std::vector<GpuId> gpus_a{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  const std::vector<GpuId> gpus_b{GpuId{1}, GpuId{3}, GpuId{5}, GpuId{7}};
+  const CommId comm_a = create_comm(fabric, app_a, gpus_a);
+  const CommId comm_b = create_comm(fabric, app_b, gpus_b);
+  auto ranks_a = make_ranks(fabric, app_a, gpus_a);
+  auto ranks_b = make_ranks(fabric, app_b, gpus_b);
+  constexpr int kRounds = 5;
+  const std::size_t count = 1u << 19;  // 2 MiB: rounds long enough to be hit
+  std::vector<gpu::DevicePtr> buf_a(4), buf_b(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    buf_a[r] = ranks_a[r].shim->alloc(count * sizeof(float));
+    buf_b[r] = ranks_b[r].shim->alloc(count * sizeof(float));
+    for (auto& x : fabric.gpus().typed<float>(buf_a[r], count)) x = 1.0f;
+    for (auto& x : fabric.gpus().typed<float>(buf_b[r], count)) x = 1.0f;
+  }
+
+  workload::FaultPlan::RandomOptions ropt;
+  ropt.horizon = millis(8);
+  ropt.link_count = fabric.cluster().topology().link_count();
+  ropt.episodes = 4;
+  ropt.min_outage = micros(500);
+  ropt.max_outage = millis(2);
+  ropt.killable = {app_b};
+  ropt.kill_prob = 0.5;
+  const workload::FaultPlan plan = workload::FaultPlan::random(seed, ropt);
+  plan.schedule(fabric);
+  // Observe the kill (if the plan has one) the instant it fires: scheduled
+  // after plan.schedule at the same timestamp, so it runs right after the
+  // kill event itself.
+  bool b_killed = false;
+  for (const workload::FaultEvent& e : plan.events()) {
+    if (e.kind == workload::FaultEvent::Kind::kKillApp) {
+      fabric.loop().schedule_at(std::max(e.at, fabric.loop().now()),
+                                [&b_killed] { b_killed = true; });
+    }
+  }
+
+  // Chained rounds per tenant: round k+1 is issued only once round k
+  // completed on every rank. hits[round][rank] counts completion callbacks —
+  // exactly-once means no entry ever reaches 2. (A completion may land
+  // shortly AFTER the kill: the collective finished and its notification was
+  // already in flight. That is still exactly-once, so it is allowed; what a
+  // kill forbids is new completions of work aborted by it.)
+  std::vector<int> a_hits(kRounds * 4, 0), b_hits(kRounds * 4, 0);
+  int a_rounds_left = kRounds, b_rounds_left = kRounds;
+  int a_pending = 0, b_pending = 0;
+  std::function<void(int)> issue_a = [&](int round) {
+    a_pending = 4;
+    for (std::size_t r = 0; r < 4; ++r) {
+      ranks_a[r].shim->all_reduce(comm_a, buf_a[r], buf_a[r], count,
+                                  DataType::kFloat32, ReduceOp::kSum,
+                                  *ranks_a[r].stream, [&, round, r](Time) {
+                                    EXPECT_EQ(++a_hits[round * 4 +
+                                                       static_cast<int>(r)],
+                                              1)
+                                        << "double delivery";
+                                    if (--a_pending == 0) {
+                                      --a_rounds_left;
+                                      if (round + 1 < kRounds) {
+                                        issue_a(round + 1);
+                                      }
+                                    }
+                                  });
+    }
+  };
+  std::function<void(int)> issue_b = [&](int round) {
+    b_pending = 4;
+    for (std::size_t r = 0; r < 4; ++r) {
+      ranks_b[r].shim->all_reduce(comm_b, buf_b[r], buf_b[r], count,
+                                  DataType::kFloat32, ReduceOp::kSum,
+                                  *ranks_b[r].stream, [&, round, r](Time) {
+                                    EXPECT_EQ(++b_hits[round * 4 +
+                                                       static_cast<int>(r)],
+                                              1)
+                                        << "double delivery";
+                                    if (--b_pending == 0) {
+                                      --b_rounds_left;
+                                      if (round + 1 < kRounds) {
+                                        issue_b(round + 1);
+                                      }
+                                    }
+                                  });
+    }
+  };
+  issue_a(0);
+  issue_b(0);
+
+  // Termination: A always finishes; B finishes unless it was killed. The
+  // loop must then drain completely without throwing — late fault events,
+  // retries, and escalations all land on quiescent or tombstoned state.
+  ASSERT_TRUE(await_until(fabric, [&] {
+    return a_rounds_left == 0 && (b_rounds_left == 0 || b_killed);
+  })) << "seed " << seed << " did not terminate";
+  EXPECT_NO_THROW(fabric.loop().run()) << "seed " << seed;
+
+  // Exactly-once: A completed every round on every rank; each of B's
+  // (round, rank) collectives completed at most once — exactly once when no
+  // kill happened.
+  for (int k = 0; k < kRounds; ++k) {
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(a_hits[k * 4 + r], 1)
+          << "seed " << seed << " round " << k << " rank " << r;
+      EXPECT_LE(b_hits[k * 4 + r], 1)
+          << "seed " << seed << " round " << k << " rank " << r;
+      if (!b_killed) {
+        EXPECT_EQ(b_hits[k * 4 + r], 1)
+            << "seed " << seed << " round " << k << " rank " << r;
+      }
+    }
+  }
+
+  // Bit-correctness for survivors: after R rounds of a 4-rank sum AllReduce
+  // seeded with ones, every element is exactly 4^R no matter what the
+  // network did in between.
+  const float expected = 1024.0f;  // 4^5
+  for (std::size_t r = 0; r < 4; ++r) {
+    auto out = fabric.gpus().typed<float>(buf_a[r], count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i], expected) << "seed " << seed << " A rank " << r;
+    }
+  }
+  if (!b_killed) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      auto out = fabric.gpus().typed<float>(buf_b[r], count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], expected) << "seed " << seed << " B rank " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz, ::testing::ValuesIn(chaos_seeds()));
+
+}  // namespace
+}  // namespace mccs

@@ -392,5 +392,73 @@ TEST(Network, MaxMinAllocationOnOversubscribedFabric) {
   EXPECT_NEAR(d_cross, 2.0, 1e-6);
 }
 
+TEST(Network, LinkDownStallsFlowAndRestoreResumes) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  Time done = -1.0;
+  const FlowId f =
+      net.start_flow({.src = t.a,
+                      .dst = t.b,
+                      .size = 1250000000ull,  // 1 s at 10 Gbps
+                      .on_complete = [&](FlowId, Time at) { done = at; }});
+  const LinkId up = t.topo.find_link(t.a, t.sw);
+  loop.run_until(0.25);  // 25% transferred
+  net.set_link_state(up, LinkState::kDown);
+  EXPECT_EQ(net.link_state(up), LinkState::kDown);
+  // A dead link stalls the flow at rate 0 — it must never silently complete.
+  loop.run_until(10.0);
+  EXPECT_LT(done, 0.0);
+  EXPECT_TRUE(net.flow_active(f));
+  EXPECT_EQ(net.flow_rate(f), 0.0);
+  net.set_link_state(up, LinkState::kUp);
+  loop.run();
+  EXPECT_NEAR(done, 10.75, 1e-6);  // 0.75 s of payload remained at restore
+}
+
+TEST(Network, DegradedLinkRescalesCapacity) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  const LinkId up = t.topo.find_link(t.a, t.sw);
+  net.set_link_state(up, LinkState::kDegraded, 0.5);
+  EXPECT_EQ(net.link_state(up), LinkState::kDegraded);
+  EXPECT_EQ(net.link_capacity_fraction(up), 0.5);
+  Time done = -1.0;
+  net.start_flow({.src = t.a,
+                  .dst = t.b,
+                  .size = 1250000000ull,  // 1 s at full rate
+                  .on_complete = [&](FlowId, Time at) { done = at; }});
+  loop.run();
+  EXPECT_NEAR(done, 2.0, 1e-6);  // half capacity -> twice the time
+}
+
+TEST(Network, UnsatisfiableAllocationReportsTypedError) {
+  SimplePair t;
+  sim::EventLoop loop;
+  Network net(loop, t.topo);
+  int reports = 0;
+  std::vector<FlowId> reported;
+  net.set_allocation_error_handler([&](const AllocationError& err) {
+    ++reports;
+    reported = err.flows;
+  });
+  // A subnormal weight overflows residual/weight to infinity during
+  // progressive filling — the allocation cannot be satisfied. The engine
+  // must pin the flow at rate 0 and report, not abort the process.
+  const FlowId f = net.start_flow({.src = t.a,
+                                   .dst = t.b,
+                                   .size = 1000,
+                                   .weight = 1e-320,
+                                   .on_complete = [](FlowId, Time) {}});
+  loop.run_until(1.0);
+  EXPECT_GE(net.allocation_error_count(), 1u);
+  EXPECT_GE(reports, 1);
+  ASSERT_FALSE(reported.empty());
+  EXPECT_EQ(reported.front(), f);
+  EXPECT_TRUE(net.flow_active(f));  // pinned, not silently completed
+  EXPECT_EQ(net.flow_rate(f), 0.0);
+}
+
 }  // namespace
 }  // namespace mccs::net
