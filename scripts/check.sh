@@ -30,6 +30,11 @@ if [[ -n "${SANITIZE:-}" ]]; then
   cmake --build build-san -j "$(nproc)" --target mccs_tests
   (cd build-san && ctest --output-on-failure -j "$(nproc)")
   chaos_sweep build-san/tests/mccs_tests
+  # The telemetry recording path is pointer-heavy (string literals retained
+  # by pointer, one shared argument arena): run its tests explicitly under
+  # the sanitizers so an arena overrun or dangling key fails loudly here.
+  echo "== telemetry tests (sanitized) =="
+  build-san/tests/mccs_tests --gtest_filter='*Telemetry*' --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: ${SANITIZE})"
   exit 0
 fi
@@ -193,6 +198,95 @@ else
     }
   done < "$rcjson"
   echo "BENCH_recovery.json schema OK (grep fallback; gates skipped)"
+fi
+
+# With telemetry disabled (the default), every simulated result must stay
+# byte-identical to the checked-in goldens: the telemetry subsystem observes
+# the simulation and must never perturb it. Wall-clock output (micro_overhead)
+# is compared on its virtual counters only.
+echo "== telemetry-disabled golden outputs =="
+for fig in fig06_single_app fig07_reconfig fig08_multi_app fig09_qos_jct \
+           fig10_dynamic_policy; do
+  golden="bench/goldens/${fig}.txt"
+  [[ -s "$golden" ]] || { echo "FAIL: $golden missing" >&2; exit 1; }
+  (cd build/bench && "./${fig}") > "build/bench/${fig}.out"
+  diff -u "$golden" "build/bench/${fig}.out" || {
+    echo "FAIL: ${fig} output drifted from ${golden}" >&2; exit 1;
+  }
+  echo "${fig} matches golden"
+done
+(cd build/bench && ./micro_overhead) 2>/dev/null \
+  | grep -o 'BM_[A-Za-z_]*\|VirtualLatencyUs=[0-9.e+-]*\|OverheadUs=[0-9.e+-]*' \
+  | paste -d' ' - - > build/bench/micro_overhead_virtual.out
+diff -u bench/goldens/micro_overhead_virtual.txt \
+        build/bench/micro_overhead_virtual.out || {
+  echo "FAIL: micro_overhead virtual latencies drifted" >&2; exit 1;
+}
+echo "micro_overhead virtual latencies match golden"
+
+echo "== micro_telemetry =="
+(cd build/bench && ./micro_telemetry)
+
+tljson=build/bench/BENCH_telemetry.json
+[[ -s "$tljson" ]] || { echo "FAIL: $tljson missing or empty" >&2; exit 1; }
+
+# Schema plus the PR's gates: enabled-mode telemetry must not perturb the
+# simulation (virtual_identical) and must cost <= 10% host wall overhead.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tljson" <<'EOF'
+import json, sys
+
+expected = {
+    "mode": {"bench", "mode", "reps", "collectives", "min_wall_s",
+             "mean_wall_s", "timeline_events", "timeline_bytes",
+             "metrics_instruments"},
+    "summary": {"bench", "mode", "overhead_frac", "virtual_identical",
+                "chrome_trace_bytes"},
+}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("FAIL: no records in BENCH_telemetry.json")
+seen = set()
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    mode = rec.get("mode")
+    kind = "summary" if mode == "summary" else "mode"
+    if mode not in ("off", "on", "summary"):
+        sys.exit(f"FAIL: line {i} unknown mode {mode!r}")
+    if set(rec) != expected[kind]:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != "
+                 f"{sorted(expected[kind])}")
+    seen.add(mode)
+    if mode == "off" and rec["timeline_events"] != 0:
+        sys.exit(f"FAIL: disabled mode recorded "
+                 f"{rec['timeline_events']} timeline events")
+    if mode == "on" and rec["timeline_events"] == 0:
+        sys.exit("FAIL: enabled mode recorded no timeline events")
+    if mode == "summary":
+        if rec["virtual_identical"] is not True:
+            sys.exit("FAIL: telemetry perturbed the simulated latencies")
+        if rec["overhead_frac"] > 0.10:
+            sys.exit(f"FAIL: telemetry overhead "
+                     f"{rec['overhead_frac']:.4f} > 0.10")
+        if rec["chrome_trace_bytes"] <= 0:
+            sys.exit("FAIL: enabled mode exported an empty Chrome trace")
+if seen != {"off", "on", "summary"}:
+    sys.exit(f"FAIL: modes {sorted(seen)} != ['off', 'on', 'summary']")
+print(f"BENCH_telemetry.json schema + gates OK ({len(lines)} records)")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench mode; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+  done < "$tljson"
+  grep -q '"virtual_identical":true' "$tljson" || {
+    echo "FAIL: telemetry perturbed the simulated latencies" >&2; exit 1;
+  }
+  echo "BENCH_telemetry.json schema OK (grep fallback; overhead gate skipped)"
 fi
 
 echo "ALL CHECKS PASSED"

@@ -41,7 +41,8 @@ inline std::size_t dtype_size(DataType t) {
   return 0;
 }
 
-inline std::string to_string(CollectiveKind k) {
+/// Static-storage kind name, safe to retain by pointer (telemetry events).
+inline const char* kind_name(CollectiveKind k) {
   switch (k) {
     case CollectiveKind::kAllReduce: return "AllReduce";
     case CollectiveKind::kAllGather: return "AllGather";
@@ -54,6 +55,8 @@ inline std::string to_string(CollectiveKind k) {
   }
   return "?";
 }
+
+inline std::string to_string(CollectiveKind k) { return kind_name(k); }
 
 namespace detail {
 

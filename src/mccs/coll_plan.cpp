@@ -182,7 +182,7 @@ std::shared_ptr<const CollPlan> CollPlanCache::acquire(
     coll::CollectiveKind kind, std::size_t count, coll::DataType dtype,
     int root) {
   if (epoch != epoch_) {
-    if (!plans_.empty()) ++stats_.invalidations;
+    if (!plans_.empty()) invalidations().increment();
     plans_.clear();
     epoch_ = epoch;
   }
@@ -190,11 +190,11 @@ std::shared_ptr<const CollPlan> CollPlanCache::acquire(
   if (enabled) {
     auto it = plans_.find(key);
     if (it != plans_.end()) {
-      ++stats_.hits;
+      hits().increment();
       return it->second;
     }
   }
-  ++stats_.misses;
+  misses().increment();
   auto plan = build_coll_plan(setup, strategy, cluster, kind, count, dtype, root);
   if (enabled) plans_.emplace(key, plan);
   return plan;

@@ -37,6 +37,7 @@
 #include "collectives/types.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "telemetry/metrics.h"
 
 namespace mccs::svc {
 
@@ -150,11 +151,24 @@ std::shared_ptr<const CollPlan> build_coll_plan(
 /// Per-communicator-rank plan cache, keyed by the connection epoch.
 class CollPlanCache {
  public:
+  /// Counter snapshot. Backed by the fabric's MetricsRegistry once
+  /// bind_registry ran (proxy engines bind at install_communicator, labeled
+  /// by gpu/comm); standalone caches fall back to privately owned counters,
+  /// so the accessor works identically either way.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;          ///< plan built (cache disabled or absent)
     std::uint64_t invalidations = 0;   ///< epoch flushes that dropped entries
   };
+
+  /// Redirect the cache's counters to registry-interned instruments. Must be
+  /// called before the first acquire (counts are not migrated).
+  void bind_registry(telemetry::Counter& hits, telemetry::Counter& misses,
+                     telemetry::Counter& invalidations) {
+    hits_ = &hits;
+    misses_ = &misses;
+    invalidations_ = &invalidations;
+  }
 
   /// Return the plan for the given shape, building (and, if `enabled`,
   /// retaining) it on a miss. An `epoch` different from the cache's drops
@@ -174,15 +188,33 @@ class CollPlanCache {
                                                      int root,
                                                      int num_channels) const;
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return Stats{hits().value(), misses().value(), invalidations().value()};
+  }
   [[nodiscard]] std::size_t size() const { return plans_.size(); }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
  private:
+  // Null registry pointers fall back to the owned counters — by accessor,
+  // not by pointing at them, so the cache stays safely movable (CommRank
+  // instances move into their container on install).
+  [[nodiscard]] telemetry::Counter& hits() const {
+    return hits_ != nullptr ? *hits_ : own_hits_;
+  }
+  [[nodiscard]] telemetry::Counter& misses() const {
+    return misses_ != nullptr ? *misses_ : own_misses_;
+  }
+  [[nodiscard]] telemetry::Counter& invalidations() const {
+    return invalidations_ != nullptr ? *invalidations_ : own_invalidations_;
+  }
+
   std::uint64_t epoch_ = 0;
   std::unordered_map<PlanKey, std::shared_ptr<const CollPlan>, PlanKeyHash>
       plans_;
-  Stats stats_;
+  mutable telemetry::Counter own_hits_, own_misses_, own_invalidations_;
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* invalidations_ = nullptr;
 };
 
 }  // namespace mccs::svc

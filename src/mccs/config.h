@@ -80,6 +80,16 @@ struct ServiceConfig {
   int transport_max_retries = 3;
   Time transport_retry_backoff = micros(100);
 
+  // --- telemetry (see DESIGN.md "Telemetry subsystem") -----------------------
+  /// Record the virtual-time span/event timeline (frontend/proxy/transport/
+  /// netsim flow lifetimes, policy and recovery instants, the link-
+  /// utilization sampler) for Chrome-trace export. Off by default: every
+  /// recording site sits behind one cheap branch, and with it off the
+  /// simulation is byte-identical to a build without the machinery. The
+  /// metrics registry (replacing the old ad-hoc counters) is always live
+  /// regardless — counters are not gated.
+  bool enable_telemetry = false;
+
   /// ABLATION ONLY: apply reconfiguration commands immediately on receipt,
   /// skipping the Fig.-4 sequence-number barrier. Demonstrates the
   /// correctness failure the protocol exists to prevent (collectives

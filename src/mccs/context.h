@@ -13,6 +13,7 @@
 #include "mccs/config.h"
 #include "netsim/network.h"
 #include "sim/event_loop.h"
+#include "telemetry/telemetry.h"
 
 namespace mccs::svc {
 
@@ -39,6 +40,11 @@ struct ServiceContext {
   const cluster::Cluster* cluster = nullptr;
   ServiceConfig config;
   std::uint64_t seed = 1;  ///< fabric seed; perturbs ECMP hashing per trial
+
+  /// Fabric-wide telemetry (always non-null under a Fabric; wired before any
+  /// service is created). Counters are always live; timeline recording sites
+  /// check telemetry->enabled() first.
+  telemetry::Telemetry* telemetry = nullptr;
 
   /// Proxy engine serving a GPU anywhere in the cluster.
   std::function<ProxyEngine&(GpuId)> proxy_for;

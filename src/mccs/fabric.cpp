@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <ostream>
+#include <string>
+
+#include "telemetry/json.h"
 
 namespace mccs::svc {
 
@@ -20,6 +23,9 @@ Fabric::Fabric(cluster::Cluster cluster, Options options)
   context_.cluster = &cluster_;
   context_.config = options.config;
   context_.seed = options.seed;
+  telemetry_.set_enabled(options.config.enable_telemetry);
+  context_.telemetry = &telemetry_;
+  network_->set_telemetry(&telemetry_);
   context_.proxy_for = [this](GpuId gpu) -> ProxyEngine& { return proxy_for(gpu); };
   context_.send_control = [this](HostId /*from*/, HostId /*to*/,
                                  std::function<void()> fn, Time extra) {
@@ -265,7 +271,7 @@ void Fabric::debug_dump(std::ostream& os) {
   for (auto& svc : services_) {
     const auto& host = cluster_.host(svc->host());
     for (std::size_t nic = 0; nic < host.nic_nodes.size(); ++nic) {
-      const TransportEngine::Stats& st =
+      const TransportEngine::Stats st =
           svc->transport(static_cast<int>(nic)).stats();
       if (st.deadline_checks == 0 && st.retries == 0 && st.escalations == 0) {
         continue;
@@ -293,6 +299,94 @@ void Fabric::clear_traffic_schedule(AppId app) {
       svc->transport(static_cast<int>(nic)).clear_schedule(app);
     }
   }
+}
+
+std::vector<TraceRecord> Fabric::trace_all() const {
+  std::vector<TraceRecord> out;
+  for (const auto& svc : services_) {
+    for (const TraceRecord& r : svc->collect_trace()) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    if (a.comm != b.comm) return a.comm < b.comm;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.rank < b.rank;
+  });
+  return out;
+}
+
+std::string Fabric::telemetry_snapshot() {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"time\":";
+  telemetry::append_double(out, loop_.now());
+  out += ",\"metrics\":";
+  out += telemetry_.metrics().to_json();
+
+  out += ",\"links\":[";
+  const net::Topology& topo = network_->topology();
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    const LinkId id{static_cast<std::uint32_t>(l)};
+    if (l > 0) out += ',';
+    out += "{\"id\":" + std::to_string(l);
+    out += ",\"state\":\"";
+    switch (network_->link_state(id)) {
+      case net::LinkState::kUp: out += "up"; break;
+      case net::LinkState::kDegraded: out += "degraded"; break;
+      case net::LinkState::kDown: out += "down"; break;
+    }
+    out += "\",\"capacity_fraction\":";
+    telemetry::append_double(out, network_->link_capacity_fraction(id));
+    out += ",\"throughput\":";
+    telemetry::append_double(out, network_->link_throughput(id));
+    out += ",\"flows\":" + std::to_string(network_->link_flow_count(id));
+    out += ",\"bytes\":";
+    telemetry::append_double(out, network_->link_bytes(id));
+    out += '}';
+  }
+  out += "],\"flows\":[";
+  bool first = true;
+  for (FlowId f : network_->active_flows()) {
+    const net::FlowSpec& spec = network_->flow_spec(f);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(f.get());
+    out += ",\"app\":" + std::to_string(spec.app.get());
+    out += ",\"remaining\":" + std::to_string(network_->flow_remaining(f));
+    out += ",\"rate\":";
+    telemetry::append_double(out, network_->flow_rate(f));
+    out += '}';
+  }
+  out += "],\"allocation_errors\":" +
+         std::to_string(network_->allocation_error_count());
+
+  out += ",\"comms\":[";
+  first = true;
+  for (const CommInfo& info : list_communicators()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(info.id.get());
+    out += ",\"app\":" + std::to_string(info.app.get());
+    out += ",\"nranks\":" + std::to_string(info.nranks);
+    out += ",\"ranks\":[";
+    for (std::size_t r = 0; r < info.gpus.size(); ++r) {
+      const GpuId gpu = info.gpus[r];
+      ProxyEngine& p = proxy_for(gpu);
+      if (r > 0) out += ',';
+      out += "{\"gpu\":" + std::to_string(gpu.get());
+      out += ",\"launched\":" + std::to_string(p.last_launched(info.id));
+      out += ",\"completed\":" + std::to_string(p.last_completed(info.id));
+      out += ",\"active\":" + std::to_string(p.active_count(info.id));
+      out += ",\"held\":" + std::to_string(p.held_count(info.id));
+      out += ",\"reconfig\":";
+      out += p.reconfig_in_progress(info.id) ? "true" : "false";
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "],\"timeline_events\":" +
+         std::to_string(telemetry_.timeline().event_count());
+  out += '}';
+  return out;
 }
 
 std::vector<TraceRecord> Fabric::trace(AppId app) const {

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -114,6 +115,24 @@ class Fabric {
   /// All collective trace records of one application, cluster-wide.
   [[nodiscard]] std::vector<TraceRecord> trace(AppId app) const;
 
+  /// Every collective trace record in the cluster (all applications), sorted
+  /// by (comm, seq, rank) — the proxy-layer span source for the Chrome trace
+  /// export (trace_export.h).
+  [[nodiscard]] std::vector<TraceRecord> trace_all() const;
+
+  // --- telemetry ---------------------------------------------------------------
+  /// Fabric-wide telemetry. The metrics registry is always live (engines
+  /// record through it unconditionally); the span/event timeline records only
+  /// when enabled — ServiceConfig::enable_telemetry seeds the switch, and
+  /// telemetry().set_enabled() flips it at runtime.
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
+
+  /// Machine-readable JSON snapshot of the fabric: virtual time, the metrics
+  /// registry, per-link state / allocated throughput / cumulative bytes, live
+  /// flows, and per-communicator progress. The programmatic counterpart of
+  /// the human-oriented debug_dump.
+  [[nodiscard]] std::string telemetry_snapshot();
+
   /// Management-path communicator teardown: destroys the communicator on
   /// every rank's proxy (after the control latency) and removes it from the
   /// registry, so policies stop planning for it. Outstanding collectives on
@@ -160,6 +179,9 @@ class Fabric {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<gpu::GpuRuntime> gpus_;
   ServiceContext context_;
+  // Declared before services_ so engines (which hold pointers to it through
+  // the context) are destroyed first.
+  telemetry::Telemetry telemetry_;
   std::vector<std::unique_ptr<Service>> services_;  ///< by HostId
   std::function<CommStrategy(const CommInfo&)> strategy_provider_;
 

@@ -1,5 +1,7 @@
 #include "mccs/frontend_engine.h"
 
+#include <string>
+
 namespace mccs::svc {
 
 gpu::DevicePtr FrontendEngine::handle_alloc(GpuId gpu, Bytes size) {
@@ -84,6 +86,21 @@ void FrontendEngine::handle_collective(CommId comm, GpuId gpu,
   if (args.kind != coll::CollectiveKind::kBroadcast || !(args.send == args.recv)) {
     MCCS_CHECK(validate(args.send, send_len),
                "collective send buffer is not a valid tenant allocation");
+  }
+
+  if (ctx_->telemetry != nullptr && ctx_->telemetry->enabled()) {
+    // Validation + the engine hop to the proxy, as a frontend-layer span.
+    telemetry::Timeline& tl = ctx_->telemetry->timeline();
+    if (track_ < 0) {
+      track_ = tl.track("host " + std::to_string(host_.get()),
+                        "frontend app " + std::to_string(app_.get()));
+    }
+    const Time now = ctx_->loop->now();
+    tl.span(track_, "frontend", coll::kind_name(args.kind), now,
+            now + ctx_->config.engine_hop_latency,
+            {{"comm", static_cast<std::int64_t>(comm.get())},
+             {"gpu", static_cast<std::int64_t>(gpu.get())},
+             {"bytes", static_cast<std::uint64_t>(send_len)}});
   }
 
   ProxyEngine& proxy = ctx_->proxy_for(gpu);

@@ -84,6 +84,7 @@ class FrontendEngine {
   ServiceContext* ctx_;
   HostId host_;
   AppId app_;
+  int track_ = -1;  ///< telemetry track, lazily interned (enabled mode only)
   std::unordered_map<std::uint64_t, AllocInfo> registry_;
   std::unordered_map<std::uint32_t, std::unique_ptr<CommandQueue<ShimCommand>>>
       queues_;  ///< by GpuId

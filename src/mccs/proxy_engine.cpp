@@ -60,7 +60,21 @@ void ProxyEngine::install_communicator(const CommSetup& setup) {
   st.setup = setup;
   st.strategy = setup.strategy;
   st.comm_stream = &ctx_->gpus->gpu(gpu_).create_stream();
-  comms_.emplace(setup.id.get(), std::move(st));
+  auto [it, inserted] = comms_.emplace(setup.id.get(), std::move(st));
+  if (ctx_->telemetry != nullptr) {
+    // Registry-backed plan-cache counters, labeled per (comm, gpu) so the
+    // registry can aggregate per communicator or per device. Bound after the
+    // CommRank reached its final address (bind before the move would not
+    // matter for registry pointers, but keep the orderings aligned).
+    telemetry::MetricsRegistry& reg = ctx_->telemetry->metrics();
+    const telemetry::Labels labels{
+        {"comm", std::to_string(setup.id.get())},
+        {"gpu", std::to_string(gpu_.get())}};
+    it->second.plan_cache.bind_registry(
+        reg.counter("plan_cache_hits", labels),
+        reg.counter("plan_cache_misses", labels),
+        reg.counter("plan_cache_invalidations", labels));
+  }
 }
 
 void ProxyEngine::destroy_communicator(CommId comm) {
@@ -155,6 +169,10 @@ void ProxyEngine::issue_collective(CommId comm, WorkRequest request) {
   rec.kind = request.args.kind;
   rec.bytes = request.args.output_bytes(st.setup.nranks);
   rec.issued = ctx_->loop->now();
+  // The trace index is assigned here, carried through any barrier hold, and
+  // used directly at launch — never searched for (the old backward scan was
+  // O(trace length) per launch, quadratic over a long run).
+  const std::size_t trace_index = trace_.size();
   trace_.push_back(rec);
 
   const RoundState* gate = active_round(st);
@@ -162,25 +180,18 @@ void ProxyEngine::issue_collective(CommId comm, WorkRequest request) {
                        (gate->have_max && !gate->updating &&
                         static_cast<std::int64_t>(seq) <= gate->max_seq);
   if (!allowed) {
-    st.held.emplace_back(seq, std::move(request));
+    st.held.push_back(HeldLaunch{seq, trace_index, std::move(request)});
     return;
   }
-  launch(st, seq, std::move(request));
+  launch(st, seq, trace_index, std::move(request));
 }
 
-void ProxyEngine::launch(CommRank& st, std::uint64_t seq, WorkRequest request) {
+void ProxyEngine::launch(CommRank& st, std::uint64_t seq,
+                         std::size_t trace_index, WorkRequest request) {
   const CommId comm = st.setup.id;
-
-  // Locate this (rank, seq)'s trace record: records are appended in seq
-  // order per communicator, so search backwards.
-  std::size_t trace_index = trace_.size();
-  for (std::size_t i = trace_.size(); i-- > 0;) {
-    if (trace_[i].comm == comm && trace_[i].seq == seq) {
-      trace_index = i;
-      break;
-    }
-  }
-  MCCS_CHECK(trace_index < trace_.size(), "missing trace record at launch");
+  MCCS_ASSERT(trace_index < trace_.size() &&
+              trace_[trace_index].comm == comm &&
+              trace_[trace_index].seq == seq);
   trace_[trace_index].launched = ctx_->loop->now();
 
   ActiveColl a;
@@ -878,10 +889,10 @@ void ProxyEngine::drain_and_maybe_update(CommRank& st, std::uint64_t round) {
   // Launch every held collective that must still run under the old
   // configuration (sequence number <= barrier maximum).
   while (!st.held.empty() &&
-         static_cast<std::int64_t>(st.held.front().first) <= rs.max_seq) {
-    auto [seq, req] = std::move(st.held.front());
+         static_cast<std::int64_t>(st.held.front().seq) <= rs.max_seq) {
+    HeldLaunch h = std::move(st.held.front());
     st.held.pop_front();
-    launch(st, seq, std::move(req));
+    launch(st, h.seq, h.trace_index, std::move(h.request));
   }
   maybe_begin_update(st);
 }
@@ -929,13 +940,13 @@ void ProxyEngine::finish_update(CommId comm, std::uint64_t round) {
   // Release held collectives that the (possibly new) gate allows.
   const RoundState* gate = active_round(st);
   while (!st.held.empty()) {
-    const std::int64_t seq = static_cast<std::int64_t>(st.held.front().first);
+    const std::int64_t seq = static_cast<std::int64_t>(st.held.front().seq);
     const bool allowed =
         gate == nullptr || (gate->have_max && !gate->updating && seq <= gate->max_seq);
     if (!allowed) break;
-    auto [s, req] = std::move(st.held.front());
+    HeldLaunch h = std::move(st.held.front());
     st.held.pop_front();
-    launch(st, s, std::move(req));
+    launch(st, h.seq, h.trace_index, std::move(h.request));
   }
   maybe_begin_update(st);
 }

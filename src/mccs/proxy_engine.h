@@ -233,6 +233,15 @@ class ProxyEngine {
     std::map<std::uint64_t, PendingSend> announced;
   };
 
+  /// A collective issued while a reconfiguration barrier holds launches.
+  /// Carries the trace index assigned at issue time so the eventual launch
+  /// is O(1) — it never searches the trace log.
+  struct HeldLaunch {
+    std::uint64_t seq = 0;
+    std::size_t trace_index = 0;
+    WorkRequest request;
+  };
+
   struct CommRank {
     CommSetup setup;
     CommStrategy strategy;
@@ -244,7 +253,7 @@ class ProxyEngine {
     // Launch-path lookups are by exact sequence number and never iterated,
     // so hashed containers replace the ordered maps here.
     std::unordered_map<std::uint64_t, ActiveColl> active;
-    std::deque<std::pair<std::uint64_t, WorkRequest>> held;
+    std::deque<HeldLaunch> held;
     std::unordered_map<std::uint64_t, std::vector<Delivery>> pending_deliveries;
     CollPlanCache plan_cache;  ///< epoch-keyed (see coll_plan.h)
     /// Retired channel-exec vectors, reused to make warm launches
@@ -264,7 +273,8 @@ class ProxyEngine {
   /// is still a contract violation: only a kill excuses dangling messages.
   CommRank* find_comm(CommId comm);
 
-  void launch(CommRank& st, std::uint64_t seq, WorkRequest request);
+  void launch(CommRank& st, std::uint64_t seq, std::size_t trace_index,
+              WorkRequest request);
   void begin_execution(CommId comm, std::uint64_t seq);
   void start_step(CommRank& st, ActiveColl& a, ChannelExec& ch);
   void check_advance(CommRank& st, ActiveColl& a, ChannelExec& ch);

@@ -1,96 +1,119 @@
 #include "mccs/trace_export.h"
 
-#include <sstream>
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
 
 namespace mccs::svc {
 namespace {
 
-void append_kv(std::ostringstream& os, const char* key, const std::string& value,
+void append_kv(std::string& out, const char* key, const std::string& value,
                bool quote, bool first = false) {
-  if (!first) os << ",";
-  os << "\"" << key << "\":";
+  if (!first) out += ",";
+  out += "\"";
+  telemetry::append_escaped_json(out, key);
+  out += "\":";
   if (quote) {
-    os << "\"" << value << "\"";
+    out += "\"";
+    telemetry::append_escaped_json(out, value);
+    out += "\"";
   } else {
-    os << value;
+    out += value;
   }
 }
 
-std::string num(double v) {
-  std::ostringstream os;
-  os.precision(9);
-  os << v;
-  return os.str();
-}
+std::string num(double v) { return telemetry::format_double(v); }
 
 }  // namespace
 
 std::string trace_record_to_json(const TraceRecord& record) {
-  std::ostringstream os;
-  os << "{";
-  append_kv(os, "app", std::to_string(record.app.get()), false, true);
-  append_kv(os, "comm", std::to_string(record.comm.get()), false);
-  append_kv(os, "rank", std::to_string(record.rank), false);
-  append_kv(os, "seq", std::to_string(record.seq), false);
-  append_kv(os, "kind", coll::to_string(record.kind), true);
-  append_kv(os, "bytes", std::to_string(record.bytes), false);
-  append_kv(os, "issued", num(record.issued), false);
-  append_kv(os, "launched", num(record.launched), false);
-  append_kv(os, "started", num(record.started), false);
-  append_kv(os, "completed", num(record.completed), false);
-  os << "}";
-  return os.str();
+  std::string out = "{";
+  append_kv(out, "app", std::to_string(record.app.get()), false, true);
+  append_kv(out, "comm", std::to_string(record.comm.get()), false);
+  append_kv(out, "rank", std::to_string(record.rank), false);
+  append_kv(out, "seq", std::to_string(record.seq), false);
+  append_kv(out, "kind", coll::to_string(record.kind), true);
+  append_kv(out, "bytes", std::to_string(record.bytes), false);
+  append_kv(out, "issued", num(record.issued), false);
+  append_kv(out, "launched", num(record.launched), false);
+  append_kv(out, "started", num(record.started), false);
+  append_kv(out, "completed", num(record.completed), false);
+  out += "}";
+  return out;
 }
 
 std::string trace_to_json_lines(const std::vector<TraceRecord>& records) {
-  std::ostringstream os;
-  for (const TraceRecord& r : records) os << trace_record_to_json(r) << "\n";
-  return os.str();
+  std::string out;
+  for (const TraceRecord& r : records) {
+    out += trace_record_to_json(r);
+    out += "\n";
+  }
+  return out;
 }
 
 std::string comm_info_to_json(const CommInfo& info, const CommStrategy& strategy) {
-  std::ostringstream os;
-  os << "{";
-  append_kv(os, "comm", std::to_string(info.id.get()), false, true);
-  append_kv(os, "app", std::to_string(info.app.get()), false);
-  append_kv(os, "nranks", std::to_string(info.nranks), false);
-  os << ",\"gpus\":[";
+  std::string out = "{";
+  append_kv(out, "comm", std::to_string(info.id.get()), false, true);
+  append_kv(out, "app", std::to_string(info.app.get()), false);
+  append_kv(out, "nranks", std::to_string(info.nranks), false);
+  out += ",\"gpus\":[";
   for (std::size_t r = 0; r < info.gpus.size(); ++r) {
-    if (r > 0) os << ",";
-    os << info.gpus[r].get();
+    if (r > 0) out += ",";
+    out += std::to_string(info.gpus[r].get());
   }
-  os << "]";
-  append_kv(os, "algorithm",
+  out += "]";
+  append_kv(out, "algorithm",
             strategy.algorithm == coll::Algorithm::kRing ? "ring" : "tree", true);
-  append_kv(os, "channels", std::to_string(strategy.num_channels()), false);
-  os << ",\"channel_orders\":[";
+  append_kv(out, "channels", std::to_string(strategy.num_channels()), false);
+  out += ",\"channel_orders\":[";
   for (std::size_t c = 0; c < strategy.channel_orders.size(); ++c) {
-    if (c > 0) os << ",";
-    os << "[";
+    if (c > 0) out += ",";
+    out += "[";
     const auto& order = strategy.channel_orders[c].order();
     for (std::size_t p = 0; p < order.size(); ++p) {
-      if (p > 0) os << ",";
-      os << order[p];
+      if (p > 0) out += ",";
+      out += std::to_string(order[p]);
     }
-    os << "]";
+    out += "]";
   }
-  os << "]";
-  append_kv(os, "explicit_routes", std::to_string(strategy.routes.size()), false);
-  os << "}";
-  return os.str();
+  out += "]";
+  append_kv(out, "explicit_routes", std::to_string(strategy.routes.size()), false);
+  out += "}";
+  return out;
 }
 
 std::string management_snapshot_json(Fabric& fabric) {
-  std::ostringstream os;
-  os << "[";
+  std::string out = "[";
   bool first = true;
   for (const CommInfo& info : fabric.list_communicators()) {
-    if (!first) os << ",";
+    if (!first) out += ",";
     first = false;
-    os << comm_info_to_json(info, fabric.strategy_of(info.id));
+    out += comm_info_to_json(info, fabric.strategy_of(info.id));
   }
-  os << "]";
-  return os.str();
+  out += "]";
+  return out;
+}
+
+std::string chrome_trace_json(Fabric& fabric) {
+  // Collective records become "proxy" spans on per-(comm, rank) tracks in a
+  // side timeline merged with the runtime one under a disjoint pid block.
+  telemetry::Timeline records;
+  for (const TraceRecord& r : fabric.trace_all()) {
+    if (r.completed < r.issued) continue;  // issued but never completed
+    const int t = records.track("comm " + std::to_string(r.comm.get()),
+                                "rank " + std::to_string(r.rank));
+    records.span(t, "proxy", coll::kind_name(r.kind), r.issued, r.completed,
+                 {{"seq", r.seq},
+                  {"bytes", r.bytes},
+                  {"launched_us", r.launched * 1e6},
+                  {"started_us", r.started * 1e6}});
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  fabric.telemetry().timeline().append_chrome_events(out, /*pid_base=*/0, first);
+  records.append_chrome_events(out, /*pid_base=*/1000, first);
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
 }
 
 }  // namespace mccs::svc

@@ -1,11 +1,14 @@
 #pragma once
 // Provider observability tooling on top of the management API (§4.3): export
 // collective traces and communicator state as JSON lines, the format an
-// external controller, dashboard, or offline profiler would ingest.
+// external controller, dashboard, or offline profiler would ingest; plus the
+// Chrome trace-event export that merges the fabric's telemetry timeline with
+// the collective TraceRecords into one file Perfetto loads directly.
 //
 // Writing JSON by hand (no third-party dependency) keeps the repository
-// self-contained; the emitter covers exactly the value shapes these records
-// need (strings, integers, floats, flat arrays).
+// self-contained; string escaping and shortest-round-trip double formatting
+// come from telemetry/json.h so exported virtual timestamps parse back
+// bit-identically.
 
 #include <string>
 #include <vector>
@@ -27,5 +30,14 @@ std::string comm_info_to_json(const CommInfo& info, const CommStrategy& strategy
 /// Full management snapshot of a fabric: every communicator with its
 /// strategy, as a JSON array.
 std::string management_snapshot_json(Fabric& fabric);
+
+/// The fabric's whole run as one Chrome trace-event JSON document: every
+/// telemetry timeline event (frontend/transport/netsim/policy spans, policy
+/// and recovery instants, link counters) plus every completed collective
+/// TraceRecord as a "proxy" span on a per-(comm, rank) track. Loads in
+/// Perfetto / chrome://tracing. Timeline events require the fabric to have
+/// run with ServiceConfig::enable_telemetry; the TraceRecord spans are
+/// always present.
+std::string chrome_trace_json(Fabric& fabric);
 
 }  // namespace mccs::svc

@@ -8,6 +8,27 @@
 
 namespace mccs::svc {
 
+TransportEngine::TransportEngine(ServiceContext& ctx, HostId host, int nic_index)
+    : ctx_(&ctx), host_(host), nic_index_(nic_index) {
+  if (ctx_->telemetry != nullptr) {
+    telemetry::MetricsRegistry& reg = ctx_->telemetry->metrics();
+    const telemetry::Labels labels{{"host", std::to_string(host_.get())},
+                                   {"nic", std::to_string(nic_index_)}};
+    deadline_checks_ = &reg.counter("transport_deadline_checks", labels);
+    retries_ = &reg.counter("transport_retries", labels);
+    escalations_ = &reg.counter("transport_escalations", labels);
+    send_latency_us_ = &reg.histogram(
+        "transport_send_latency_us",
+        {50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 20000.0, 100000.0}, labels);
+  } else {
+    // Bare-engine construction (unit tests without a Fabric): fall back to
+    // privately owned counters so stats() keeps working.
+    deadline_checks_ = &own_deadline_checks_;
+    retries_ = &own_retries_;
+    escalations_ = &own_escalations_;
+  }
+}
+
 bool TrafficSchedule::open_at(Time t) const {
   if (unrestricted()) return true;
   const double phase = std::fmod(std::max(t - t0, 0.0), period);
@@ -47,6 +68,7 @@ void TransportEngine::post_send(ChunkTransfer transfer) {
   const std::uint64_t sid = next_send_id_++;
   Inflight send;
   send.transfer = std::move(transfer);
+  send.posted = ctx_->loop->now();
   inflight_.emplace(sid, std::move(send));
 
   auto it = gates_.find(app.get());
@@ -104,6 +126,26 @@ void TransportEngine::finish_send(std::uint64_t sid) {
     auto& v = git->second.active_sends;
     v.erase(std::remove(v.begin(), v.end(), sid), v.end());
   }
+  if (ctx_->telemetry != nullptr && ctx_->telemetry->enabled()) {
+    const Time now = ctx_->loop->now();
+    if (track_ < 0) {
+      track_ = ctx_->telemetry->timeline().track(
+          "host " + std::to_string(host_.get()),
+          "transport nic " + std::to_string(nic_index_));
+    }
+    // src_gpu is implied by the track (this host's NIC) plus the proxy-layer
+    // span; keeping the arg list lean matters — this is the hottest engine
+    // recording site.
+    ctx_->telemetry->timeline().span(
+        track_, "transport", "chunk_send", s.posted, now,
+        {{"app", static_cast<std::uint64_t>(s.transfer.app.get())},
+         {"dst_gpu", static_cast<std::uint64_t>(s.transfer.dst_gpu.get())},
+         {"bytes", s.transfer.bytes},
+         {"attempts", static_cast<std::int64_t>(s.attempts)}});
+    if (send_latency_us_ != nullptr) {
+      send_latency_us_->observe((now - s.posted) * 1e6);
+    }
+  }
   s.transfer.deliver();  // RDMA write lands at the receiver...
   s.transfer.on_sent();  // ...then the sender sees its completion event
 }
@@ -135,7 +177,7 @@ void TransportEngine::on_deadline(std::uint64_t sid) {
   if (it == inflight_.end()) return;
   Inflight& s = it->second;
   s.deadline = {};
-  ++stats_.deadline_checks;
+  deadline_checks_->increment();
   if (!ctx_->network->flow_active(s.flow)) return;  // completing this instant
 
   auto git = gates_.find(s.transfer.app.get());
@@ -154,7 +196,19 @@ void TransportEngine::on_deadline(std::uint64_t sid) {
 
   // A full deadline window with zero progress: retry on a re-hashed path.
   ++s.attempts;
-  ++stats_.retries;
+  retries_->increment();
+  if (ctx_->telemetry != nullptr && ctx_->telemetry->enabled()) {
+    if (track_ < 0) {
+      track_ = ctx_->telemetry->timeline().track(
+          "host " + std::to_string(host_.get()),
+          "transport nic " + std::to_string(nic_index_));
+    }
+    ctx_->telemetry->timeline().instant(
+        track_, "transport", "retry", ctx_->loop->now(),
+        {{"app", static_cast<std::uint64_t>(s.transfer.app.get())},
+         {"dst_gpu", static_cast<std::uint64_t>(s.transfer.dst_gpu.get())},
+         {"attempts", static_cast<std::int64_t>(s.attempts)}});
+  }
   const bool escalate = s.attempts > ctx_->config.transport_max_retries &&
                         ctx_->on_transport_stall != nullptr;
   StallReport report;
@@ -175,7 +229,15 @@ void TransportEngine::on_deadline(std::uint64_t sid) {
   }
   start_flow(sid, gate);
   if (escalate) {
-    ++stats_.escalations;
+    escalations_->increment();
+    if (ctx_->telemetry != nullptr && ctx_->telemetry->enabled()) {
+      ctx_->telemetry->timeline().instant(
+          track_, "transport", "stall_report", ctx_->loop->now(),
+          {{"app", static_cast<std::uint64_t>(report.app.get())},
+           {"src_gpu", static_cast<std::uint64_t>(report.src_gpu.get())},
+           {"dst_gpu", static_cast<std::uint64_t>(report.dst_gpu.get())},
+           {"attempts", static_cast<std::int64_t>(report.attempts)}});
+    }
     ctx_->on_transport_stall(report);
   }
 }

@@ -53,15 +53,16 @@ struct ChunkTransfer {
 class TransportEngine {
  public:
   /// Detection / retry counters (fault-tolerance observability). All zero on
-  /// the healthy path with detection disabled.
+  /// the healthy path with detection disabled. Snapshot assembled from the
+  /// fabric's MetricsRegistry — the registry's labeled counters (host/nic)
+  /// are the backing store, this struct is the accessor-compatible view.
   struct Stats {
     std::uint64_t deadline_checks = 0;  ///< deadline timers that fired
     std::uint64_t retries = 0;          ///< re-posts after a no-progress window
     std::uint64_t escalations = 0;      ///< stall reports sent to the handler
   };
 
-  TransportEngine(ServiceContext& ctx, HostId host, int nic_index)
-      : ctx_(&ctx), host_(host), nic_index_(nic_index) {}
+  TransportEngine(ServiceContext& ctx, HostId host, int nic_index);
 
   TransportEngine(const TransportEngine&) = delete;
   TransportEngine& operator=(const TransportEngine&) = delete;
@@ -86,7 +87,10 @@ class TransportEngine {
   /// In-flight (posted, not yet delivered) sends of one app on this engine.
   [[nodiscard]] std::size_t inflight_count(AppId app) const;
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return Stats{deadline_checks_->value(), retries_->value(),
+                 escalations_->value()};
+  }
   [[nodiscard]] int nic_index() const { return nic_index_; }
 
  private:
@@ -98,6 +102,7 @@ class TransportEngine {
     int attempts = 0;        ///< completed no-progress windows (retry count)
     Bytes watermark = 0;     ///< flow_remaining at the last deadline check
     Time deadline_dt = 0.0;  ///< per-arm deadline window
+    Time posted = 0.0;       ///< when post_send accepted it (telemetry span)
     sim::EventLoop::Handle deadline;
   };
 
@@ -122,7 +127,14 @@ class TransportEngine {
   std::unordered_map<std::uint32_t, AppGate> gates_;      ///< by AppId
   std::unordered_map<std::uint64_t, Inflight> inflight_;  ///< by send id
   std::uint64_t next_send_id_ = 0;
-  Stats stats_;
+  // Registry-backed counters, interned once at construction (labels:
+  // host/nic). Fallback-owned when no telemetry is wired (bare-engine tests).
+  telemetry::Counter* deadline_checks_ = nullptr;
+  telemetry::Counter* retries_ = nullptr;
+  telemetry::Counter* escalations_ = nullptr;
+  telemetry::Histogram* send_latency_us_ = nullptr;  ///< enabled mode only
+  telemetry::Counter own_deadline_checks_, own_retries_, own_escalations_;
+  int track_ = -1;  ///< lazily interned timeline track (enabled mode only)
 };
 
 }  // namespace mccs::svc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace mccs::net {
 namespace {
@@ -111,6 +112,7 @@ FlowId Network::start_flow(FlowSpec spec) {
                 : routing_.by_ecmp(spec.src, spec.dst, spec.ecmp_key);
   st.remaining = static_cast<double>(spec.size);
   st.last_update = loop_->now();
+  st.created = loop_->now();
   st.spec = std::move(spec);
 
   const Time latency = st.spec.start_latency;
@@ -147,6 +149,7 @@ void Network::cancel_flow(FlowId id) {
   loop_->cancel(f.activation);
   const bool was_allocated = allocatable(f);
   if (was_allocated) remove_from_index(id.get(), f);
+  emit_flow_span(f, /*completed=*/false);
   const Path path = std::move(f.path);
   flows_.erase(it);
   // A latent or paused flow had rate 0 and constrained nobody.
@@ -400,12 +403,53 @@ void Network::allocate_component() {
 
   // Refresh the touched links' monitored throughput from their members'
   // fresh rates (exact recomputation, so incremental updates cannot drift).
+  // The utilization sampler integrates the *outgoing* rate over the interval
+  // it was in force before the new one replaces it, and (enabled mode only)
+  // drops a counter sample on the timeline when the rate actually changed.
+  const bool record = telemetry_ != nullptr && telemetry_->enabled();
+  if (record) counter_scratch_.clear();
   for (std::uint32_t l : comp_links_) {
     LinkIndex& li = links_[l];
     Bandwidth total = 0.0;
     for (std::uint32_t fid : li.flows) total += flows_.at(fid).rate;
+    link_bytes_[l] += li.throughput * (now - link_sample_time_[l]);
+    link_sample_time_[l] = now;
+    if (record && total != li.throughput) {
+      if (link_track_ < 0) {
+        link_track_ = telemetry_->timeline().track("netsim", "links");
+        link_counter_names_.resize(links_.size());
+        for (std::size_t i = 0; i < links_.size(); ++i) {
+          link_counter_names_[i] = "link" + std::to_string(i);
+        }
+        counter_scratch_.reserve(links_.size());
+      }
+      counter_scratch_.push_back(
+          {link_counter_names_[l].c_str(), total * 8.0 / 1e9});
+    }
     li.throughput = total;
   }
+  if (record && !counter_scratch_.empty()) {
+    // All links whose allocated rate changed in this reallocation, batched
+    // into one "link_gbps" sample (a series per link in the counter chart).
+    // Coalesced across same-virtual-instant cascades touching the same link
+    // set: only the final rates of the burst survive.
+    link_sample_event_ = telemetry_->timeline().counter(
+        link_track_, "link_gbps", now, counter_scratch_.data(),
+        counter_scratch_.data() + counter_scratch_.size(), link_sample_event_);
+  }
+}
+
+void Network::emit_flow_span(const FlowState& f, bool completed) {
+  if (telemetry_ == nullptr || !telemetry_->enabled()) return;
+  if (f.spec.background_demand > 0.0) return;  // background flows never end
+  telemetry::Timeline& tl = telemetry_->timeline();
+  if (flow_track_ < 0) flow_track_ = tl.track("netsim", "flows");
+  // Lean on purpose (endpoints ride on the matching transport chunk_send
+  // span): flow completion is the hottest netsim recording site.
+  tl.span(flow_track_, "netsim",
+          completed ? "flow" : "flow_cancelled", f.created, loop_->now(),
+          {{"app", static_cast<std::int64_t>(f.spec.app.get())},
+           {"bytes", static_cast<std::uint64_t>(f.spec.size)}});
 }
 
 void Network::complete_flow(std::uint32_t id) {
@@ -414,6 +458,7 @@ void Network::complete_flow(std::uint32_t id) {
   FlowState& f = it->second;
   f.remaining = 0.0;
   remove_from_index(id, f);
+  emit_flow_span(f, /*completed=*/true);
   FlowSpec spec = std::move(f.spec);
   const Path path = std::move(f.path);
   flows_.erase(it);

@@ -40,6 +40,7 @@
 #include "netsim/routing.h"
 #include "netsim/topology.h"
 #include "sim/event_loop.h"
+#include "telemetry/telemetry.h"
 
 namespace mccs::net {
 
@@ -115,7 +116,9 @@ class Network {
         capacity_scale_(topo.link_count(), 1.0),
         link_mark_(topo.link_count(), 0),
         residual_(topo.link_count(), 0.0),
-        weight_scratch_(topo.link_count(), 0.0) {}
+        weight_scratch_(topo.link_count(), 0.0),
+        link_bytes_(topo.link_count(), 0.0),
+        link_sample_time_(topo.link_count(), 0.0) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -183,6 +186,20 @@ class Network {
     return links_[id.get()].normal_count;
   }
 
+  /// Attach fabric telemetry: flow-lifetime spans and per-link allocated-rate
+  /// counter samples land on the timeline when it is enabled. The utilization
+  /// integral behind link_bytes() is maintained regardless (it only reads the
+  /// throughput the solver already computed, so it cannot perturb the sim).
+  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+
+  /// Cumulative bytes carried by a link (allocated-rate integral up to now),
+  /// for the provider's monitoring plane and telemetry snapshots.
+  [[nodiscard]] double link_bytes(LinkId id) const {
+    MCCS_EXPECTS(id.get() < links_.size());
+    return link_bytes_[id.get()] +
+           links_[id.get()].throughput * (loop_->now() - link_sample_time_[id.get()]);
+  }
+
  private:
   struct FlowState {
     FlowSpec spec;
@@ -190,6 +207,7 @@ class Network {
     double remaining = 0.0;  ///< bytes left as of `last_update` (fluid model)
     Bandwidth rate = 0.0;
     Time last_update = 0.0;  ///< when `remaining` was last integrated
+    Time created = 0.0;      ///< start_flow time (telemetry span begin)
     bool started = false;    ///< start_latency elapsed
     bool paused = false;
     std::uint64_t mark = 0;  ///< component-BFS visit epoch
@@ -238,6 +256,10 @@ class Network {
   void complete_flow(std::uint32_t id);
   void activate_flow(std::uint32_t id);
 
+  /// Timeline span for a flow that just left the network (delivered or
+  /// cancelled). No-op unless telemetry is enabled.
+  void emit_flow_span(const FlowState& f, bool completed);
+
   sim::EventLoop* loop_;
   const Topology* topo_;
   Routing routing_;
@@ -261,6 +283,22 @@ class Network {
   std::uint64_t epoch_ = 0;
   std::vector<Bandwidth> residual_;
   std::vector<double> weight_scratch_;
+
+  // Link-utilization sampler: cumulative bytes as of `link_sample_time_`,
+  // integrated from the allocated rate whenever a link's throughput is
+  // refreshed (end of allocate_component touches exactly the changed links).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::vector<double> link_bytes_;
+  std::vector<Time> link_sample_time_;
+  int flow_track_ = -1;  ///< lazily interned (enabled mode only)
+  int link_track_ = -1;
+  /// Counter series keys ("linkN"), built once when recording starts: the
+  /// timeline retains keys by pointer, so they must stay at fixed addresses.
+  std::vector<std::string> link_counter_names_;
+  /// Index of the latest link_gbps counter sample (burst coalescing).
+  std::size_t link_sample_event_ = telemetry::Timeline::kNoSample;
+  /// Reused arg buffer for the batched per-reallocation counter sample.
+  std::vector<telemetry::Arg> counter_scratch_;
 };
 
 }  // namespace mccs::net

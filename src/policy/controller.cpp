@@ -1,8 +1,19 @@
 #include "policy/controller.h"
 
 #include <algorithm>
+#include <string>
 
 namespace mccs::policy {
+namespace {
+
+/// The controller's timeline track ("policy" process), or -1 when the
+/// fabric's timeline is disabled.
+int controller_track(svc::Fabric& fabric) {
+  if (!fabric.telemetry().enabled()) return -1;
+  return fabric.telemetry().timeline().track("policy", "controller");
+}
+
+}  // namespace
 
 void Controller::attach() {
   fabric_->set_strategy_provider(
@@ -49,6 +60,8 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
   AssignOptions options;
   if (flow_policy_ == FlowPolicy::kPfa) options.reserved_routes = reserved_routes_;
   options.failed_links = failed_links_;
+  options.telemetry = &fabric_->telemetry();
+  options.now = fabric_->loop().now();
   return assign_flows(items, fabric_->cluster(), fabric_->network().routing(),
                       options);
 }
@@ -113,9 +126,19 @@ void Controller::on_stall(const svc::StallReport& report) {
   const Time detected = fabric_->loop().now();
   for (LinkId l : fresh) failed_links_.insert(l.get());
   const int n = reconfigure_around_failures(report.app);
+  const int track = controller_track(*fabric_);
   for (LinkId l : fresh) {
     recovery_log_.push_back(
         RecoveryRecord{detected, fabric_->loop().now(), l, n});
+    if (track >= 0) {
+      // The RecoveryRecord as a span: stall confirmation to reconfigure
+      // commands issued (detection latency is visible as the span length).
+      fabric_->telemetry().timeline().span(
+          track, "policy", "recovery", detected, fabric_->loop().now(),
+          {{"link", static_cast<std::int64_t>(l.get())},
+           {"comms_reconfigured", static_cast<std::int64_t>(n)},
+           {"trigger", "stall_report"}});
+    }
   }
 }
 
@@ -125,6 +148,14 @@ void Controller::mark_link_failed(LinkId link) {
   const int n = reconfigure_around_failures(AppId{});
   recovery_log_.push_back(
       RecoveryRecord{detected, fabric_->loop().now(), link, n});
+  const int track = controller_track(*fabric_);
+  if (track >= 0) {
+    fabric_->telemetry().timeline().span(
+        track, "policy", "recovery", detected, fabric_->loop().now(),
+        {{"link", static_cast<std::int64_t>(link.get())},
+         {"comms_reconfigured", static_cast<std::int64_t>(n)},
+         {"trigger", "operator"}});
+  }
 }
 
 void Controller::clear_link_failed(LinkId link) {
@@ -178,6 +209,7 @@ bool Controller::apply_time_schedule(AppId prio, const std::vector<AppId>& other
   if (!pattern.valid()) return false;
   const svc::TrafficSchedule schedule = idle_window_schedule(pattern, guard);
   for (AppId app : others) fabric_->set_traffic_schedule(app, schedule);
+  emit_ts_instant("ts_schedule", prio, others, schedule);
   return true;
 }
 
@@ -188,7 +220,21 @@ bool Controller::apply_profiled_schedule(AppId prio,
       complement_of_busy(fabric_->trace(prio), period, t0, guard);
   if (schedule.allowed.empty()) return false;  // prio is never idle
   for (AppId app : others) fabric_->set_traffic_schedule(app, schedule);
+  emit_ts_instant("ts_profiled_schedule", prio, others, schedule);
   return true;
+}
+
+void Controller::emit_ts_instant(const char* name, AppId prio,
+                                 const std::vector<AppId>& others,
+                                 const svc::TrafficSchedule& schedule) {
+  const int track = controller_track(*fabric_);
+  if (track < 0) return;
+  fabric_->telemetry().timeline().instant(
+      track, "policy", name, fabric_->loop().now(),
+      {{"prio_app", static_cast<std::int64_t>(prio.get())},
+       {"confined_apps", static_cast<std::int64_t>(others.size())},
+       {"period_us", schedule.period * 1e6},
+       {"windows", static_cast<std::int64_t>(schedule.allowed.size())}});
 }
 
 void Controller::clear_time_schedule(const std::vector<AppId>& apps) {

@@ -5,6 +5,7 @@
 // (re)assignment whenever a job joins or exits, priority flow assignment,
 // and time-window traffic scheduling.
 
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -105,6 +106,10 @@ class Controller {
   svc::CommStrategy provide(const svc::CommInfo& info);
 
   void on_stall(const svc::StallReport& report);
+  /// TS policy-decision instant on the fabric's timeline (no-op if disabled).
+  void emit_ts_instant(const char* name, AppId prio,
+                       const std::vector<AppId>& others,
+                       const svc::TrafficSchedule& schedule);
   /// Re-route all live communicators around failed_links_; reconfigures the
   /// ones whose routes changed (always including `must_move` if valid).
   int reconfigure_around_failures(AppId must_move);

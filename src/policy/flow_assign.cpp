@@ -88,7 +88,8 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
                          const std::unordered_set<std::uint32_t>& reserved,
                          bool restrict_to_unreserved,
                          const net::Network* live,
-                         const std::unordered_set<std::uint32_t>& failed) {
+                         const std::unordered_set<std::uint32_t>& failed,
+                         double* score_out) {
   const auto& paths = routing.paths(f.src, f.dst);
   double best_score = std::numeric_limits<double>::infinity();
   std::uint32_t best = 0;
@@ -133,6 +134,7 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
     if (found) break;
   }
   MCCS_CHECK(found, "no admissible route for flow");
+  if (score_out != nullptr) *score_out = best_score;
   return best;
 }
 
@@ -154,6 +156,11 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
       items.size(), std::vector<double>(cluster.topology().link_count(), 0.0));
   std::unordered_map<std::uint32_t, RouteMap> result;
 
+  const bool record =
+      options.telemetry != nullptr && options.telemetry->enabled();
+  const int assign_track =
+      record ? options.telemetry->timeline().track("policy", "assign") : -1;
+
   // High-priority flows are fitted first (they may use any route, and prefer
   // the reserved ones); then the rest, restricted to non-reserved routes.
   for (const bool priority_pass : {true, false}) {
@@ -167,15 +174,28 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
         any = true;
         PendingFlow f = std::move(q.front());
         q.pop_front();
+        double score = 0.0;
         const std::uint32_t r = best_route(
             f, routing, cluster, link_demand, item_demand[i],
             options.reserved_routes, /*restrict_to_unreserved=*/!f.high_priority,
-            options.network, options.failed_links);
+            options.network, options.failed_links, &score);
         for (LinkId l : routing.paths(f.src, f.dst)[r]) {
           link_demand[l.get()] += f.demand;
           item_demand[i][l.get()] += f.demand;
         }
         result[items[i].comm.get()][f.route_key] = RouteId{r};
+        if (record) {
+          // One instant per placement decision: which route won the best-fit
+          // search and how loaded its bottleneck would be (the fit score).
+          telemetry::Timeline& tl = options.telemetry->timeline();
+          tl.instant(assign_track, "policy",
+                     f.high_priority ? "pfa_assign" : "ffa_assign", options.now,
+                     {{"comm", static_cast<std::int64_t>(items[i].comm.get())},
+                      {"app", static_cast<std::int64_t>(items[i].app.get())},
+                      {"route", static_cast<std::int64_t>(r)},
+                      {"fit_score", score},
+                      {"high_priority", f.high_priority}});
+        }
       }
     }
   }

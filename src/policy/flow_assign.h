@@ -19,8 +19,10 @@
 
 #include "cluster/cluster.h"
 #include "common/ids.h"
+#include "common/units.h"
 #include "mccs/strategy.h"
 #include "netsim/routing.h"
+#include "telemetry/telemetry.h"
 
 namespace mccs::net {
 class Network;
@@ -57,6 +59,12 @@ struct AssignOptions {
   /// exclusion is dropped for that flow — transport-level retry remains the
   /// only recourse there.
   std::unordered_set<std::uint32_t> failed_links;
+
+  /// Fabric telemetry + the virtual time of this assignment run. When the
+  /// timeline is enabled, every placement decision drops an instant event
+  /// (policy category) carrying the chosen route and its best-fit score.
+  telemetry::Telemetry* telemetry = nullptr;
+  Time now = 0.0;
 };
 
 /// Route map per communicator: CommStrategy::route_key -> RouteId.

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal JSON emission helpers shared by every exporter in the repository
+// (metrics registry dumps, Chrome trace events, the management snapshots in
+// mccs/trace_export.cpp). Hand-rolled on purpose — no third-party JSON
+// dependency — but centralised so the two classic hand-rolled-JSON bugs
+// (lossy doubles, unescaped strings) are fixed in exactly one place.
+
+#include <string>
+#include <string_view>
+
+namespace mccs::telemetry {
+
+/// Escape a string for inclusion inside JSON double quotes: `"` and `\` are
+/// backslash-escaped, the short-form control escapes (\b \f \n \r \t) are
+/// used where they exist, and every other control character becomes \u00XX.
+/// Returns the escaped body only — the caller supplies the quotes.
+[[nodiscard]] std::string escape_json(std::string_view s);
+
+/// Append escape_json(s) to `out` without an intermediate string.
+void append_escaped_json(std::string& out, std::string_view s);
+
+/// Shortest-round-trip decimal serialization of a double (std::to_chars):
+/// the minimal digit string that parses back to exactly the same bits, so
+/// virtual timestamps survive an export/import cycle byte-identically.
+/// Non-finite values (which JSON cannot represent) become "null".
+[[nodiscard]] std::string format_double(double v);
+
+/// Append format_double(v) to `out`.
+void append_double(std::string& out, double v);
+
+}  // namespace mccs::telemetry

@@ -1,0 +1,50 @@
+#pragma once
+// The telemetry facade every engine holds a pointer to (via ServiceContext):
+// a MetricsRegistry that is always live — the replaced ad-hoc counters
+// (transport retries, plan-cache hits) must keep working with telemetry off —
+// and a virtual-time Timeline plus samplers that engines only touch behind
+// `enabled()`, the single cheap branch the disabled mode pays.
+//
+// Depends only on common/ so netsim, mccs and policy can all link it.
+
+#include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
+
+namespace mccs::telemetry {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  explicit Telemetry(bool enabled) : enabled_(enabled) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Gates every timeline/sampler touch point. Counters are NOT gated.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Enabling preallocates (and faults in) the timeline's recording buffers,
+  /// the way kernel tracers size their ring buffers up front: steady-state
+  /// recording then never pays allocator growth or first-touch page faults.
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    if (enabled) timeline_.reserve(kReserveEvents, kReserveArgsPerEvent);
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] Timeline& timeline() { return timeline_; }
+  [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+
+ private:
+  /// Initial ring sizing: ~32k events with ~4 args each (≈4.7 MB). The
+  /// buffers still grow past this if a run records more.
+  static constexpr std::size_t kReserveEvents = 32768;
+  static constexpr std::size_t kReserveArgsPerEvent = 4;
+
+  bool enabled_ = false;
+  MetricsRegistry metrics_;
+  Timeline timeline_;
+};
+
+}  // namespace mccs::telemetry
