@@ -42,7 +42,7 @@ double run_channels(int channels, Bytes size) {
   const auto durations = bench::run_collective_loop(
       fabric, app, gpus, comm, coll::CollectiveKind::kAllReduce, size, 2, 6);
   return to_gibps(coll::algorithm_bandwidth(
-      size, mean(std::vector<double>(durations.begin(), durations.end()))));
+      size, mean(durations)));
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ double run_algo(coll::Algorithm algo, Bytes size) {
   const CommId comm = bench::bench_create_comm(fabric, app, gpus);
   const auto durations = bench::run_collective_loop(
       fabric, app, gpus, comm, coll::CollectiveKind::kAllReduce, size, 2, 6);
-  return mean(std::vector<double>(durations.begin(), durations.end()));
+  return mean(durations);
 }
 
 }  // namespace

@@ -31,7 +31,7 @@ double run_one(coll::CollectiveKind kind, Bytes size, Time* latency_out) {
   const auto durations = bench::run_collective_loop(*h.fabric, app, gpus, comm,
                                                     kind, size, 2, 6);
   const double mean_t =
-      mean(std::vector<double>(durations.begin(), durations.end()));
+      mean(durations);
   if (latency_out != nullptr) *latency_out = mean_t;
   return to_gibps(coll::algorithm_bandwidth(size, mean_t));
 }

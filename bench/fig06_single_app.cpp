@@ -42,9 +42,12 @@ Table sweep(const std::vector<GpuId>& gpus, coll::CollectiveKind kind) {
                                           gpus, kind, size, /*trials=*/10,
                                           /*iters=*/6);
       Cell c;
+      // Mean over the original sample order (golden outputs pin the exact
+      // accumulation order), then one in-place sort for both percentiles.
       c.mean = mccs::mean(samples);
-      c.lo = percentile(samples, 2.5);
-      c.hi = percentile(samples, 97.5);
+      mccs::sort_samples(samples);
+      c.lo = percentile_sorted(samples, 2.5);
+      c.hi = percentile_sorted(samples, 97.5);
       table[{static_cast<int>(si), size}] = c;
     }
   }

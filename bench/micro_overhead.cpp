@@ -39,7 +39,7 @@ struct Env {
     const auto durations = bench::run_collective_loop(
         *h.fabric, app, gpus, comm, coll::CollectiveKind::kAllReduce, 4_KB, 2,
         6);
-    return mean(std::vector<double>(durations.begin(), durations.end())) * 1e6;
+    return mean(durations) * 1e6;
   }
 
   double plan_cache_hit_rate() {

@@ -1,0 +1,316 @@
+// Task-pool microbenchmarks: what the deterministic parallel core costs and
+// what it buys, across MCCS_THREADS-style thread counts in one process.
+//
+// Sections (one JSON line each to BENCH_parallel.json):
+//
+//   dispatch        — pool fork-join overhead: an empty-body parallel_for
+//                     per thread count, ns per dispatch. threads=1 is the
+//                     inline path (no pool, the pre-parallel baseline).
+//   component_solve — 768-GPU flow churn whose flows stay rack-local, so the
+//                     max-min components are disjoint and solve concurrently.
+//                     Runs the reference (global re-solve) network so every
+//                     event is a wide multi-component solve — the shape the
+//                     pool targets; wall-clock per thread count on identical
+//                     simulated work.
+//   sharded_reduce  — 64 MiB float32 sum reduce (the proxy engine's hot
+//                     kernel) sharded across the pool; bytes/sec per count.
+//   seed_sweep      — independent randomized churn seeds fanned out with
+//                     parallel_for (the property-test / chaos-sweep shape).
+//
+// Every line carries "cores" (hardware_concurrency): on a multi-core machine
+// scripts/check.sh gates on >= 2x speedup at max threads for at least two of
+// the sweep sections; on smaller machines the lines are recorded but the
+// speedup gate is skipped (a 1-core container cannot speed anything up).
+//
+// Determinism note: the simulated results of every section are independent
+// of the thread count (that is the pool's contract, enforced by
+// tests/test_parallel.cpp); only the wall-clock changes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "collectives/types.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "netsim/network.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+using namespace mccs;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<int> thread_sweep() {
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> sweep{1, 2, 4, hw};
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  return sweep;
+}
+
+// --- dispatch overhead ------------------------------------------------------
+
+double dispatch_ns(int threads) {
+  par::set_threads(threads);
+  volatile std::size_t sink = 0;
+  // Warm the pool (first dispatch spawns workers).
+  par::parallel_for(16, 1, [&](std::size_t b, std::size_t) { sink = sink + b; });
+  constexpr int kIters = 20000;
+  const double t0 = now_s();
+  for (int i = 0; i < kIters; ++i) {
+    par::parallel_for(16, 1, [&](std::size_t b, std::size_t) { sink = sink + b; });
+  }
+  const double t1 = now_s();
+  return (t1 - t0) / kIters * 1e9;
+}
+
+// --- component-scoped solve scaling (768 GPUs) ------------------------------
+
+/// Rack-local flow batches on the Fig.-11 cluster: every rack churns its own
+/// flows, so each reallocation sees ~24 disjoint components. The network runs
+/// in reference mode (global re-solve per event) so every event pays a full
+/// multi-component solve — the wide shape the pool accelerates; the
+/// incremental fast path would scope most events to one small component,
+/// which stays below the pool's dispatch threshold by design. The schedule is
+/// precomputed from one seed; wall-clock differences across thread counts
+/// are pure solver concurrency.
+struct RackChurn {
+  struct Batch {
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    std::vector<Bytes> sizes;
+    std::vector<std::uint64_t> keys;
+  };
+  std::vector<std::vector<Batch>> per_rack;  ///< [rack][batch]
+};
+
+RackChurn make_rack_churn(const cluster::Cluster& cl, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> racks;
+  for (std::uint32_t h = 0; h < cl.host_count(); ++h) {
+    const auto r = cl.host(HostId{h}).rack.get();
+    if (r >= racks.size()) racks.resize(r + 1);
+    racks[r].push_back(h);
+  }
+  constexpr int kBatches = 12;
+  constexpr int kFlowsPerBatch = 6;
+  RackChurn churn;
+  churn.per_rack.resize(racks.size());
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    for (int b = 0; b < kBatches; ++b) {
+      RackChurn::Batch batch;
+      for (int f = 0; f < kFlowsPerBatch; ++f) {
+        const auto& hs = racks[r];
+        const std::uint32_t h0 = hs[rng.below(hs.size())];
+        std::uint32_t h1 = hs[rng.below(hs.size())];
+        if (h1 == h0) h1 = hs[(rng.below(hs.size()) + 1) % hs.size()];
+        if (h1 == h0) continue;
+        const auto& n0 = cl.host(HostId{h0}).nic_nodes;
+        const auto& n1 = cl.host(HostId{h1}).nic_nodes;
+        batch.pairs.emplace_back(n0[rng.below(n0.size())],
+                                 n1[rng.below(n1.size())]);
+        batch.sizes.push_back(4_MB + rng.below(28) * 1_MB);
+        batch.keys.push_back(rng.engine()());
+      }
+      churn.per_rack[r].push_back(std::move(batch));
+    }
+  }
+  return churn;
+}
+
+double run_rack_churn(const cluster::Cluster& cl, const RackChurn& churn,
+                      int threads) {
+  par::set_threads(threads);
+  sim::EventLoop loop;
+  net::Network net(loop, cl.topology(), net::Network::Options{false});
+
+  struct Runner {
+    sim::EventLoop* loop;
+    net::Network* net;
+    const std::vector<RackChurn::Batch>* batches;
+    std::size_t idx = 0;
+    int outstanding = 0;
+
+    void start_batch() {
+      if (idx >= batches->size()) return;
+      const RackChurn::Batch& b = (*batches)[idx];
+      outstanding = static_cast<int>(b.pairs.size());
+      if (outstanding == 0) {
+        ++idx;
+        start_batch();
+        return;
+      }
+      for (std::size_t f = 0; f < b.pairs.size(); ++f) {
+        net::FlowSpec spec;
+        spec.src = b.pairs[f].first;
+        spec.dst = b.pairs[f].second;
+        spec.size = b.sizes[f];
+        spec.ecmp_key = b.keys[f];
+        spec.on_complete = [this](FlowId, Time) {
+          if (--outstanding == 0) {
+            ++idx;
+            loop->schedule_after(millis(0.05), [this] { start_batch(); });
+          }
+        };
+        net->start_flow(std::move(spec));
+      }
+    }
+  };
+
+  std::vector<Runner> runners(churn.per_rack.size());
+  for (std::size_t r = 0; r < churn.per_rack.size(); ++r) {
+    runners[r] = Runner{&loop, &net, &churn.per_rack[r]};
+    loop.schedule_at(static_cast<double>(r) * millis(0.01),
+                     [&runners, r] { runners[r].start_batch(); });
+  }
+  const double t0 = now_s();
+  loop.run();
+  return now_s() - t0;
+}
+
+// --- sharded reduce throughput ----------------------------------------------
+
+double reduce_gbps(int threads) {
+  par::set_threads(threads);
+  const std::size_t count = (std::size_t{64} << 20) / sizeof(float);
+  std::vector<float> acc(count, 1.0f), in(count, 2.0f);
+  const std::span<std::byte> a(reinterpret_cast<std::byte*>(acc.data()),
+                               count * sizeof(float));
+  const std::span<const std::byte> b(
+      reinterpret_cast<const std::byte*>(in.data()), count * sizeof(float));
+  // Warm-up (page faults, pool spawn).
+  coll::reduce_bytes(a, b, coll::DataType::kFloat32, coll::ReduceOp::kSum);
+  constexpr int kIters = 12;
+  const double t0 = now_s();
+  for (int i = 0; i < kIters; ++i) {
+    coll::reduce_bytes(a, b, coll::DataType::kFloat32, coll::ReduceOp::kSum);
+  }
+  const double t1 = now_s();
+  return static_cast<double>(count * sizeof(float)) * kIters / (t1 - t0) / 1e9;
+}
+
+// --- parallel seed sweep ----------------------------------------------------
+
+/// One independent churn seed on the testbed (the property-test shape: own
+/// loop, own network, nothing shared).
+void run_sweep_seed(const cluster::Cluster& cl, std::uint64_t seed) {
+  sim::EventLoop loop;
+  net::Network net(loop, cl.topology());
+  Rng rng(seed);
+  const auto hosts = cl.topology().hosts();
+  for (int i = 0; i < 40; ++i) {
+    loop.schedule_at(rng.uniform() * 0.04, [&] {
+      const NodeId src = hosts[rng.below(hosts.size())];
+      NodeId dst = hosts[rng.below(hosts.size())];
+      if (dst == src) dst = hosts[(dst.get() + 1) % hosts.size()];
+      net::FlowSpec spec;
+      spec.src = src;
+      spec.dst = dst;
+      spec.size = 1 + rng.below(120'000'000);
+      spec.ecmp_key = rng.engine()();
+      spec.on_complete = {};
+      net.start_flow(std::move(spec));
+    });
+  }
+  loop.run();
+}
+
+double run_seed_sweep(const cluster::Cluster& cl, int threads) {
+  par::set_threads(threads);
+  constexpr std::size_t kSeeds = 24;
+  const double t0 = now_s();
+  par::parallel_for(kSeeds, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      run_sweep_seed(cl, 0x5EED + s);
+    }
+  });
+  return now_s() - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== micro_parallel: task pool overhead and scaling ===\n\n");
+  const int cores = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const std::vector<int> sweep = thread_sweep();
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  MCCS_CHECK(json != nullptr, "cannot open BENCH_parallel.json");
+  std::printf("cores detected: %d\n\n", cores);
+
+  // Dispatch overhead.
+  std::printf("%-18s %8s %14s\n", "section", "threads", "ns/dispatch");
+  for (const int t : sweep) {
+    const double ns = dispatch_ns(t);
+    std::printf("%-18s %8d %14.0f\n", "dispatch", t, ns);
+    std::fprintf(json,
+                 "{\"bench\":\"micro_parallel\",\"section\":\"dispatch\","
+                 "\"threads\":%d,\"cores\":%d,\"ns_per_dispatch\":%.1f}\n",
+                 t, cores, ns);
+  }
+  std::printf("\n");
+
+  // Component-solve scaling at 768 GPUs.
+  const auto large = cluster::make_large_sim_cluster();
+  const RackChurn churn = make_rack_churn(large, 0xC0113C7);
+  std::printf("%-18s %8s %9s %9s\n", "section", "threads", "wall(s)",
+              "speedup");
+  double base = 0.0;
+  for (const int t : sweep) {
+    const double wall = run_rack_churn(large, churn, t);
+    if (t == 1) base = wall;
+    const double speedup = base / wall;
+    std::printf("%-18s %8d %9.3f %8.2fx\n", "component_solve", t, wall,
+                speedup);
+    std::fprintf(json,
+                 "{\"bench\":\"micro_parallel\",\"section\":\"component_solve\","
+                 "\"threads\":%d,\"cores\":%d,\"gpus\":768,\"wall_s\":%.6f,"
+                 "\"speedup_vs_1thread\":%.3f}\n",
+                 t, cores, wall, speedup);
+  }
+
+  // Sharded reduce throughput.
+  double base_gbps = 0.0;
+  for (const int t : sweep) {
+    const double gbps = reduce_gbps(t);
+    if (t == 1) base_gbps = gbps;
+    const double speedup = gbps / base_gbps;
+    std::printf("%-18s %8d %7.1fGB/s %7.2fx\n", "sharded_reduce", t, gbps,
+                speedup);
+    std::fprintf(json,
+                 "{\"bench\":\"micro_parallel\",\"section\":\"sharded_reduce\","
+                 "\"threads\":%d,\"cores\":%d,\"buffer_mib\":64,"
+                 "\"gbytes_per_sec\":%.3f,\"speedup_vs_1thread\":%.3f}\n",
+                 t, cores, gbps, speedup);
+  }
+
+  // Seed-sweep scaling (property-test / chaos shape).
+  const auto testbed = cluster::make_testbed();
+  double sweep_base = 0.0;
+  for (const int t : sweep) {
+    const double wall = run_seed_sweep(testbed, t);
+    if (t == 1) sweep_base = wall;
+    const double speedup = sweep_base / wall;
+    std::printf("%-18s %8d %9.3f %8.2fx\n", "seed_sweep", t, wall, speedup);
+    std::fprintf(json,
+                 "{\"bench\":\"micro_parallel\",\"section\":\"seed_sweep\","
+                 "\"threads\":%d,\"cores\":%d,\"seeds\":24,\"wall_s\":%.6f,"
+                 "\"speedup_vs_1thread\":%.3f}\n",
+                 t, cores, wall, speedup);
+  }
+
+  par::set_threads(0);
+  std::fclose(json);
+  std::printf("\nBENCH_parallel.json written (one line per section x thread "
+              "count).\n");
+  return 0;
+}

@@ -10,6 +10,14 @@
 #   timings are meaningless under instrumentation). The chaos fault-injection
 #   sweep still runs (it hunts memory bugs, not timings).
 #
+# SANITIZE=thread ./scripts/check.sh
+#   builds under ThreadSanitizer and runs the parallel-subsystem subset (task
+#   pool, netsim solver, collectives, determinism regressions, trimmed
+#   property/chaos sweeps) with the pool forced wide (MCCS_THREADS=8) so every
+#   cross-thread access pattern actually runs threaded. The full suite is
+#   deliberately not run: TSan's ~10x slowdown makes the 1000-seed sweeps
+#   prohibitive, and the single-threaded tests have no data races to find.
+#
 # CHAOS_SEEDS=N (default 100) sizes the seeded random fault-schedule sweep of
 # tests/test_chaos_fuzz.cpp run in both modes.
 set -euo pipefail
@@ -23,6 +31,19 @@ chaos_sweep() {
   MCCS_CHAOS_SEEDS="${seeds}" "$tests_bin" \
     --gtest_filter='*ChaosFuzz*' --gtest_brief=1
 }
+
+if [[ "${SANITIZE:-}" == "thread" ]]; then
+  echo "== sanitizer build: thread =="
+  cmake -B build-tsan -S . -DMCCS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target mccs_tests
+  echo "== parallel-subsystem tests (TSan, MCCS_THREADS=8) =="
+  MCCS_THREADS=8 MCCS_NETSIM_PROPERTY_SEEDS=40 MCCS_CHAOS_SEEDS=6 \
+    build-tsan/tests/mccs_tests \
+    --gtest_filter='*Parallel*:*ChaosFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*' \
+    --gtest_brief=1
+  echo "ALL CHECKS PASSED (sanitized: thread)"
+  exit 0
+fi
 
 if [[ -n "${SANITIZE:-}" ]]; then
   echo "== sanitizer build: ${SANITIZE} =="
@@ -204,25 +225,36 @@ fi
 # byte-identical to the checked-in goldens: the telemetry subsystem observes
 # the simulation and must never perturb it. Wall-clock output (micro_overhead)
 # is compared on its virtual counters only.
-echo "== telemetry-disabled golden outputs =="
-for fig in fig06_single_app fig07_reconfig fig08_multi_app fig09_qos_jct \
-           fig10_dynamic_policy; do
-  golden="bench/goldens/${fig}.txt"
-  [[ -s "$golden" ]] || { echo "FAIL: $golden missing" >&2; exit 1; }
-  (cd build/bench && "./${fig}") > "build/bench/${fig}.out"
-  diff -u "$golden" "build/bench/${fig}.out" || {
-    echo "FAIL: ${fig} output drifted from ${golden}" >&2; exit 1;
+#
+# The loop runs once with the task pool off (MCCS_THREADS=1) and once with it
+# forced wide (MCCS_THREADS=8): the pool's determinism contract says the
+# thread count may never change a simulated result, so BOTH runs must match
+# the same goldens byte for byte.
+for threads in 1 8; do
+  export MCCS_THREADS="$threads"
+  echo "== telemetry-disabled golden outputs (MCCS_THREADS=${threads}) =="
+  for fig in fig06_single_app fig07_reconfig fig08_multi_app fig09_qos_jct \
+             fig10_dynamic_policy; do
+    golden="bench/goldens/${fig}.txt"
+    [[ -s "$golden" ]] || { echo "FAIL: $golden missing" >&2; exit 1; }
+    (cd build/bench && "./${fig}") > "build/bench/${fig}.out"
+    diff -u "$golden" "build/bench/${fig}.out" || {
+      echo "FAIL: ${fig} output drifted from ${golden}" \
+           "(MCCS_THREADS=${threads})" >&2; exit 1;
+    }
+    echo "${fig} matches golden (MCCS_THREADS=${threads})"
+  done
+  (cd build/bench && ./micro_overhead) 2>/dev/null \
+    | grep -o 'BM_[A-Za-z_]*\|VirtualLatencyUs=[0-9.e+-]*\|OverheadUs=[0-9.e+-]*' \
+    | paste -d' ' - - > build/bench/micro_overhead_virtual.out
+  diff -u bench/goldens/micro_overhead_virtual.txt \
+          build/bench/micro_overhead_virtual.out || {
+    echo "FAIL: micro_overhead virtual latencies drifted" \
+         "(MCCS_THREADS=${threads})" >&2; exit 1;
   }
-  echo "${fig} matches golden"
+  echo "micro_overhead virtual latencies match golden (MCCS_THREADS=${threads})"
 done
-(cd build/bench && ./micro_overhead) 2>/dev/null \
-  | grep -o 'BM_[A-Za-z_]*\|VirtualLatencyUs=[0-9.e+-]*\|OverheadUs=[0-9.e+-]*' \
-  | paste -d' ' - - > build/bench/micro_overhead_virtual.out
-diff -u bench/goldens/micro_overhead_virtual.txt \
-        build/bench/micro_overhead_virtual.out || {
-  echo "FAIL: micro_overhead virtual latencies drifted" >&2; exit 1;
-}
-echo "micro_overhead virtual latencies match golden"
+unset MCCS_THREADS
 
 echo "== micro_telemetry =="
 (cd build/bench && ./micro_telemetry)
@@ -287,6 +319,75 @@ else
     echo "FAIL: telemetry perturbed the simulated latencies" >&2; exit 1;
   }
   echo "BENCH_telemetry.json schema OK (grep fallback; overhead gate skipped)"
+fi
+
+echo "== micro_parallel =="
+(cd build/bench && ./micro_parallel)
+
+pljson=build/bench/BENCH_parallel.json
+[[ -s "$pljson" ]] || { echo "FAIL: $pljson missing or empty" >&2; exit 1; }
+
+# Schema per section plus the scaling gate: on a machine with >= 4 cores, at
+# least two of the sweep sections (component_solve, sharded_reduce,
+# seed_sweep) must reach >= 2x speedup at the max thread count. On smaller
+# machines the records are still schema-checked but the speedup gate is
+# skipped — a 1-core container cannot speed anything up.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$pljson" <<'EOF'
+import json, sys
+
+expected = {
+    "dispatch": {"bench", "section", "threads", "cores", "ns_per_dispatch"},
+    "component_solve": {"bench", "section", "threads", "cores", "gpus",
+                        "wall_s", "speedup_vs_1thread"},
+    "sharded_reduce": {"bench", "section", "threads", "cores", "buffer_mib",
+                       "gbytes_per_sec", "speedup_vs_1thread"},
+    "seed_sweep": {"bench", "section", "threads", "cores", "seeds", "wall_s",
+                   "speedup_vs_1thread"},
+}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("FAIL: no records in BENCH_parallel.json")
+seen = set()
+cores = 1
+best = {}  # sweep section -> speedup at the highest thread count
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    sec = rec.get("section")
+    if sec not in expected:
+        sys.exit(f"FAIL: line {i} unknown section {sec!r}")
+    if set(rec) != expected[sec]:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != "
+                 f"{sorted(expected[sec])}")
+    seen.add(sec)
+    cores = rec["cores"]
+    if "speedup_vs_1thread" in rec:
+        prev = best.get(sec, (0, 0.0))
+        if rec["threads"] >= prev[0]:
+            best[sec] = (rec["threads"], rec["speedup_vs_1thread"])
+if seen != set(expected):
+    sys.exit(f"FAIL: sections {sorted(seen)} != {sorted(expected)}")
+if cores >= 4:
+    scaled = [s for s, (_, sp) in best.items() if sp >= 2.0]
+    if len(scaled) < 2:
+        sys.exit(f"FAIL: only {scaled} reached >= 2x on {cores} cores "
+                 f"(best: { {s: round(sp, 2) for s, (_, sp) in best.items()} })")
+    print(f"BENCH_parallel.json schema + scaling gate OK "
+          f"({len(lines)} records, >=2x on {sorted(scaled)})")
+else:
+    print(f"BENCH_parallel.json schema OK ({len(lines)} records; "
+          f"speedup gate skipped on {cores} core(s))")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench section threads cores; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+  done < "$pljson"
+  echo "BENCH_parallel.json schema OK (grep fallback; gates skipped)"
 fi
 
 echo "ALL CHECKS PASSED"

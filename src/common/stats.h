@@ -1,26 +1,38 @@
 #pragma once
 // Small statistics helpers shared by benches and tests: mean, percentiles,
 // CDF extraction.
+//
+// The CDF-heavy fig benches read many percentiles off the same sample set;
+// the by-value overloads below copy and re-sort the whole vector per call.
+// Hot callers should sort once with `sort_samples` and use the `_sorted`
+// span variants, which are allocation- and copy-free. The by-value forms are
+// kept as convenience wrappers for one-shot use.
 
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
 
 namespace mccs {
 
-inline double mean(const std::vector<double>& xs) {
+inline double mean(std::span<const double> xs) {
   MCCS_EXPECTS(!xs.empty());
   return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
 }
 
-/// Percentile with linear interpolation, p in [0, 100].
-inline double percentile(std::vector<double> xs, double p) {
+/// Sort a sample vector in place, readying it for the `_sorted` variants.
+inline void sort_samples(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+}
+
+/// Percentile with linear interpolation over an ALREADY SORTED sample span,
+/// p in [0, 100]. No copy, no allocation.
+inline double percentile_sorted(std::span<const double> xs, double p) {
   MCCS_EXPECTS(!xs.empty());
   MCCS_EXPECTS(p >= 0.0 && p <= 100.0);
-  std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs.front();
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
@@ -29,21 +41,34 @@ inline double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+/// One-shot percentile: copies and sorts. Prefer sort_samples +
+/// percentile_sorted when reading several percentiles from one sample set.
+inline double percentile(std::vector<double> xs, double p) {
+  sort_samples(xs);
+  return percentile_sorted(xs, p);
+}
+
 struct CdfPoint {
   double value;
   double cumulative_fraction;
 };
 
-/// Empirical CDF points (sorted values with cumulative fraction).
-inline std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+/// Empirical CDF points over an ALREADY SORTED sample span.
+inline std::vector<CdfPoint> empirical_cdf_sorted(std::span<const double> xs) {
   MCCS_EXPECTS(!xs.empty());
-  std::sort(xs.begin(), xs.end());
   std::vector<CdfPoint> out;
   out.reserve(xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     out.push_back({xs[i], static_cast<double>(i + 1) / static_cast<double>(xs.size())});
   }
   return out;
+}
+
+/// One-shot empirical CDF: copies and sorts. Prefer sort_samples +
+/// empirical_cdf_sorted on hot paths.
+inline std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  sort_samples(xs);
+  return empirical_cdf_sorted(xs);
 }
 
 }  // namespace mccs

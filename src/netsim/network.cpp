@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "common/parallel.h"
+
 namespace mccs::net {
 namespace {
 
@@ -335,33 +337,128 @@ void Network::reallocate(const Path& seed) {
 void Network::allocate_component() {
   const Time now = loop_->now();
 
-  for (std::uint32_t l : comp_links_) {
-    // Effective capacity folds in the administrative link state: degraded
-    // links keep a fraction, down links contribute zero (their flows come
-    // out of the solve at rate zero and simply stall — no completion event).
-    residual_[l] = topo_->link(LinkId{l}).capacity * capacity_scale_[l];
+  // Partition the collected flows into disjoint bottleneck sub-components
+  // (union-find over their links). A multi-link seed — a completed or
+  // cancelled flow's path, a failed link — can gather flows that share no
+  // link with each other; each such sub-component's max-min solution only
+  // involves its own links and flows, so solving them separately is
+  // arithmetically identical to the joint solve, and independent solves can
+  // run concurrently on the task pool. Rates, progress integration, and
+  // completion events are applied serially afterwards in ascending flow-id
+  // order, so the event-loop insertion order (and therefore every simulated
+  // outcome) is independent of the thread count.
+  for (std::uint32_t l : comp_links_) uf_parent_[l] = l;
+  auto find_root = [this](std::uint32_t l) {
+    while (uf_parent_[l] != l) {
+      uf_parent_[l] = uf_parent_[uf_parent_[l]];  // path halving
+      l = uf_parent_[l];
+    }
+    return l;
+  };
+  for (std::uint32_t id : comp_flows_) {
+    const Path& p = flows_.at(id).path;
+    // `acc` stays a live root throughout (both operands of every union are
+    // roots, and we keep the winner): re-parenting a non-root would silently
+    // undo an earlier union and split the component.
+    std::uint32_t acc = find_root(p.front().get());
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      const std::uint32_t r = find_root(p[i].get());
+      if (r == acc) continue;
+      const std::uint32_t lo = std::min(acc, r);
+      uf_parent_[std::max(acc, r)] = lo;
+      acc = lo;
+    }
   }
+  // Sub-component order: ascending first-member flow id (deterministic).
+  comp_roots_.clear();
+  auto comp_of = [this](std::uint32_t root) {
+    for (std::size_t i = 0; i < comp_roots_.size(); ++i) {
+      if (comp_roots_[i] == root) return i;
+    }
+    comp_roots_.push_back(root);
+    return comp_roots_.size() - 1;
+  };
+  for (std::uint32_t id : comp_flows_) {
+    comp_of(find_root(flows_.at(id).path.front().get()));
+  }
+  const std::size_t num_comps = comp_roots_.size();
 
-  // Phase 1: background flows take their demand with strict priority,
-  // sharing capacity weighted by demand if oversubscribed.
-  std::vector<AllocFlow> background;
-  std::vector<AllocFlow> normal;
-  normal.reserve(comp_flows_.size());
+  struct SubComp {
+    std::vector<AllocFlow> background;
+    std::vector<AllocFlow> normal;
+    std::vector<std::uint32_t> links;
+    std::vector<std::uint32_t> unsatisfied;
+    bool bg_ok = true;
+    bool normal_ok = true;
+  };
+  std::vector<SubComp> comps(num_comps);
+
+  // Build each sub-component's flow lists in ascending id order (the order
+  // the solver's floating point depends on) and hand it its own links.
   for (std::uint32_t id : comp_flows_) {
     FlowState& f = flows_.at(id);
+    SubComp& sc = comps[comp_of(find_root(f.path.front().get()))];
     if (f.spec.background_demand > 0.0) {
-      background.push_back(AllocFlow{id, &f.path, f.spec.background_demand,
-                                     f.spec.background_demand});
+      sc.background.push_back(AllocFlow{id, &f.path, f.spec.background_demand,
+                                        f.spec.background_demand});
     } else {
-      normal.push_back(AllocFlow{id, &f.path, f.spec.weight, f.spec.rate_cap});
+      sc.normal.push_back(AllocFlow{id, &f.path, f.spec.weight, f.spec.rate_cap});
+    }
+  }
+  for (std::uint32_t l : comp_links_) {
+    // Memberless links (e.g. the just-vacated path that seeded this solve)
+    // belong to no sub-component; they only need the index refresh below.
+    const std::uint32_t root = find_root(l);
+    for (std::size_t i = 0; i < comp_roots_.size(); ++i) {
+      if (comp_roots_[i] == root) {
+        comps[i].links.push_back(l);
+        break;
+      }
     }
   }
 
+  // Solve the sub-components — concurrently when there are several and the
+  // pool has width. The shared link-indexed scratch arrays (residual_,
+  // weight_scratch_) are safe: disjoint sub-components touch disjoint link
+  // entries. Background flows take their demand with strict priority first,
+  // sharing capacity weighted by demand if oversubscribed; normal flows
+  // max-min share the remainder.
+  auto solve_one = [this](SubComp& sc) {
+    for (std::uint32_t l : sc.links) {
+      // Effective capacity folds in the administrative link state: degraded
+      // links keep a fraction, down links contribute zero (their flows come
+      // out of the solve at rate zero and simply stall — no completion
+      // event).
+      residual_[l] = topo_->link(LinkId{l}).capacity * capacity_scale_[l];
+    }
+    sc.bg_ok = max_min_allocate(sc.background, residual_, weight_scratch_,
+                                sc.links, sc.unsatisfied);
+    sc.normal_ok = max_min_allocate(sc.normal, residual_, weight_scratch_,
+                                    sc.links, sc.unsatisfied);
+  };
+  // Only hand the solves to the pool when the reallocation is wide enough to
+  // amortise a dispatch: the common incremental case — one small component of
+  // a few flows — costs less than waking a worker. The partition above always
+  // runs, and each sub-component's arithmetic is identical either way, so the
+  // execution vehicle can never change a rate.
+  constexpr std::size_t kParallelSolveMinFlows = 32;
+  if (num_comps > 1 && comp_flows_.size() >= kParallelSolveMinFlows) {
+    par::parallel_for(num_comps, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) solve_one(comps[i]);
+    });
+  } else {
+    for (SubComp& sc : comps) solve_one(sc);
+  }
+
   unsatisfied_scratch_.clear();
-  const bool bg_ok = max_min_allocate(background, residual_, weight_scratch_,
-                                      comp_links_, unsatisfied_scratch_);
-  const bool normal_ok = max_min_allocate(normal, residual_, weight_scratch_,
-                                          comp_links_, unsatisfied_scratch_);
+  bool bg_ok = true;
+  bool normal_ok = true;
+  for (SubComp& sc : comps) {
+    bg_ok = bg_ok && sc.bg_ok;
+    normal_ok = normal_ok && sc.normal_ok;
+    unsatisfied_scratch_.insert(unsatisfied_scratch_.end(),
+                                sc.unsatisfied.begin(), sc.unsatisfied.end());
+  }
   if (!bg_ok || !normal_ok) {
     ++allocation_error_count_;
     if (allocation_error_handler_) {
@@ -378,20 +475,33 @@ void Network::allocate_component() {
     }
   }
 
-  for (const AllocFlow& a : background) flows_.at(a.id).rate = a.rate;
-
-  // Apply normal-flow rates. A flow whose rate is unchanged (within
-  // kRateEpsilon) keeps its rate, its un-integrated progress, and its
-  // already-scheduled completion event — the lazy fast path that lets an
-  // untouched bottleneck component cost nothing.
-  for (const AllocFlow& a : normal) {
-    FlowState& f = flows_.at(a.id);
+  // Apply the solved rates serially, iterating comp_flows_ in ascending id
+  // order across all sub-components (each sub-component's lists were built
+  // in that same order, so per-component cursors walk them in lockstep).
+  // This reproduces the exact completion-event insertion order of the
+  // sequential solver regardless of how many threads solved above. A flow
+  // whose rate is unchanged (within kRateEpsilon) keeps its rate, its
+  // un-integrated progress, and its already-scheduled completion event — the
+  // lazy fast path that lets an untouched bottleneck component cost nothing.
+  comp_cursor_bg_.assign(num_comps, 0);
+  comp_cursor_normal_.assign(num_comps, 0);
+  for (std::uint32_t id : comp_flows_) {
+    FlowState& f = flows_.at(id);
+    const std::size_t ci = comp_of(find_root(f.path.front().get()));
+    SubComp& sc = comps[ci];
+    if (f.spec.background_demand > 0.0) {
+      const AllocFlow& a = sc.background[comp_cursor_bg_[ci]++];
+      MCCS_ASSERT(a.id == id);
+      f.rate = a.rate;
+      continue;
+    }
+    const AllocFlow& a = sc.normal[comp_cursor_normal_[ci]++];
+    MCCS_ASSERT(a.id == id);
     if (std::abs(a.rate - f.rate) <= kRateEpsilon) continue;
     touch(f, now);  // integrate at the old rate first
     f.rate = a.rate;
     loop_->cancel(f.completion);
     f.completion = {};
-    const std::uint32_t id = a.id;
     if (f.remaining <= 0.0) {
       // Already delivered; complete "now" (from a fresh event for re-entrancy).
       f.completion = loop_->schedule_after(0.0, [this, id] { complete_flow(id); });

@@ -117,6 +117,7 @@ class Network {
         link_mark_(topo.link_count(), 0),
         residual_(topo.link_count(), 0.0),
         weight_scratch_(topo.link_count(), 0.0),
+        uf_parent_(topo.link_count(), 0),
         link_bytes_(topo.link_count(), 0.0),
         link_sample_time_(topo.link_count(), 0.0) {}
 
@@ -283,6 +284,16 @@ class Network {
   std::uint64_t epoch_ = 0;
   std::vector<Bandwidth> residual_;
   std::vector<double> weight_scratch_;
+
+  // Disjoint sub-component partition of a collected flow set (union-find
+  // over links + per-component apply cursors). Sub-components solve
+  // independently — concurrently on the task pool when there are several —
+  // and apply serially in ascending flow-id order, keeping every outcome
+  // independent of the thread count (see allocate_component).
+  std::vector<std::uint32_t> uf_parent_;
+  std::vector<std::uint32_t> comp_roots_;
+  std::vector<std::size_t> comp_cursor_bg_;
+  std::vector<std::size_t> comp_cursor_normal_;
 
   // Link-utilization sampler: cumulative bytes as of `link_sample_time_`,
   // integrated from the allocated rate whenever a link's throughput is

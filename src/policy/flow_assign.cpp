@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <limits>
 
 #include "collectives/schedule.h"
+#include "common/parallel.h"
 #include "netsim/network.h"
 
 namespace mccs::policy {
@@ -81,6 +83,14 @@ void collect_flows(std::size_t item_index, const AssignItem& item,
 ///  * high-priority flows slightly prefer the reserved routes they alone may
 ///    use (PFA dedicates those routes to them).
 /// Remaining ties break to the lowest route index (deterministic).
+/// Candidate routes worth a pool dispatch: each score is a short walk over a
+// path's links (well under a microsecond), so the crossover sits far above
+// the testbed's handful of ECMP candidates.
+constexpr std::size_t kParallelRouteThreshold = 64;
+/// Routes per scoring chunk (disjoint slots of the score array; any split is
+/// deterministic because the argmin below is serial and tie-broken by id).
+constexpr std::size_t kRouteGrain = 8;
+
 std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
                          const cluster::Cluster& cluster,
                          const std::vector<double>& link_demand,
@@ -89,53 +99,73 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
                          bool restrict_to_unreserved,
                          const net::Network* live,
                          const std::unordered_set<std::uint32_t>& failed,
+                         std::vector<double>& score_scratch,
                          double* score_out) {
+  // Resolved on the calling thread: Routing's path cache fills lazily and is
+  // not written under the pool.
   const auto& paths = routing.paths(f.src, f.dst);
-  double best_score = std::numeric_limits<double>::infinity();
-  std::uint32_t best = 0;
-  bool found = false;
-  // First pass avoids confirmed-failed links entirely; if that leaves no
-  // admissible path (e.g. a NIC's only uplink died), the second pass places
-  // the flow anyway so the assignment is always total.
-  for (const bool avoid_failed : {true, false}) {
-    for (std::uint32_t r = 0; r < paths.size(); ++r) {
-      if (restrict_to_unreserved && reserved.count(r) > 0 &&
-          paths.size() > reserved.size()) {
-        continue;
-      }
-      if (avoid_failed && !failed.empty()) {
-        bool crosses = false;
-        for (LinkId l : paths[r]) {
-          if (failed.count(l.get()) > 0) {
-            crosses = true;
-            break;
-          }
-        }
-        if (crosses) continue;
-      }
-      double score = 0.0;
+  constexpr double kInadmissible = std::numeric_limits<double>::infinity();
+
+  // Every candidate's fit score depends only on shared read-only state
+  // (demand maps, live link throughput, the reserved/failed sets), so the
+  // candidates score independently into disjoint slots; inadmissible routes
+  // score +inf. First pass avoids confirmed-failed links entirely; if that
+  // leaves no admissible path (e.g. a NIC's only uplink died), the second
+  // pass places the flow anyway so the assignment is always total.
+  auto score_route = [&](std::uint32_t r, bool avoid_failed) -> double {
+    if (restrict_to_unreserved && reserved.count(r) > 0 &&
+        paths.size() > reserved.size()) {
+      return kInadmissible;
+    }
+    if (avoid_failed && !failed.empty()) {
       for (LinkId l : paths[r]) {
-        const double cap = cluster.topology().link(l).capacity;
-        double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
-        // Live telemetry (O(1) per-link index lookup): traffic the demand
-        // model can't see — background flows, other tenants' libraries.
-        if (live != nullptr) load += live->link_throughput(l);
-        score = std::max(score, (load + f.demand) / cap);
-      }
-      if (!restrict_to_unreserved && f.high_priority && reserved.count(r) > 0) {
-        score -= 1e-6;  // prefer the dedicated route on ties
-      }
-      if (score < best_score) {
-        best_score = score;
-        best = r;
-        found = true;
+        if (failed.count(l.get()) > 0) return kInadmissible;
       }
     }
-    if (found) break;
+    double score = 0.0;
+    for (LinkId l : paths[r]) {
+      const double cap = cluster.topology().link(l).capacity;
+      double load = link_demand[l.get()] + 0.5 * own_demand[l.get()];
+      // Live telemetry (O(1) per-link index lookup): traffic the demand
+      // model can't see — background flows, other tenants' libraries.
+      if (live != nullptr) load += live->link_throughput(l);
+      score = std::max(score, (load + f.demand) / cap);
+    }
+    if (!restrict_to_unreserved && f.high_priority && reserved.count(r) > 0) {
+      score -= 1e-6;  // prefer the dedicated route on ties
+    }
+    return score;
+  };
+
+  for (const bool avoid_failed : {true, false}) {
+    score_scratch.assign(paths.size(), kInadmissible);
+    par::parallel_for(
+        paths.size(),
+        paths.size() >= kParallelRouteThreshold ? kRouteGrain : paths.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            score_scratch[r] =
+                score_route(static_cast<std::uint32_t>(r), avoid_failed);
+          }
+        });
+    // Deterministic argmin, ties broken to the lowest route id — identical
+    // to the sequential first-strictly-smaller scan for any worker split.
+    double best_score = kInadmissible;
+    std::uint32_t best = 0;
+    for (std::uint32_t r = 0; r < paths.size(); ++r) {
+      if (score_scratch[r] < best_score) {
+        best_score = score_scratch[r];
+        best = r;
+      }
+    }
+    if (std::isfinite(best_score)) {
+      if (score_out != nullptr) *score_out = best_score;
+      return best;
+    }
+    MCCS_CHECK(avoid_failed, "no admissible route for flow");
   }
-  MCCS_CHECK(found, "no admissible route for flow");
-  if (score_out != nullptr) *score_out = best_score;
-  return best;
+  MCCS_CHECK(false, "unreachable");
+  return 0;
 }
 
 }  // namespace
@@ -144,16 +174,28 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
     const std::vector<AssignItem>& items, const cluster::Cluster& cluster,
     const net::Routing& routing, const AssignOptions& options) {
   // Per-item flow queues, drained round-robin across items for fairness.
+  // Items enumerate their strategy edges independently (pure reads of the
+  // cluster and strategy, writes only to their own queue), so independent
+  // AssignItems batch across the pool; the drain below stays serial, so the
+  // assignment outcome is identical for any thread count.
   std::vector<std::deque<PendingFlow>> queues(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    MCCS_EXPECTS(items[i].gpus_by_rank != nullptr && items[i].strategy != nullptr);
-    collect_flows(i, items[i], cluster, queues[i]);
+  for (const AssignItem& item : items) {
+    MCCS_EXPECTS(item.gpus_by_rank != nullptr && item.strategy != nullptr);
   }
+  // One chunk per item only when the batch is wide enough to pay for the
+  // dispatch; a one- or two-communicator assign enumerates inline.
+  par::parallel_for(items.size(), items.size() >= 4 ? 1 : items.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        collect_flows(i, items[i], cluster, queues[i]);
+                      }
+                    });
 
   std::vector<double> link_demand(cluster.topology().link_count(), 0.0);
   // Per-item load, for the same-job collision penalty.
   std::vector<std::vector<double>> item_demand(
       items.size(), std::vector<double>(cluster.topology().link_count(), 0.0));
+  std::vector<double> score_scratch;  // candidate scores, reused per flow
   std::unordered_map<std::uint32_t, RouteMap> result;
 
   const bool record =
@@ -178,7 +220,7 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
         const std::uint32_t r = best_route(
             f, routing, cluster, link_demand, item_demand[i],
             options.reserved_routes, /*restrict_to_unreserved=*/!f.high_priority,
-            options.network, options.failed_links, &score);
+            options.network, options.failed_links, score_scratch, &score);
         for (LinkId l : routing.paths(f.src, f.dst)[r]) {
           link_demand[l.get()] += f.demand;
           item_demand[i][l.get()] += f.demand;

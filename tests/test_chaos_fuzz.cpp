@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/parallel.h"
 #include "helpers.h"
 #include "mccs/fabric.h"
 #include "policy/controller.h"
@@ -44,11 +45,11 @@ std::vector<std::uint64_t> chaos_seeds() {
   return seeds;
 }
 
-class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(ChaosFuzz, RandomFaultScriptPreservesInvariants) {
-  const std::uint64_t seed = GetParam();
-
+/// One seed's full chaos scenario: fabric, fault script, invariant checks.
+/// Seeds are fully independent (each owns its fabric and event loop), so the
+/// sweep below fans them out across the task pool; a failed assertion aborts
+/// only its own seed's checks.
+void run_chaos_seed(std::uint64_t seed) {
   svc::Fabric::Options opt;
   opt.config.chunk_deadline_slack = 4.0;
   opt.config.chunk_deadline_floor = micros(100);
@@ -197,7 +198,12 @@ TEST_P(ChaosFuzz, RandomFaultScriptPreservesInvariants) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz, ::testing::ValuesIn(chaos_seeds()));
+TEST(ChaosFuzz, RandomFaultScriptPreservesInvariants) {
+  const std::vector<std::uint64_t> seeds = chaos_seeds();
+  par::parallel_for(seeds.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) run_chaos_seed(seeds[i]);
+  });
+}
 
 }  // namespace
 }  // namespace mccs

@@ -1,0 +1,307 @@
+// Task-pool unit tests and the threads=1 vs threads=8 determinism
+// regression. The pool's contract (src/common/parallel.h) is that chunk
+// boundaries depend only on (n, grain), so any layer that writes disjoint
+// slots and combines serially must produce byte-identical output for every
+// thread count. The tests here pin that end to end:
+//
+//   * pool mechanics — exact chunk coverage, inline single-thread path,
+//     nested flattening, parallel_invoke, reconfiguration;
+//   * netsim — a randomized churn's completion stream, %.17g-formatted, is
+//     string-equal between threads=1 and threads=8;
+//   * fabric — a two-tenant AllReduce workload's telemetry_snapshot()
+//     (virtual time, metrics, link/flow state) is string-equal;
+//   * collectives — a 4 MiB sharded reduce is memcmp-equal to the
+//     single-thread run and to the scalar reference oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "collectives/types.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "helpers.h"
+#include "mccs/fabric.h"
+#include "netsim/network.h"
+#include "sim/event_loop.h"
+
+namespace mccs {
+namespace {
+
+using coll::DataType;
+using coll::ReduceOp;
+
+/// Restores the default pool to its environment-derived shape on scope exit,
+/// so a failing test can't leak an odd thread count into later tests.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { par::set_threads(0); }
+};
+
+// --- pool mechanics ---------------------------------------------------------
+
+TEST(ParallelPool, ChunkBoundariesDependOnlyOnGrainAndCoverExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    par::Pool pool{par::ParallelOptions{threads}};
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, std::size_t{1000}}) {
+      for (const std::size_t grain : {std::size_t{1}, std::size_t{16},
+                                      std::size_t{4096}}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto& h : hits) h.store(0);
+        std::mutex mu;
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        pool.parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            chunks.emplace_back(begin, end);
+          }
+          for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "n=" << n << " grain=" << grain << " threads=" << threads;
+        }
+        for (const auto& [begin, end] : chunks) {
+          // Boundaries are exact grain multiples (last chunk may be short).
+          EXPECT_EQ(begin % grain, 0u);
+          EXPECT_TRUE(end - begin == grain || end == n);
+        }
+        const std::size_t expect_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+        EXPECT_EQ(chunks.size(), expect_chunks);
+      }
+    }
+  }
+}
+
+TEST(ParallelPool, SingleThreadRunsInlineOnCaller) {
+  par::Pool pool{par::ParallelOptions{1}};
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.parallel_for(100, 10, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;  // safe: inline path is strictly sequential
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ParallelPool, NestedParallelForFlattensInline) {
+  par::Pool pool{par::ParallelOptions{4}};
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(8, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      const auto me = std::this_thread::get_id();
+      // The nested region must run inline on the issuing worker: same
+      // thread, full coverage, no deadlock against the single live job.
+      pool.parallel_for(8, 2, [&](std::size_t ib, std::size_t ie) {
+        EXPECT_EQ(std::this_thread::get_id(), me);
+        for (std::size_t i = ib; i < ie; ++i) hits[o * 8 + i].fetch_add(1);
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelPool, ParallelInvokeRunsEveryTaskOnce) {
+  par::Pool pool{par::ParallelOptions{3}};
+  std::atomic<int> a{0}, b{0}, c{0};
+  pool.parallel_invoke({[&] { a.fetch_add(1); }, [&] { b.fetch_add(1); },
+                        [&] { c.fetch_add(1); }});
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 1);
+  EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelPool, SetThreadsReconfiguresBetweenRegions) {
+  par::Pool pool{par::ParallelOptions{1}};
+  for (const int t : {4, 1, 2}) {
+    pool.set_threads(t);
+    EXPECT_EQ(pool.threads(), t);
+    std::vector<std::atomic<int>> hits(128);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(hits.size(), 8, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "threads=" << t;
+  }
+}
+
+TEST(ParallelPool, DefaultPoolReshapeAndRestore) {
+  ThreadCountGuard guard;
+  par::set_threads(3);
+  EXPECT_EQ(par::thread_count(), 3);
+  std::atomic<int> total{0};
+  par::parallel_for(100, 7, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 100);
+  par::set_threads(0);  // back to MCCS_THREADS / hardware default
+  EXPECT_GE(par::thread_count(), 1);
+}
+
+// --- determinism regression: netsim ----------------------------------------
+
+/// A randomized churn on the testbed; every completion appended to `out` as
+/// "id time" with time at full double precision. Any cross-thread-count
+/// divergence in the solver — even one ulp — changes the string.
+std::string churn_completion_stream(std::uint64_t seed) {
+  auto cl = cluster::make_testbed();
+  sim::EventLoop loop;
+  net::Network net(loop, cl.topology());
+  Rng rng(seed);
+  const auto hosts = cl.topology().hosts();
+  std::string out;
+
+  for (int i = 0; i < 48; ++i) {
+    loop.schedule_at(rng.uniform() * 0.04, [&, i] {
+      const NodeId src = hosts[rng.below(hosts.size())];
+      NodeId dst = hosts[rng.below(hosts.size())];
+      if (dst == src) dst = hosts[(dst.get() + 1) % hosts.size()];
+      net::FlowSpec spec;
+      spec.src = src;
+      spec.dst = dst;
+      spec.size = 1 + rng.below(150'000'000);
+      spec.ecmp_key = rng.engine()();
+      spec.start_latency = rng.uniform() < 0.3 ? rng.uniform() * 1e-3 : 0.0;
+      if (rng.uniform() < 0.25) spec.rate_cap = gbps(4 + rng.uniform() * 30);
+      spec.weight = rng.uniform() < 0.2 ? 0.5 + rng.uniform() * 2.0 : 1.0;
+      spec.on_complete = [&out](FlowId id, Time at) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%u %.17g\n", id.get(), at);
+        out += buf;
+      };
+      net.start_flow(std::move(spec));
+      (void)i;
+    });
+  }
+  loop.run();
+  return out;
+}
+
+TEST(ParallelDeterminism, NetsimChurnByteIdenticalThreads1Vs8) {
+  ThreadCountGuard guard;
+  for (const std::uint64_t seed : {11ull, 222ull, 3333ull}) {
+    par::set_threads(1);
+    const std::string one = churn_completion_stream(seed);
+    par::set_threads(8);
+    const std::string eight = churn_completion_stream(seed);
+    EXPECT_FALSE(one.empty()) << "seed " << seed;
+    EXPECT_EQ(one, eight) << "seed " << seed;
+  }
+}
+
+// --- determinism regression: fabric telemetry -------------------------------
+
+/// A small two-tenant AllReduce workload; returns the fabric's telemetry
+/// snapshot (virtual time, metrics registry, link/flow state) after the loop
+/// drains. Everything in the snapshot is virtual-time-derived, so it must be
+/// identical for every thread count.
+std::string fabric_snapshot_after_workload() {
+  svc::Fabric fabric{cluster::make_testbed()};
+  const AppId app_a{1}, app_b{2};
+  const std::vector<GpuId> gpus_a{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  const std::vector<GpuId> gpus_b{GpuId{1}, GpuId{3}, GpuId{5}, GpuId{7}};
+  const CommId comm_a = test::create_comm(fabric, app_a, gpus_a);
+  const CommId comm_b = test::create_comm(fabric, app_b, gpus_b);
+  auto ranks_a = test::make_ranks(fabric, app_a, gpus_a);
+  auto ranks_b = test::make_ranks(fabric, app_b, gpus_b);
+  const std::size_t count = 1u << 18;  // 1 MiB of float32 per rank
+
+  std::vector<gpu::DevicePtr> buf_a(4), buf_b(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    buf_a[r] = ranks_a[r].shim->alloc(count * sizeof(float));
+    buf_b[r] = ranks_b[r].shim->alloc(count * sizeof(float));
+    test::fill_pattern<float>(fabric, buf_a[r], count, static_cast<int>(r));
+    test::fill_pattern<float>(fabric, buf_b[r], count, static_cast<int>(r), 7);
+  }
+  int remaining = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      remaining += 2;
+      ranks_a[r].shim->all_reduce(comm_a, buf_a[r], buf_a[r], count,
+                                  DataType::kFloat32, ReduceOp::kSum,
+                                  *ranks_a[r].stream,
+                                  [&remaining](Time) { --remaining; });
+      ranks_b[r].shim->all_reduce(comm_b, buf_b[r], buf_b[r], count,
+                                  DataType::kFloat32, ReduceOp::kMax,
+                                  *ranks_b[r].stream,
+                                  [&remaining](Time) { --remaining; });
+    }
+    const bool ok = test::await(fabric, remaining);
+    EXPECT_TRUE(ok);
+    if (!ok) break;
+  }
+  fabric.loop().run();
+  return fabric.telemetry_snapshot();
+}
+
+TEST(ParallelDeterminism, FabricTelemetrySnapshotIdenticalThreads1Vs8) {
+  ThreadCountGuard guard;
+  par::set_threads(1);
+  const std::string one = fabric_snapshot_after_workload();
+  par::set_threads(8);
+  const std::string eight = fabric_snapshot_after_workload();
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);
+}
+
+// --- determinism regression: sharded reduce ---------------------------------
+
+TEST(ParallelDeterminism, ShardedReduceBitIdenticalToSingleThreadAndOracle) {
+  ThreadCountGuard guard;
+  const std::size_t count = (std::size_t{4} << 20) / sizeof(float);  // 4 MiB
+  std::vector<float> acc0(count), in(count);
+  std::mt19937_64 gen(4242);
+  std::uniform_real_distribution<float> dist(-1e6f, 1e6f);
+  for (std::size_t i = 0; i < count; ++i) {
+    acc0[i] = dist(gen);
+    in[i] = dist(gen);
+  }
+  auto as_bytes = [](std::vector<float>& v) {
+    return std::span<std::byte>(reinterpret_cast<std::byte*>(v.data()),
+                                v.size() * sizeof(float));
+  };
+  auto as_cbytes = [](const std::vector<float>& v) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(float));
+  };
+
+  for (const ReduceOp op : {ReduceOp::kSum, ReduceOp::kProd, ReduceOp::kMin,
+                            ReduceOp::kMax}) {
+    auto serial = acc0;
+    par::set_threads(1);
+    coll::reduce_bytes(as_bytes(serial), as_cbytes(in), DataType::kFloat32, op);
+
+    auto sharded = acc0;
+    par::set_threads(8);
+    coll::reduce_bytes(as_bytes(sharded), as_cbytes(in), DataType::kFloat32,
+                       op);
+
+    auto oracle = acc0;
+    coll::reduce_bytes_reference(as_bytes(oracle), as_cbytes(in),
+                                 DataType::kFloat32, op);
+
+    ASSERT_EQ(std::memcmp(serial.data(), sharded.data(),
+                          count * sizeof(float)),
+              0)
+        << "op " << static_cast<int>(op);
+    ASSERT_EQ(std::memcmp(serial.data(), oracle.data(), count * sizeof(float)),
+              0)
+        << "op " << static_cast<int>(op);
+  }
+}
+
+}  // namespace
+}  // namespace mccs
