@@ -1,0 +1,359 @@
+// Cluster-day churn harness: the control plane under a full day of tenant
+// arrivals and departures on 1k- and 4k-GPU Clos fabrics.
+//
+// A seeded Poisson trace of training jobs (weighted size mix, exponential
+// lifetimes, a slice of high-priority tenants) is replayed through FIFO
+// admission control with compact (rack-packing) placement and a
+// locality-aware ring per job. Every admission / departure is a
+// control-plane event that must re-run PFA flow assignment; the bench times
+// that decision in two modes over the IDENTICAL trace:
+//
+//   full        — the one-shot solver: assign_flows over every live tenant,
+//                 from scratch, per event (what every fig harness does);
+//   incremental — the warm-started IncrementalAssigner: only the dirty
+//                 closure (tenants interfering with the changed one)
+//                 re-solves.
+//
+// Headline metrics per (scale, mode): controller decision latency
+// p50/p99/p999 (wall-clock microseconds; the percentile ladder is the new
+// stats.h tail_summary), cluster goodput (admitted GPU-time / total
+// GPU-time — identical across modes by construction, admission is
+// mode-independent), and for the incremental mode the closure sizes and the
+// p99 speedup vs full. The two modes' final assignments are compared
+// exactly; `assignments_identical` lands in the JSON and scripts/check.sh
+// gates it together with a >= 3x p99 speedup floor at >= 1024 GPUs.
+//
+// Emits one JSON line per (scale, mode) to BENCH_cluster.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/admission.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mccs/strategy.h"
+#include "netsim/routing.h"
+#include "policy/flow_assign.h"
+#include "policy/ring_config.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace mccs;
+
+constexpr std::uint64_t kSeed = 20240607;
+/// Route indices reserved for high-priority tenants (PFA).
+const std::unordered_set<std::uint32_t> kReservedRoutes{0, 1};
+
+struct Scale {
+  const char* name;
+  cluster::SpineLeafSpec spec;
+  workload::ChurnSpec churn;
+};
+
+std::vector<Scale> scales() {
+  std::vector<Scale> out;
+  // Racks (128 GPUs: 16 hosts x 8) comfortably fit the largest job (64), so
+  // compact placement keeps most tenants intra-rack; cross-rack spill-over —
+  // which couples whole racks into one interference component — happens only
+  // under fragmentation, as in a real cluster. ~60% offered load keeps the
+  // admission queue shallow and the component graph sparse.
+  {
+    // 1024 GPUs: 8 leaves x 16 hosts x 8 GPUs, 16 spines.
+    Scale s;
+    s.name = "clos-1k";
+    s.spec.num_spines = 16;
+    s.spec.num_leaves = 8;
+    s.spec.hosts_per_leaf = 16;
+    s.spec.gpus_per_host = 8;
+    s.spec.nics_per_host = 8;
+    s.spec.nic_link = gbps(200);
+    s.spec.fabric_link = gbps(200);
+    // ~50 live jobs x ~12.8 GPUs => ~62% load. Jobs top out at a quarter
+    // rack, so compact placement keeps tenants intra-rack: a cross-rack
+    // spill welds both racks' uplinks into one interference component for
+    // the job's whole lifetime, and at this scale (8 racks) a handful of
+    // spills chains most of the fabric together — the mix keeps spills the
+    // exception, as in a production cluster.
+    s.churn.sizes = {8, 16, 32};
+    s.churn.size_weights = {4.0, 4.0, 2.0};
+    s.churn.mean_interarrival = 18.0;
+    s.churn.mean_duration = 900.0;
+    s.churn.horizon = 18000.0;
+    s.churn.high_priority_fraction = 0.1;
+    out.push_back(s);
+  }
+  {
+    // 4096 GPUs: 32 leaves x 16 hosts x 8 GPUs, 32 spines.
+    Scale s;
+    s.name = "clos-4k";
+    s.spec.num_spines = 32;
+    s.spec.num_leaves = 32;
+    s.spec.hosts_per_leaf = 16;
+    s.spec.gpus_per_host = 8;
+    s.spec.nics_per_host = 8;
+    s.spec.nic_link = gbps(200);
+    s.spec.fabric_link = gbps(200);
+    // ~120 live jobs => ~61% load; shorter day, same event-count ballpark —
+    // the full mode's per-event cost is what explodes with the tenant count.
+    s.churn.mean_interarrival = 10.0;
+    s.churn.mean_duration = 1200.0;
+    s.churn.horizon = 10000.0;
+    s.churn.high_priority_fraction = 0.1;
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// One admitted tenant: its communicator identity and fixed ring strategy.
+struct LiveJob {
+  std::vector<GpuId> gpus;
+  svc::CommStrategy strategy;
+  bool high_priority = false;
+  Time admitted_at = 0.0;
+};
+
+struct ModeResult {
+  std::vector<double> latencies_s;  ///< one per control-plane event
+  double goodput = 0.0;
+  std::size_t events = 0;
+  std::size_t jobs = 0;
+  std::uint64_t admitted = 0;
+  std::size_t queued_peak = 0;
+  double mean_closure = 0.0;  ///< incremental only: avg dirty-closure items
+  /// Deterministic digest of the assignment after EVERY event (live comms
+  /// ascending, route keys ascending), so "identical" means identical at
+  /// each of the trace's thousands of decision points — not merely at the
+  /// end, where both modes trivially agree on an empty cluster.
+  std::uint64_t assignment_digest = 1469598103934665603ull;  // FNV offset
+  /// Exact assignment snapshot at the trace midpoint, for a direct map
+  /// comparison on top of the digest.
+  std::unordered_map<std::uint32_t, policy::RouteMap> mid_assignments;
+};
+
+void fold_digest(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ull;  // FNV prime
+  }
+}
+
+void fold_assignment(std::uint64_t& h,
+                     const std::unordered_map<std::uint32_t, policy::RouteMap>&
+                         assignment) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(assignment.size());
+  // Skip tenants with no routed flows (single-host jobs): assign_flows omits
+  // them from its result while the warm assigner tracks them with an empty
+  // route map — same assignment, different map shape.
+  for (const auto& [id, routes] : assignment) {
+    if (!routes.empty()) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::uint32_t id : ids) {
+    fold_digest(h, id);
+    const policy::RouteMap& routes = assignment.at(id);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(routes.size());
+    for (const auto& [key, route] : routes) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys) {
+      fold_digest(h, key);
+      fold_digest(h, routes.at(key).get());
+    }
+  }
+}
+
+/// Replay the trace once. `incremental` selects the control plane; all
+/// workload-side state (admission, placement, strategies) is identical
+/// either way, so the modes differ only in how routes are recomputed.
+ModeResult run_mode(const Scale& scale, bool incremental) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(scale.spec);
+  const net::Routing routing(cluster.topology());
+  cluster::AdmissionQueue admission(cluster, cluster::Placement::kCompact);
+  Rng rng(kSeed ^ 0x5eedu);
+
+  const std::vector<workload::JobSpec> jobs =
+      workload::poisson_jobs(scale.churn, kSeed);
+  const std::vector<workload::ChurnEvent> events = workload::churn_events(jobs);
+
+  policy::IncrementalAssigner assigner(cluster, routing);
+  assigner.set_reserved_routes(kReservedRoutes);
+  policy::AssignOptions options;
+  options.reserved_routes = kReservedRoutes;
+
+  std::unordered_map<std::uint32_t, LiveJob> live;
+  std::unordered_map<std::uint32_t, policy::RouteMap> full_routes;
+  ModeResult res;
+  res.jobs = jobs.size();
+  double busy_gpu_time = 0.0;
+  double closure_total = 0.0;
+  std::size_t solves = 0;
+
+  auto activate = [&](JobId job, std::vector<GpuId> gpus, Time now) {
+    const workload::JobSpec& spec = jobs[job.get()];
+    LiveJob lj;
+    lj.strategy = policy::locality_aware_strategy(gpus, cluster);
+    lj.gpus = std::move(gpus);
+    lj.high_priority = spec.high_priority;
+    lj.admitted_at = now;
+    live.emplace(job.get(), std::move(lj));
+  };
+
+  for (const workload::ChurnEvent& ev : events) {
+    // Admission (mode-independent): which jobs start or stop right now.
+    std::vector<std::uint32_t> started;
+    std::vector<std::uint32_t> stopped;
+    if (ev.arrival) {
+      if (auto placed = admission.submit(ev.job, jobs[ev.job.get()].gpus, rng)) {
+        activate(ev.job, std::move(*placed), ev.at);
+        started.push_back(ev.job.get());
+      }
+    } else {
+      if (live.count(ev.job.get()) > 0) stopped.push_back(ev.job.get());
+      for (cluster::AdmissionQueue::Admission& adm :
+           admission.finish(ev.job, rng)) {
+        activate(adm.job, std::move(adm.gpus), ev.at);
+        started.push_back(adm.job.get());
+      }
+    }
+    res.queued_peak = std::max(res.queued_peak, admission.queue_depth());
+
+    // The timed control-plane decision: react to this event's tenant set
+    // change with a (re)assignment of flows to routes.
+    const auto t0 = std::chrono::steady_clock::now();
+    if (incremental) {
+      for (std::uint32_t id : stopped) assigner.remove_item(CommId{id});
+      for (std::uint32_t id : started) {
+        const LiveJob& lj = live.at(id);
+        policy::AssignItem item;
+        item.comm = CommId{id};
+        item.app = AppId{id};
+        item.gpus_by_rank = &lj.gpus;
+        item.strategy = &lj.strategy;
+        item.high_priority = lj.high_priority;
+        assigner.add_item(item);
+      }
+      const policy::IncrementalSolveStats st = assigner.solve(ev.at);
+      closure_total += static_cast<double>(st.solved_items);
+      ++solves;
+    } else {
+      std::vector<policy::AssignItem> items;
+      items.reserve(live.size());
+      // Ascending comm id — the canonical order Controller::compute_routes
+      // uses (list_communicators is sorted).
+      std::vector<std::uint32_t> ids;
+      ids.reserve(live.size());
+      for (const auto& [id, lj] : live) {
+        if (!ev.arrival && id == ev.job.get()) continue;  // departing now
+        ids.push_back(id);
+      }
+      std::sort(ids.begin(), ids.end());
+      for (std::uint32_t id : ids) {
+        const LiveJob& lj = live.at(id);
+        policy::AssignItem item;
+        item.comm = CommId{id};
+        item.app = AppId{id};
+        item.gpus_by_rank = &lj.gpus;
+        item.strategy = &lj.strategy;
+        item.high_priority = lj.high_priority;
+        items.push_back(item);
+      }
+      full_routes = policy::assign_flows(items, cluster, routing, options);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    res.latencies_s.push_back(std::chrono::duration<double>(t1 - t0).count());
+    ++res.events;
+
+    // Identity accounting, outside the timed region: digest this event's
+    // post-decision assignment of every live tenant.
+    auto assignment = incremental ? assigner.assignments() : full_routes;
+    for (auto it = assignment.begin(); it != assignment.end();) {
+      it = it->second.empty() ? assignment.erase(it) : std::next(it);
+    }
+    fold_assignment(res.assignment_digest, assignment);
+    if (res.events == events.size() / 2) res.mid_assignments = std::move(assignment);
+
+    // Workload accounting, outside the timed region.
+    for (std::uint32_t id : stopped) {
+      const LiveJob& lj = live.at(id);
+      busy_gpu_time +=
+          static_cast<double>(lj.gpus.size()) * (ev.at - lj.admitted_at);
+      live.erase(id);
+    }
+  }
+
+  if (incremental) {
+    res.mean_closure = solves > 0 ? closure_total / static_cast<double>(solves) : 0.0;
+  }
+  res.admitted = admission.admitted_total();
+  const double horizon = events.empty() ? 1.0 : events.back().at;
+  res.goodput = busy_gpu_time /
+                (static_cast<double>(cluster.gpu_count()) * horizon);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== cluster_day: control-plane churn at 1k/4k GPUs ===\n\n");
+  std::FILE* json = std::fopen("BENCH_cluster.json", "w");
+  MCCS_CHECK(json != nullptr, "cannot open BENCH_cluster.json");
+
+  std::printf("%-9s %5s %-12s %7s %9s %9s %9s %9s %8s %8s %6s\n", "scale",
+              "gpus", "mode", "events", "p50(us)", "p99(us)", "p999(us)",
+              "mean(us)", "goodput", "speedup", "ident");
+
+  for (const Scale& scale : scales()) {
+    const int gpus = scale.spec.num_spines == 16 ? 1024 : 4096;
+    ModeResult full = run_mode(scale, /*incremental=*/false);
+    ModeResult inc = run_mode(scale, /*incremental=*/true);
+    const bool identical = full.assignment_digest == inc.assignment_digest &&
+                           full.mid_assignments == inc.mid_assignments;
+
+    struct Row {
+      const char* mode;
+      const ModeResult* r;
+    };
+    TailSummary full_tail{};
+    for (const Row row : {Row{"full", &full}, Row{"incremental", &inc}}) {
+      std::vector<double> xs = row.r->latencies_s;
+      sort_samples(xs);
+      const TailSummary tail = tail_summary_sorted(xs);
+      const double mean_s = mean(xs);
+      const bool is_inc = row.r == &inc;
+      if (!is_inc) full_tail = tail;
+      const double speedup = is_inc && tail.p99 > 0.0
+                                 ? full_tail.p99 / tail.p99
+                                 : 1.0;
+      std::printf("%-9s %5d %-12s %7zu %9.1f %9.1f %9.1f %9.1f %7.1f%% %8.1f %6s\n",
+                  scale.name, gpus, row.mode, row.r->events, tail.p50 * 1e6,
+                  tail.p99 * 1e6, tail.p999 * 1e6, mean_s * 1e6,
+                  row.r->goodput * 100.0, speedup,
+                  is_inc ? (identical ? "yes" : "NO") : "ref");
+      std::fprintf(
+          json,
+          "{\"bench\":\"cluster_day\",\"scale\":\"%s\",\"gpus\":%d,"
+          "\"mode\":\"%s\",\"seed\":%llu,\"events\":%zu,\"jobs\":%zu,"
+          "\"admitted\":%llu,\"queued_peak\":%zu,\"goodput\":%.4f,"
+          "\"mean_closure_items\":%.2f,\"p50_us\":%.3f,\"p99_us\":%.3f,"
+          "\"p999_us\":%.3f,\"mean_us\":%.3f,\"speedup_p99_vs_full\":%.2f,"
+          "\"assignments_identical\":%s}\n",
+          scale.name, gpus, row.mode,
+          static_cast<unsigned long long>(kSeed), row.r->events, row.r->jobs,
+          static_cast<unsigned long long>(row.r->admitted),
+          row.r->queued_peak, row.r->goodput, row.r->mean_closure,
+          tail.p50 * 1e6, tail.p99 * 1e6, tail.p999 * 1e6, mean_s * 1e6,
+          speedup, identical ? "true" : "false");
+    }
+  }
+  std::fclose(json);
+  std::printf("\nBENCH_cluster.json written (one line per scale x mode).\n");
+  return 0;
+}

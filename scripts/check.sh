@@ -56,6 +56,13 @@ if [[ -n "${SANITIZE:-}" ]]; then
   # the sanitizers so an arena overrun or dangling key fails loudly here.
   echo "== telemetry tests (sanitized) =="
   build-san/tests/mccs_tests --gtest_filter='*Telemetry*' --gtest_brief=1
+  # The warm-started control plane reuses per-link scratch across solves and
+  # evicts per-comm metrics on teardown — exactly the lifetime bugs ASan/UBSan
+  # catch. Run the churn smoke + the incremental-vs-full property sweep
+  # explicitly (seconds-scale even under instrumentation).
+  echo "== control-plane churn smoke (sanitized) =="
+  MCCS_ASSIGN_SEEDS=40 build-san/tests/mccs_tests \
+    --gtest_filter='*ClusterChurn*:*IncrementalAssign*' --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: ${SANITIZE})"
   exit 0
 fi
@@ -388,6 +395,68 @@ else
     done
   done < "$pljson"
   echo "BENCH_parallel.json schema OK (grep fallback; gates skipped)"
+fi
+
+echo "== cluster_day =="
+(cd build/bench && ./cluster_day)
+
+cljson=build/bench/BENCH_cluster.json
+[[ -s "$cljson" ]] || { echo "FAIL: $cljson missing or empty" >&2; exit 1; }
+
+# Schema plus the PR's perf gates: at every scale the incremental control
+# plane must produce assignments bitwise identical to the full re-solve, and
+# at >= 1024 GPUs its p99 decision latency must be >= 3x better.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$cljson" <<'EOF'
+import json, sys
+
+expected = {"bench", "scale", "gpus", "mode", "seed", "events", "jobs",
+            "admitted", "queued_peak", "goodput", "mean_closure_items",
+            "p50_us", "p99_us", "p999_us", "mean_us", "speedup_p99_vs_full",
+            "assignments_identical"}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("FAIL: no records in BENCH_cluster.json")
+modes = set()
+for i, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    if set(rec) != expected:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != {sorted(expected)}")
+    mode = rec["mode"]
+    if mode not in ("full", "incremental"):
+        sys.exit(f"FAIL: line {i} unknown mode {mode!r}")
+    modes.add(mode)
+    if not (rec["p50_us"] <= rec["p99_us"] <= rec["p999_us"]):
+        sys.exit(f"FAIL: {rec['scale']}/{mode} percentile ladder not "
+                 f"monotone: {rec['p50_us']}/{rec['p99_us']}/{rec['p999_us']}")
+    if mode == "incremental":
+        if rec["assignments_identical"] is not True:
+            sys.exit(f"FAIL: {rec['scale']} incremental assignment diverged "
+                     "from the full re-solve")
+        if rec["gpus"] >= 1024 and rec["speedup_p99_vs_full"] < 3.0:
+            sys.exit(f"FAIL: {rec['scale']} p99 speedup "
+                     f"{rec['speedup_p99_vs_full']:.2f} < 3x at "
+                     f"{rec['gpus']} GPUs")
+if modes != {"full", "incremental"}:
+    sys.exit(f"FAIL: modes {sorted(modes)} != ['full', 'incremental']")
+print(f"BENCH_cluster.json schema + gates OK ({len(lines)} records)")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench scale gpus mode p99_us speedup_p99_vs_full \
+               assignments_identical; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+    if grep -q '"mode":"incremental"' <<<"$line"; then
+      grep -q '"assignments_identical":true' <<<"$line" || {
+        echo "FAIL: incremental assignment diverged: $line" >&2; exit 1;
+      }
+    fi
+  done < "$cljson"
+  echo "BENCH_cluster.json schema OK (grep fallback; speedup gate skipped)"
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,60 @@
+#include "cluster/admission.h"
+
+#include <algorithm>
+
+namespace mccs::cluster {
+
+std::optional<std::vector<GpuId>> AdmissionQueue::submit(JobId job, int gpus,
+                                                         Rng& rng) {
+  MCCS_EXPECTS(gpus > 0);
+  MCCS_EXPECTS(running_.count(job.get()) == 0);
+  if (queue_.empty()) {
+    if (auto placed = allocator_.allocate(gpus, placement_, rng)) {
+      running_[job.get()] = *placed;
+      ++admitted_total_;
+      return placed;
+    }
+  }
+  queue_.push_back(Waiting{job, gpus});
+  return std::nullopt;
+}
+
+std::vector<AdmissionQueue::Admission> AdmissionQueue::finish(JobId job,
+                                                              Rng& rng) {
+  std::vector<Admission> admitted;
+  auto it = running_.find(job.get());
+  if (it != running_.end()) {
+    allocator_.release(it->second);
+    running_.erase(it);
+    drain(admitted, rng);
+    return admitted;
+  }
+  // Departed while still waiting (the trace outlived its patience): drop it
+  // from the queue. Its removal can unblock the jobs behind it.
+  auto queued = std::find_if(queue_.begin(), queue_.end(),
+                             [&](const Waiting& w) { return w.job == job; });
+  MCCS_CHECK(queued != queue_.end(), "finishing a job that was never admitted");
+  const bool was_head = queued == queue_.begin();
+  queue_.erase(queued);
+  if (was_head) drain(admitted, rng);
+  return admitted;
+}
+
+void AdmissionQueue::drain(std::vector<Admission>& out, Rng& rng) {
+  while (!queue_.empty()) {
+    const Waiting& head = queue_.front();
+    auto placed = allocator_.allocate(head.gpus, placement_, rng);
+    if (!placed) break;  // head still blocked; FIFO means everyone waits
+    running_[head.job.get()] = *placed;
+    ++admitted_total_;
+    out.push_back(Admission{head.job, std::move(*placed)});
+    queue_.pop_front();
+  }
+}
+
+const std::vector<GpuId>* AdmissionQueue::placement_of(JobId job) const {
+  auto it = running_.find(job.get());
+  return it == running_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mccs::cluster

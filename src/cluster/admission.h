@@ -1,0 +1,69 @@
+#pragma once
+// Admission control for cluster-day churn: a strict-FIFO queue in front of
+// the GpuAllocator. Jobs that fit when they arrive are placed immediately;
+// jobs that don't — or that arrive behind a waiting job — queue, and every
+// departure drains the queue head-first into the freed capacity.
+//
+// Head-of-line order is deliberate: a small job never bypasses a blocked
+// large one. Backfilling would raise utilization a little but starves wide
+// jobs under a steady trickle of narrow ones, and makes admission order
+// depend on the whole queue state; FIFO is starvation-free and makes the
+// admitted set a deterministic function of the event sequence — which the
+// churn harness and the warm-start identity tests rely on.
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "common/ids.h"
+
+namespace mccs::cluster {
+
+class AdmissionQueue {
+ public:
+  /// One job granted GPUs (either at submit or when a departure drained it).
+  struct Admission {
+    JobId job;
+    std::vector<GpuId> gpus;  ///< rank order, as GpuAllocator returned it
+  };
+
+  AdmissionQueue(const Cluster& cluster, Placement placement)
+      : allocator_(cluster), placement_(placement) {}
+
+  /// Job arrival. Placed immediately (and returned) only when the queue is
+  /// empty and `gpus` fit; otherwise the job waits its FIFO turn.
+  std::optional<std::vector<GpuId>> submit(JobId job, int gpus, Rng& rng);
+
+  /// Job departure — running (GPUs released) or still queued (dequeued).
+  /// Returns every waiting job the freed capacity admits, in queue order.
+  std::vector<Admission> finish(JobId job, Rng& rng);
+
+  /// The running job's placement, or null when unknown / still queued.
+  [[nodiscard]] const std::vector<GpuId>* placement_of(JobId job) const;
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  [[nodiscard]] std::size_t free_gpus() const { return allocator_.free_count(); }
+  /// All-time admissions (immediate + drained), for goodput accounting.
+  [[nodiscard]] std::uint64_t admitted_total() const { return admitted_total_; }
+
+ private:
+  struct Waiting {
+    JobId job;
+    int gpus = 0;
+  };
+
+  /// Admit as many queued jobs as the current free capacity allows, head
+  /// first, stopping at the first job that does not fit.
+  void drain(std::vector<Admission>& out, Rng& rng);
+
+  GpuAllocator allocator_;
+  Placement placement_;
+  std::deque<Waiting> queue_;
+  std::unordered_map<std::uint32_t, std::vector<GpuId>> running_;
+  std::uint64_t admitted_total_ = 0;
+};
+
+}  // namespace mccs::cluster

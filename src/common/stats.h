@@ -48,6 +48,43 @@ inline double percentile(std::vector<double> xs, double p) {
   return percentile_sorted(xs, p);
 }
 
+/// Generic quantile over an ALREADY SORTED span, q in [0, 1]. Same linear
+/// interpolation as percentile_sorted (quantile_sorted(xs, q) ==
+/// percentile_sorted(xs, 100 q)); the unit-interval form reads better when
+/// the q itself is computed (tail sweeps, q = 1 - 10^-k ladders).
+inline double quantile_sorted(std::span<const double> xs, double q) {
+  MCCS_EXPECTS(q >= 0.0 && q <= 1.0);
+  return percentile_sorted(xs, q * 100.0);
+}
+
+/// One-shot quantile: copies and sorts.
+inline double quantile(std::vector<double> xs, double q) {
+  sort_samples(xs);
+  return quantile_sorted(xs, q);
+}
+
+/// The tail trio the latency-facing benches headline. p999 needs >= 1000
+/// samples before it reads past p99's neighbourhood — with fewer it still
+/// interpolates correctly, just close to the max; callers decide sample
+/// counts.
+struct TailSummary {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Tail summary over an ALREADY SORTED span.
+inline TailSummary tail_summary_sorted(std::span<const double> xs) {
+  return TailSummary{percentile_sorted(xs, 50.0), percentile_sorted(xs, 99.0),
+                     percentile_sorted(xs, 99.9)};
+}
+
+/// One-shot tail summary: copies and sorts.
+inline TailSummary tail_summary(std::vector<double> xs) {
+  sort_samples(xs);
+  return tail_summary_sorted(xs);
+}
+
 struct CdfPoint {
   double value;
   double cumulative_fraction;

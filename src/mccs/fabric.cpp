@@ -314,6 +314,16 @@ std::vector<TraceRecord> Fabric::trace_all() const {
   return out;
 }
 
+Fabric::LinkSample Fabric::sample_link(LinkId link) const {
+  LinkSample s;
+  s.state = network_->link_state(link);
+  s.capacity_fraction = network_->link_capacity_fraction(link);
+  s.throughput = network_->link_throughput(link);
+  s.flows = network_->link_flow_count(link);
+  s.bytes = network_->link_bytes(link);
+  return s;
+}
+
 std::string Fabric::telemetry_snapshot() {
   std::string out;
   out.reserve(4096);
@@ -325,22 +335,22 @@ std::string Fabric::telemetry_snapshot() {
   out += ",\"links\":[";
   const net::Topology& topo = network_->topology();
   for (std::size_t l = 0; l < topo.link_count(); ++l) {
-    const LinkId id{static_cast<std::uint32_t>(l)};
+    const LinkSample s = sample_link(LinkId{static_cast<std::uint32_t>(l)});
     if (l > 0) out += ',';
     out += "{\"id\":" + std::to_string(l);
     out += ",\"state\":\"";
-    switch (network_->link_state(id)) {
+    switch (s.state) {
       case net::LinkState::kUp: out += "up"; break;
       case net::LinkState::kDegraded: out += "degraded"; break;
       case net::LinkState::kDown: out += "down"; break;
     }
     out += "\",\"capacity_fraction\":";
-    telemetry::append_double(out, network_->link_capacity_fraction(id));
+    telemetry::append_double(out, s.capacity_fraction);
     out += ",\"throughput\":";
-    telemetry::append_double(out, network_->link_throughput(id));
-    out += ",\"flows\":" + std::to_string(network_->link_flow_count(id));
+    telemetry::append_double(out, s.throughput);
+    out += ",\"flows\":" + std::to_string(s.flows);
     out += ",\"bytes\":";
-    telemetry::append_double(out, network_->link_bytes(id));
+    telemetry::append_double(out, s.bytes);
     out += '}';
   }
   out += "],\"flows\":[";

@@ -133,6 +133,21 @@ class Fabric {
   /// the human-oriented debug_dump.
   [[nodiscard]] std::string telemetry_snapshot();
 
+  /// One link's slice of the telemetry snapshot, as structured data: the
+  /// monitoring plane's view (administrative state plus the utilization
+  /// sampler's throughput / flow-count / byte readings). Policy consumers —
+  /// notably the controller's recovery confirmation — observe links through
+  /// this sampler rather than poking the raw network, so what they decide on
+  /// is exactly what the snapshot reports.
+  struct LinkSample {
+    net::LinkState state = net::LinkState::kUp;
+    double capacity_fraction = 1.0;
+    double throughput = 0.0;  ///< allocated rate over the link right now
+    std::size_t flows = 0;    ///< flows currently crossing the link
+    double bytes = 0.0;       ///< cumulative bytes carried (utilization integral)
+  };
+  [[nodiscard]] LinkSample sample_link(LinkId link) const;
+
   /// Management-path communicator teardown: destroys the communicator on
   /// every rank's proxy (after the control latency) and removes it from the
   /// registry, so policies stop planning for it. Outstanding collectives on

@@ -86,6 +86,7 @@ void ProxyEngine::destroy_communicator(CommId comm) {
                "destroying a communicator with outstanding P2P operations");
   }
   comms_.erase(comm.get());
+  drop_comm_metrics(comm);
 }
 
 std::size_t ProxyEngine::abort_communicator(CommId comm) {
@@ -102,7 +103,24 @@ std::size_t ProxyEngine::abort_communicator(CommId comm) {
   }
   comms_.erase(it);
   aborted_.insert(comm.get());
+  drop_comm_metrics(comm);
   return dropped;
+}
+
+void ProxyEngine::drop_comm_metrics(CommId comm) {
+  // The registry-backed plan-cache counters are labeled per (comm, gpu);
+  // with the CommRank (and its cache, which held the handles) gone, keeping
+  // the series would leak one entry per communicator ever created. Dropping
+  // here bounds the registry by the live communicator population under
+  // churn. Must run AFTER the CommRank is erased — the cache's bound
+  // handles point into the registry.
+  if (ctx_->telemetry == nullptr) return;
+  telemetry::MetricsRegistry& reg = ctx_->telemetry->metrics();
+  const telemetry::Labels labels{{"comm", std::to_string(comm.get())},
+                                 {"gpu", std::to_string(gpu_.get())}};
+  reg.drop("plan_cache_hits", labels);
+  reg.drop("plan_cache_misses", labels);
+  reg.drop("plan_cache_invalidations", labels);
 }
 
 const CommStrategy& ProxyEngine::strategy(CommId comm) const {

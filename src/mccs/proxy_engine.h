@@ -266,6 +266,10 @@ class ProxyEngine {
 
   CommRank& comm_state(CommId comm);
   const CommRank& comm_state(CommId comm) const;
+  /// Evict this rank's registry-backed per-comm instruments (plan-cache
+  /// counters). Called by both teardown paths — orderly destroy and kill —
+  /// after the CommRank is gone, so the registry tracks live comms only.
+  void drop_comm_metrics(CommId comm);
   /// Tolerant lookup for entry points that can legitimately race with a
   /// tenant kill (late control messages, in-flight deliveries): null when
   /// the communicator was torn down by abort_communicator. A comm that was

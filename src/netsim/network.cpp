@@ -241,6 +241,7 @@ void Network::set_link_state(LinkId id, LinkState state, double capacity_fractio
   if (link_states_[id.get()] == state && capacity_scale_[id.get()] == scale) return;
   link_states_[id.get()] = state;
   capacity_scale_[id.get()] = scale;
+  link_changes_.push_back(LinkChange{id, state, scale, loop_->now()});
   // The link is its own seed: every flow crossing it (and their bottleneck
   // component) re-solves; everyone else keeps their rates and events.
   const Path seed{id};

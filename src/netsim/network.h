@@ -84,6 +84,17 @@ struct FlowSpec {
 /// incremental max-min path as any other flow-set change.
 enum class LinkState { kUp, kDegraded, kDown };
 
+/// One administrative link-state transition, in the order it was applied.
+/// The append-only log lets control-plane consumers (the incremental flow
+/// assigner) learn exactly which links changed since their last look —
+/// a change-set export, so re-solve work scales with events, not links.
+struct LinkChange {
+  LinkId link{};
+  LinkState state = LinkState::kUp;
+  double capacity_fraction = 1.0;
+  Time at = 0.0;
+};
+
 /// Structured outcome of a max-min solve that could not make progress (a
 /// pathological capacity state, e.g. a weight so small the share-per-weight
 /// overflows). The affected flows are pinned at rate zero — degrading the
@@ -162,6 +173,13 @@ class Network {
   [[nodiscard]] double link_capacity_fraction(LinkId id) const {
     MCCS_EXPECTS(id.get() < capacity_scale_.size());
     return capacity_scale_[id.get()];
+  }
+
+  /// Every effective set_link_state in application order (no-op calls are
+  /// not logged). Consumers keep a cursor into this append-only log and
+  /// process entries past it; entries are never mutated or dropped.
+  [[nodiscard]] const std::vector<LinkChange>& link_change_log() const {
+    return link_changes_;
   }
 
   /// Observer for unsatisfiable allocations (see AllocationError). Invoked
@@ -271,6 +289,7 @@ class Network {
   std::vector<LinkIndex> links_;
   std::vector<LinkState> link_states_;
   std::vector<double> capacity_scale_;  ///< effective = nominal * scale
+  std::vector<LinkChange> link_changes_;  ///< append-only change-set export
 
   std::function<void(const AllocationError&)> allocation_error_handler_;
   std::uint64_t allocation_error_count_ = 0;

@@ -33,6 +33,10 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
     const svc::CommInfo* extra, const svc::CommStrategy* extra_strategy,
     std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
     std::unordered_map<std::uint32_t, svc::CommStrategy>& strategy_storage) {
+  if (incremental_) {
+    return compute_routes_incremental(extra, extra_strategy, gpu_storage,
+                                      strategy_storage);
+  }
   std::vector<AssignItem> items;
   for (const svc::CommInfo& info : fabric_->list_communicators()) {
     gpu_storage[info.id.get()] = info.gpus;
@@ -64,6 +68,71 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
   options.now = fabric_->loop().now();
   return assign_flows(items, fabric_->cluster(), fabric_->network().routing(),
                       options);
+}
+
+std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes_incremental(
+    const svc::CommInfo* extra, const svc::CommStrategy* extra_strategy,
+    std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
+    std::unordered_map<std::uint32_t, svc::CommStrategy>& strategy_storage) {
+  if (assigner_ == nullptr) {
+    assigner_ = std::make_unique<IncrementalAssigner>(
+        fabric_->cluster(), fabric_->network().routing());
+  }
+  assigner_->set_telemetry(&fabric_->telemetry());
+  assigner_->set_reserved_routes(flow_policy_ == FlowPolicy::kPfa
+                                     ? reserved_routes_
+                                     : std::unordered_set<std::uint32_t>{});
+  assigner_->set_failed_links(failed_links_);
+  // Consume the netsim's change-set: links whose administrative state moved
+  // since the last solve dirty exactly the tenants routed across them.
+  const std::vector<net::LinkChange>& changes =
+      fabric_->network().link_change_log();
+  for (; link_change_cursor_ < changes.size(); ++link_change_cursor_) {
+    assigner_->mark_link_dirty(changes[link_change_cursor_].link);
+  }
+
+  // Diff the fabric's live communicator set against the warm state:
+  // departures first (their freed demand seeds the closure), then arrivals
+  // and priority flips.
+  std::vector<svc::CommInfo> live = fabric_->list_communicators();
+  std::unordered_set<std::uint32_t> live_ids;
+  for (const svc::CommInfo& info : live) {
+    live_ids.insert(info.id.get());
+    gpu_storage[info.id.get()] = info.gpus;
+    strategy_storage[info.id.get()] = fabric_->strategy_of(info.id);
+  }
+  if (extra != nullptr) {
+    live.push_back(*extra);
+    live_ids.insert(extra->id.get());
+    gpu_storage[extra->id.get()] = extra->gpus;
+    strategy_storage[extra->id.get()] = *extra_strategy;
+  }
+  for (CommId id : assigner_->item_ids()) {
+    if (live_ids.count(id.get()) == 0) assigner_->remove_item(id);
+  }
+  for (const svc::CommInfo& info : live) {
+    const bool priority = priority_apps_.count(info.app.get()) > 0;
+    if (!assigner_->has_item(info.id)) {
+      AssignItem item;
+      item.comm = info.id;
+      item.app = info.app;
+      item.gpus_by_rank = &gpu_storage[info.id.get()];
+      item.strategy = &strategy_storage[info.id.get()];
+      item.high_priority = priority;
+      assigner_->add_item(item);
+    } else if (assigner_->item_high_priority(info.id) != priority) {
+      assigner_->set_high_priority(info.id, priority);
+    }
+  }
+
+  last_solve_stats_ = assigner_->solve(fabric_->loop().now());
+
+  std::unordered_map<std::uint32_t, RouteMap> result;
+  result.reserve(live.size());
+  for (const svc::CommInfo& info : live) {
+    result[info.id.get()] = assigner_->routes_of(info.id);
+  }
+  return result;
 }
 
 svc::CommStrategy Controller::provide(const svc::CommInfo& info) {
@@ -110,13 +179,17 @@ void Controller::enable_fault_recovery() {
 
 void Controller::on_stall(const svc::StallReport& report) {
   ++stall_reports_;
-  // Cross-check the stalled path against the network's monitoring plane: act
-  // only on links that are actually down AND not yet handled. Congestion
-  // stalls and repeat escalations over a known-dead link fall through here,
-  // which keeps recovery idempotent.
+  // Cross-check the stalled path against the monitoring plane's link
+  // sampler (the same per-link view telemetry_snapshot exports): act only on
+  // links the sampler shows administratively down AND carrying nothing — a
+  // down link with allocated throughput would mean the solver and the state
+  // machine disagree, which is not a state to reconfigure on — AND not yet
+  // handled. Congestion stalls and repeat escalations over a known-dead link
+  // fall through here, which keeps recovery idempotent.
   std::vector<LinkId> fresh;
   for (LinkId l : report.path) {
-    if (fabric_->network().link_state(l) == net::LinkState::kDown &&
+    const svc::Fabric::LinkSample s = fabric_->sample_link(l);
+    if (s.state == net::LinkState::kDown && s.throughput <= 0.0 &&
         failed_links_.count(l.get()) == 0) {
       fresh.push_back(l);
     }

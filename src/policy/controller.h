@@ -5,6 +5,7 @@
 // (re)assignment whenever a job joins or exits, priority flow assignment,
 // and time-window traffic scheduling.
 
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +37,23 @@ class Controller {
 
   /// Route the pairwise mesh too (AllToAll-heavy tenants, e.g. MoE).
   void set_route_pairwise_mesh(bool v) { route_mesh_ = v; }
+
+  /// Warm-started incremental flow assignment: keep an IncrementalAssigner
+  /// alive across control-plane events and re-solve only the dirty closure
+  /// (tenants and links touched by the event) instead of running the full
+  /// FFA/PFA greedy each time. Assignment-identical to the full re-solve
+  /// (see flow_assign.h); off by default so existing harnesses and goldens
+  /// keep the one-shot solver. Relies on each communicator's flow-generating
+  /// strategy (rings / tree / mesh shape) being fixed for its lifetime —
+  /// reconfiguration rewrites only routes, and a resize is a new comm id.
+  void set_incremental(bool v) { incremental_ = v; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+
+  /// Closure statistics of the last incremental re-solve (zeros when the
+  /// incremental path has not run).
+  [[nodiscard]] const IncrementalSolveStats& last_solve_stats() const {
+    return last_solve_stats_;
+  }
 
   /// PFA configuration: which apps are prioritised and which route indices
   /// are reserved for them.
@@ -121,6 +139,15 @@ class Controller {
       std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
       std::unordered_map<std::uint32_t, svc::CommStrategy>& strategy_storage);
 
+  /// The incremental variant of compute_routes: sync the warm assigner with
+  /// the fabric's live communicator set, feed it the network's link
+  /// change-set and this controller's failed/reserved/priority state, then
+  /// solve the dirty closure only.
+  std::unordered_map<std::uint32_t, RouteMap> compute_routes_incremental(
+      const svc::CommInfo* extra, const svc::CommStrategy* extra_strategy,
+      std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
+      std::unordered_map<std::uint32_t, svc::CommStrategy>& strategy_storage);
+
   svc::Fabric* fabric_;
   RingPolicy ring_policy_ = RingPolicy::kLocalityAware;
   FlowPolicy flow_policy_ = FlowPolicy::kFfa;
@@ -130,6 +157,11 @@ class Controller {
   std::unordered_set<std::uint32_t> failed_links_;
   std::vector<RecoveryRecord> recovery_log_;
   std::uint64_t stall_reports_ = 0;
+
+  bool incremental_ = false;
+  std::unique_ptr<IncrementalAssigner> assigner_;  ///< lazily built
+  std::size_t link_change_cursor_ = 0;  ///< into Network::link_change_log
+  IncrementalSolveStats last_solve_stats_;
 };
 
 }  // namespace mccs::policy

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "collectives/schedule.h"
@@ -13,21 +12,13 @@
 namespace mccs::policy {
 namespace {
 
-/// One inter-host connection awaiting a route.
-struct PendingFlow {
-  std::size_t item_index;
-  std::uint64_t route_key;  ///< CommStrategy::route_key(channel, position)
-  NodeId src;
-  NodeId dst;
-  Bandwidth demand;  ///< natural demand (the sender NIC's uplink rate)
-  bool high_priority;
-};
-
 /// Collect every inter-host edge of an item's strategy as a pending flow
-/// (ring successors per channel, or both directions of the tree).
+/// (ring successors per channel, or both directions of the tree). The
+/// enumeration order doubles as the per-item drain order, for both the
+/// one-shot and the incremental solver.
 void collect_flows(std::size_t item_index, const AssignItem& item,
                    const cluster::Cluster& cluster,
-                   std::deque<PendingFlow>& out) {
+                   std::vector<PendingFlow>& out) {
   const svc::CommStrategy& s = *item.strategy;
   const auto& gpus = *item.gpus_by_rank;
   const int n = static_cast<int>(gpus.size());
@@ -178,7 +169,8 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
   // cluster and strategy, writes only to their own queue), so independent
   // AssignItems batch across the pool; the drain below stays serial, so the
   // assignment outcome is identical for any thread count.
-  std::vector<std::deque<PendingFlow>> queues(items.size());
+  std::vector<std::vector<PendingFlow>> queues(items.size());
+  std::vector<std::size_t> heads(items.size(), 0);
   for (const AssignItem& item : items) {
     MCCS_EXPECTS(item.gpus_by_rank != nullptr && item.strategy != nullptr);
   }
@@ -211,11 +203,9 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
       any = false;
       for (std::size_t i = 0; i < items.size(); ++i) {
         if (items[i].high_priority != priority_pass) continue;
-        auto& q = queues[i];
-        if (q.empty()) continue;
+        if (heads[i] >= queues[i].size()) continue;
         any = true;
-        PendingFlow f = std::move(q.front());
-        q.pop_front();
+        const PendingFlow& f = queues[i][heads[i]++];
         double score = 0.0;
         const std::uint32_t r = best_route(
             f, routing, cluster, link_demand, item_demand[i],
@@ -242,6 +232,253 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
     }
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalAssigner
+// ---------------------------------------------------------------------------
+
+IncrementalAssigner::IncrementalAssigner(const cluster::Cluster& cluster,
+                                         const net::Routing& routing)
+    : cluster_(&cluster),
+      routing_(&routing),
+      link_demand_(cluster.topology().link_count(), 0.0),
+      link_items_(cluster.topology().link_count()),
+      link_visit_(cluster.topology().link_count(), 0) {}
+
+void IncrementalAssigner::set_reserved_routes(
+    std::unordered_set<std::uint32_t> routes) {
+  if (routes == reserved_routes_) return;
+  reserved_routes_ = std::move(routes);
+  // Reservation is keyed by route index, so it shifts scores everywhere.
+  for (const auto& [id, st] : items_) dirty_items_.insert(id);
+}
+
+void IncrementalAssigner::set_failed_links(
+    const std::unordered_set<std::uint32_t>& failed) {
+  if (failed == failed_links_) return;
+  for (std::uint32_t l : failed) {
+    if (failed_links_.count(l) == 0 && l < link_visit_.size()) {
+      dirty_links_.push_back(l);
+    }
+  }
+  for (std::uint32_t l : failed_links_) {
+    if (failed.count(l) == 0 && l < link_visit_.size()) {
+      dirty_links_.push_back(l);
+    }
+  }
+  failed_links_ = failed;
+}
+
+void IncrementalAssigner::add_item(const AssignItem& item) {
+  MCCS_EXPECTS(item.gpus_by_rank != nullptr && item.strategy != nullptr);
+  MCCS_EXPECTS(items_.count(item.comm.get()) == 0);
+  ItemState& st = items_[item.comm.get()];
+  st.app = item.app;
+  st.high_priority = item.high_priority;
+  st.gpus = *item.gpus_by_rank;
+  st.strategy = *item.strategy;
+
+  AssignItem owned = item;
+  owned.gpus_by_rank = &st.gpus;
+  owned.strategy = &st.strategy;
+  collect_flows(0, owned, *cluster_, st.flows);
+
+  // Candidate links = every link on every equal-cost path of every flow.
+  // This is the interference footprint: another item can affect this one's
+  // scores only through demand on one of these links.
+  for (const PendingFlow& f : st.flows) {
+    for (const auto& path : routing_->paths(f.src, f.dst)) {
+      for (LinkId l : path) st.candidate_links.push_back(l.get());
+    }
+  }
+  std::sort(st.candidate_links.begin(), st.candidate_links.end());
+  st.candidate_links.erase(
+      std::unique(st.candidate_links.begin(), st.candidate_links.end()),
+      st.candidate_links.end());
+  for (std::uint32_t l : st.candidate_links) {
+    auto& owners = link_items_[l];
+    owners.insert(std::lower_bound(owners.begin(), owners.end(),
+                                   item.comm.get()),
+                  item.comm.get());
+  }
+  dirty_items_.insert(item.comm.get());
+}
+
+void IncrementalAssigner::remove_item(CommId comm) {
+  auto it = items_.find(comm.get());
+  MCCS_EXPECTS(it != items_.end());
+  ItemState& st = it->second;
+  // The departed item influenced others only through demand it actually
+  // placed, so its contribution links (not its full candidate set) seed the
+  // dirty closure.
+  for (const auto& [link, demand] : st.contrib) {
+    link_demand_[link] -= demand;
+    dirty_links_.push_back(link);
+  }
+  for (std::uint32_t l : st.candidate_links) {
+    auto& owners = link_items_[l];
+    owners.erase(std::lower_bound(owners.begin(), owners.end(), comm.get()));
+  }
+  dirty_items_.erase(comm.get());
+  items_.erase(it);
+}
+
+void IncrementalAssigner::set_high_priority(CommId comm, bool high_priority) {
+  auto it = items_.find(comm.get());
+  MCCS_EXPECTS(it != items_.end());
+  ItemState& st = it->second;
+  if (st.high_priority == high_priority) return;
+  st.high_priority = high_priority;
+  for (PendingFlow& f : st.flows) f.high_priority = high_priority;
+  dirty_items_.insert(comm.get());
+}
+
+void IncrementalAssigner::mark_link_dirty(LinkId link) {
+  MCCS_EXPECTS(link.get() < link_visit_.size());
+  dirty_links_.push_back(link.get());
+}
+
+bool IncrementalAssigner::item_high_priority(CommId comm) const {
+  auto it = items_.find(comm.get());
+  MCCS_EXPECTS(it != items_.end());
+  return it->second.high_priority;
+}
+
+std::vector<CommId> IncrementalAssigner::item_ids() const {
+  std::vector<CommId> out;
+  out.reserve(items_.size());
+  for (const auto& [id, st] : items_) out.push_back(CommId{id});
+  return out;
+}
+
+std::vector<std::uint32_t> IncrementalAssigner::collect_closure(
+    std::size_t* links_touched) {
+  const std::uint64_t epoch = ++visit_epoch_;
+  std::vector<std::uint32_t> worklist;
+  std::vector<std::uint32_t> closure;
+
+  auto visit_item = [&](std::uint32_t id) {
+    auto it = items_.find(id);
+    if (it == items_.end() || it->second.visit == epoch) return;
+    it->second.visit = epoch;
+    closure.push_back(id);
+    worklist.push_back(id);
+  };
+  auto visit_link = [&](std::uint32_t l) {
+    if (link_visit_[l] == epoch) return;
+    link_visit_[l] = epoch;
+    ++*links_touched;
+    for (std::uint32_t id : link_items_[l]) visit_item(id);
+  };
+
+  for (std::uint32_t l : dirty_links_) visit_link(l);
+  for (std::uint32_t id : dirty_items_) visit_item(id);
+  // Expand to the full interference component(s): any item sharing a
+  // candidate link with a closure item joins the closure.
+  while (!worklist.empty()) {
+    const std::uint32_t id = worklist.back();
+    worklist.pop_back();
+    for (std::uint32_t l : items_.at(id).candidate_links) visit_link(l);
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+IncrementalSolveStats IncrementalAssigner::solve(Time now) {
+  IncrementalSolveStats stats;
+  stats.live_items = items_.size();
+  if (dirty_items_.empty() && dirty_links_.empty()) return stats;
+
+  const std::vector<std::uint32_t> closure =
+      collect_closure(&stats.links_touched);
+  dirty_items_.clear();
+  dirty_links_.clear();
+  stats.solved_items = closure.size();
+  if (closure.empty()) return stats;
+
+  // Roll the closure's previous placements out of the global demand map;
+  // everything outside the closure is in a different interference component,
+  // so its demand cannot sit on any link the re-solve will score.
+  for (std::uint32_t id : closure) {
+    ItemState& st = items_.at(id);
+    for (const auto& [link, demand] : st.contrib) link_demand_[link] -= demand;
+    st.contrib.clear();
+    st.routes.clear();
+  }
+
+  // Per-item own-demand scratch (dense, lazily zeroed via touched lists).
+  const std::size_t link_count = link_demand_.size();
+  while (own_pool_.size() < closure.size()) {
+    own_pool_.emplace_back(link_count, 0.0);
+    own_touched_.emplace_back();
+  }
+  for (std::size_t i = 0; i < closure.size(); ++i) {
+    for (std::uint32_t l : own_touched_[i]) own_pool_[i][l] = 0.0;
+    own_touched_[i].clear();
+  }
+
+  const bool record = telemetry_ != nullptr && telemetry_->enabled();
+  const int assign_track =
+      record ? telemetry_->timeline().track("policy", "assign") : -1;
+
+  // The greedy, restricted to the closure: same two priority passes and the
+  // same ascending-comm-id round-robin as assign_flows. Because the closure
+  // is component-closed, this is exactly the full drain order with the
+  // untouched components' turns deleted — and their turns never read or
+  // wrote any link the closure scores, so the placements coincide.
+  std::vector<std::size_t> heads(closure.size(), 0);
+  for (const bool priority_pass : {true, false}) {
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t i = 0; i < closure.size(); ++i) {
+        ItemState& st = items_.at(closure[i]);
+        if (st.high_priority != priority_pass) continue;
+        if (heads[i] >= st.flows.size()) continue;
+        any = true;
+        const PendingFlow& f = st.flows[heads[i]++];
+        double score = 0.0;
+        const std::uint32_t r = best_route(
+            f, *routing_, *cluster_, link_demand_, own_pool_[i],
+            reserved_routes_, /*restrict_to_unreserved=*/!f.high_priority,
+            /*live=*/nullptr, failed_links_, score_scratch_, &score);
+        for (LinkId l : routing_->paths(f.src, f.dst)[r]) {
+          link_demand_[l.get()] += f.demand;
+          own_pool_[i][l.get()] += f.demand;
+          own_touched_[i].push_back(l.get());
+          st.contrib.emplace_back(l.get(), f.demand);
+        }
+        st.routes[f.route_key] = RouteId{r};
+        ++stats.flows_resolved;
+        if (record) {
+          telemetry::Timeline& tl = telemetry_->timeline();
+          tl.instant(assign_track, "policy",
+                     f.high_priority ? "pfa_assign" : "ffa_assign", now,
+                     {{"comm", static_cast<std::int64_t>(closure[i])},
+                      {"app", static_cast<std::int64_t>(st.app.get())},
+                      {"route", static_cast<std::int64_t>(r)},
+                      {"fit_score", score},
+                      {"high_priority", f.high_priority}});
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+const RouteMap& IncrementalAssigner::routes_of(CommId comm) const {
+  auto it = items_.find(comm.get());
+  MCCS_EXPECTS(it != items_.end());
+  return it->second.routes;
+}
+
+std::unordered_map<std::uint32_t, RouteMap> IncrementalAssigner::assignments()
+    const {
+  std::unordered_map<std::uint32_t, RouteMap> out;
+  out.reserve(items_.size());
+  for (const auto& [id, st] : items_) out[id] = st.routes;
+  return out;
 }
 
 double measure_assign_seconds(const std::vector<AssignItem>& items,

@@ -13,8 +13,10 @@
 //    high-priority applications: low-priority flows are fitted using only
 //    non-reserved routes; high-priority flows pick the best route from all.
 
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -81,5 +83,144 @@ std::unordered_map<std::uint32_t, RouteMap> assign_flows(
 double measure_assign_seconds(const std::vector<AssignItem>& items,
                               const cluster::Cluster& cluster,
                               const net::Routing& routing);
+
+/// One inter-host connection awaiting a route — the unit both solvers place.
+struct PendingFlow {
+  std::size_t item_index = 0;  ///< position in the one-shot batch (unused by
+                               ///< the incremental solver, which keys by comm)
+  std::uint64_t route_key = 0; ///< CommStrategy::route_key(channel, src, dst)
+  NodeId src;
+  NodeId dst;
+  Bandwidth demand = 0.0;  ///< natural demand (the sender NIC's uplink rate)
+  bool high_priority = false;
+};
+
+/// What one IncrementalAssigner::solve actually did, for decision-latency
+/// accounting: how much of the cluster the dirty closure touched versus the
+/// total, and how many flows were re-placed.
+struct IncrementalSolveStats {
+  std::size_t live_items = 0;      ///< communicators known to the assigner
+  std::size_t solved_items = 0;    ///< communicators inside the dirty closure
+  std::size_t flows_resolved = 0;  ///< flows re-placed by this solve
+  std::size_t links_touched = 0;   ///< links visited by the dirty closure
+};
+
+/// Warm-started incremental FFA/PFA.
+///
+/// assign_flows() above re-runs the full greedy over every live communicator
+/// on every control-plane event — O(cluster), even when the event touches one
+/// rack. This class keeps the greedy's state (per-link demand, every item's
+/// chosen routes) alive across events and re-solves only the *dirty
+/// closure*: the connected component(s) of the candidate-link interference
+/// graph — items joined through any link that appears on any candidate path
+/// of any of their flows — containing a changed item or link. It is the
+/// policy-layer twin of the netsim's component-scoped max-min reallocation.
+///
+/// Identity contract: after solve(), the stored assignment is bitwise
+/// identical to a from-scratch assign_flows() over the live items in
+/// ascending-CommId order with the same options (the order
+/// Controller::compute_routes produces). The greedy's score for a flow reads
+/// only link demands on the flow's candidate paths, and candidate-disjoint
+/// items place demand on disjoint links, so the full greedy factors over
+/// interference components; re-running exactly the dirty components with the
+/// component-local round-robin (ascending CommId, one flow per item per
+/// cycle — the restriction of the global drain order) reproduces the full
+/// result. tests/test_incremental_assign.cpp property-checks this over
+/// randomized event streams.
+///
+/// Deliberately unsupported: AssignOptions::network (live-telemetry tie
+/// breaking). Live link throughput changes continuously, so *every* item
+/// would be dirty at every solve and warm starting could never skip work;
+/// callers that want telemetry-steered scoring use the one-shot solver.
+class IncrementalAssigner {
+ public:
+  IncrementalAssigner(const cluster::Cluster& cluster,
+                      const net::Routing& routing);
+
+  // --- policy configuration ---------------------------------------------------
+  /// Route indices reserved for high-priority items (PFA). A change dirties
+  /// every item (reservation shifts every score), so flip it rarely.
+  void set_reserved_routes(std::unordered_set<std::uint32_t> routes);
+  /// Confirmed-failed links (LinkId values). Diffed against the previous
+  /// set: only items whose candidate paths cross a changed link re-solve.
+  void set_failed_links(const std::unordered_set<std::uint32_t>& failed);
+  /// Placement-decision instants land on this timeline when enabled (same
+  /// events assign_flows emits). Null disables.
+  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+
+  // --- event API ---------------------------------------------------------------
+  /// Register a communicator (copies its GPU list and strategy; the item is
+  /// dirty until the next solve). The comm id must not be live here.
+  void add_item(const AssignItem& item);
+  /// Drop a communicator (departure / kill). Links it loaded become dirty.
+  void remove_item(CommId comm);
+  /// Flip an item's PFA priority in place (pass order changes, so its whole
+  /// component re-solves). No-op when the flag already matches.
+  void set_high_priority(CommId comm, bool high_priority);
+  /// Mark a link changed (the netsim change-set feed: state transitions,
+  /// capacity rescales). Items whose candidate paths cross it re-solve.
+  void mark_link_dirty(LinkId link);
+
+  [[nodiscard]] bool has_item(CommId comm) const {
+    return items_.count(comm.get()) > 0;
+  }
+  [[nodiscard]] std::size_t item_count() const { return items_.size(); }
+  [[nodiscard]] bool item_high_priority(CommId comm) const;
+  /// Live communicator ids, ascending (for diffing against a registry).
+  [[nodiscard]] std::vector<CommId> item_ids() const;
+
+  // --- solve -------------------------------------------------------------------
+  /// Re-solve the dirty closure (no-op when nothing is dirty). `now` stamps
+  /// telemetry instants only.
+  IncrementalSolveStats solve(Time now = 0.0);
+
+  /// Current routes of one live communicator (valid after solve()).
+  [[nodiscard]] const RouteMap& routes_of(CommId comm) const;
+  /// Snapshot of every live communicator's routes, in assign_flows' result
+  /// shape (for cross-validation against the one-shot solver).
+  [[nodiscard]] std::unordered_map<std::uint32_t, RouteMap> assignments() const;
+
+ private:
+  struct ItemState {
+    AppId app{};
+    bool high_priority = false;
+    std::vector<GpuId> gpus;
+    svc::CommStrategy strategy;
+    std::vector<PendingFlow> flows;             ///< enumeration order = drain order
+    std::vector<std::uint32_t> candidate_links; ///< sorted unique, all paths
+    RouteMap routes;
+    /// (link, demand) actually added to link_demand_ by the last solve —
+    /// subtracted before a re-solve and on removal.
+    std::vector<std::pair<std::uint32_t, double>> contrib;
+    std::uint64_t visit = 0;  ///< dirty-closure BFS epoch
+  };
+
+  void seed_links_dirty(const std::vector<std::uint32_t>& links);
+  /// Expand dirty items/links to the full interference closure; returns the
+  /// affected comm ids ascending and the visited-link count.
+  std::vector<std::uint32_t> collect_closure(std::size_t* links_touched);
+
+  const cluster::Cluster* cluster_;
+  const net::Routing* routing_;
+  std::unordered_set<std::uint32_t> reserved_routes_;
+  std::unordered_set<std::uint32_t> failed_links_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+
+  /// Live items, ordered by comm id — the canonical greedy order.
+  std::map<std::uint32_t, ItemState> items_;
+  std::vector<double> link_demand_;                    ///< by LinkId
+  std::vector<std::vector<std::uint32_t>> link_items_; ///< LinkId -> comm ids
+  std::unordered_set<std::uint32_t> dirty_items_;
+  std::vector<std::uint32_t> dirty_links_;
+  std::vector<std::uint64_t> link_visit_;  ///< BFS epoch marks, by LinkId
+  std::uint64_t visit_epoch_ = 0;
+
+  // Scratch reused across solves: one dense own-demand vector per solved
+  // item (zeroed lazily through its touched list), candidate score buffer,
+  // and the closure worklist.
+  std::vector<std::vector<double>> own_pool_;
+  std::vector<std::vector<std::uint32_t>> own_touched_;
+  std::vector<double> score_scratch_;
+};
 
 }  // namespace mccs::policy

@@ -1,0 +1,61 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mccs::workload {
+
+std::vector<JobSpec> poisson_jobs(const ChurnSpec& spec, std::uint64_t seed) {
+  MCCS_EXPECTS(spec.horizon > 0.0);
+  MCCS_EXPECTS(spec.mean_interarrival > 0.0 && spec.mean_duration > 0.0);
+  MCCS_EXPECTS(!spec.sizes.empty() &&
+               spec.sizes.size() == spec.size_weights.size());
+  const double total_weight = std::accumulate(spec.size_weights.begin(),
+                                              spec.size_weights.end(), 0.0);
+  MCCS_EXPECTS(total_weight > 0.0);
+
+  Rng rng(seed);
+  std::vector<JobSpec> jobs;
+  std::uint32_t next_id = 0;
+  Time t = 0.0;
+  for (;;) {
+    t += rng.exponential(spec.mean_interarrival);
+    if (t >= spec.horizon) break;
+    JobSpec j;
+    j.job = JobId{next_id++};
+    j.arrive = t;
+    j.depart = t + rng.exponential(spec.mean_duration);
+    // Weighted size draw by cumulative mass (one uniform per job).
+    double u = rng.uniform() * total_weight;
+    std::size_t pick = 0;
+    while (pick + 1 < spec.sizes.size() && u >= spec.size_weights[pick]) {
+      u -= spec.size_weights[pick];
+      ++pick;
+    }
+    j.gpus = spec.sizes[pick];
+    j.high_priority = rng.uniform() < spec.high_priority_fraction;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+std::vector<ChurnEvent> churn_events(const std::vector<JobSpec>& jobs) {
+  std::vector<ChurnEvent> events;
+  events.reserve(jobs.size() * 2);
+  for (const JobSpec& j : jobs) {
+    events.push_back(ChurnEvent{j.arrive, j.job, true});
+    events.push_back(ChurnEvent{j.depart, j.job, false});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.arrival != b.arrival) return !a.arrival;  // departs first
+              return a.job < b.job;
+            });
+  return events;
+}
+
+}  // namespace mccs::workload

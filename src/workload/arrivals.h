@@ -1,0 +1,53 @@
+#pragma once
+// Cluster-day arrival traces: a seeded Poisson process of job arrivals with
+// exponential lifetimes and a weighted size mix. The generator emits the
+// whole trace up front (jobs, then a time-sorted event stream), so a churn
+// harness replays the identical workload against different control planes —
+// the warm-started and full-re-solve modes of bench/cluster_day see the
+// same arrivals to the microsecond.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace mccs::workload {
+
+/// Shape of one cluster-day workload.
+struct ChurnSpec {
+  Time horizon = 86400.0;         ///< stop drawing arrivals at this time (s)
+  Time mean_interarrival = 60.0;  ///< Poisson arrival process mean gap (s)
+  Time mean_duration = 1800.0;    ///< exponential job lifetime mean (s)
+  /// Job size mix: sizes[i] GPUs with probability weights[i]/sum(weights).
+  std::vector<int> sizes{8, 16, 32, 64};
+  std::vector<double> size_weights{4.0, 3.0, 2.0, 1.0};
+  double high_priority_fraction = 0.0;  ///< PFA tenants
+};
+
+/// One job of the trace. Departure may exceed the horizon (jobs running at
+/// end-of-day still depart in the event stream).
+struct JobSpec {
+  JobId job;
+  Time arrive = 0.0;
+  Time depart = 0.0;
+  int gpus = 0;
+  bool high_priority = false;
+};
+
+/// The trace as a control-plane event stream, time-sorted. Ties order
+/// departures before arrivals (freed capacity is visible to a same-instant
+/// arrival), then ascending job id — total and deterministic.
+struct ChurnEvent {
+  Time at = 0.0;
+  JobId job;
+  bool arrival = false;
+};
+
+/// Draw the full trace for one seed. Same (spec, seed) => identical trace.
+std::vector<JobSpec> poisson_jobs(const ChurnSpec& spec, std::uint64_t seed);
+
+/// Expand jobs into the sorted event stream (two events per job).
+std::vector<ChurnEvent> churn_events(const std::vector<JobSpec>& jobs);
+
+}  // namespace mccs::workload

@@ -1,0 +1,257 @@
+// Seconds-scale churn smoke for the warm-started control plane, tier-1:
+//
+//   * two identical fabrics driven through the same tenant churn — creates,
+//     a kill, link failure + recovery, re-admission — one controller in
+//     incremental mode, one in full-re-solve mode; installed routes must
+//     match after every step (the live-fabric complement of the
+//     assign_flows-level property test);
+//   * a create/collective/kill soak asserting the telemetry registry stops
+//     growing — per-comm plan-cache counters must be evicted on teardown;
+//   * FIFO admission-control ordering and the seeded Poisson churn trace.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/admission.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "helpers.h"
+#include "mccs/fabric.h"
+#include "netsim/network.h"
+#include "policy/controller.h"
+#include "workload/arrivals.h"
+
+namespace mccs {
+namespace {
+
+using svc::Fabric;
+using test::await;
+using test::create_comm;
+using test::make_ranks;
+
+cluster::SpineLeafSpec smoke_spec() {
+  // 16 GPUs: 2 spines x 4 leaves x 2 hosts x 2 GPUs — four racks, so both
+  // intra-rack tenants (candidate-disjoint components) and cross-rack ones
+  // exist, and a spine link failure actually reroutes something.
+  cluster::SpineLeafSpec spec;
+  spec.num_spines = 2;
+  spec.num_leaves = 4;
+  spec.hosts_per_leaf = 2;
+  spec.gpus_per_host = 2;
+  spec.nics_per_host = 2;
+  spec.nic_link = gbps(200);
+  spec.fabric_link = gbps(200);
+  return spec;
+}
+
+/// Two fabrics, one churn script: the incremental controller must install
+/// exactly the routes the full one does at every step.
+struct ChurnPair {
+  Fabric full{cluster::make_spine_leaf(smoke_spec())};
+  Fabric inc{cluster::make_spine_leaf(smoke_spec())};
+  policy::Controller ctl_full{full};
+  policy::Controller ctl_inc{inc};
+
+  ChurnPair() {
+    for (policy::Controller* c : {&ctl_full, &ctl_inc}) {
+      c->set_ring_policy(policy::Controller::RingPolicy::kLocalityAware);
+      c->set_flow_policy(policy::Controller::FlowPolicy::kPfa);
+      c->set_reserved_routes({0});
+      c->set_high_priority(AppId{2});
+      c->attach();
+    }
+    ctl_inc.set_incremental(true);
+  }
+
+  CommId create_on_both(AppId app, const std::vector<GpuId>& gpus) {
+    const CommId a = create_comm(full, app, gpus);
+    const CommId b = create_comm(inc, app, gpus);
+    EXPECT_EQ(a.get(), b.get()) << "comm ids diverged between the fabrics";
+    settle();
+    return a;
+  }
+
+  void settle() {
+    full.loop().run();
+    inc.loop().run();
+  }
+
+  /// Every live communicator's installed routes must be identical.
+  void expect_routes_match(const char* step) {
+    const auto live = full.list_communicators();
+    ASSERT_EQ(live.size(), inc.list_communicators().size()) << step;
+    for (const svc::CommInfo& info : live) {
+      EXPECT_EQ(full.strategy_of(info.id).routes, inc.strategy_of(info.id).routes)
+          << step << ": comm " << info.id.get();
+    }
+  }
+};
+
+TEST(ClusterChurn, IncrementalControllerMatchesFullUnderChurn) {
+  ChurnPair p;
+
+  // Arrivals: two intra-rack tenants (racks 0 and 1), one high-priority
+  // cross-rack tenant (racks 2 and 3).
+  p.create_on_both(AppId{1}, {GpuId{0}, GpuId{1}, GpuId{2}, GpuId{3}});
+  p.expect_routes_match("first tenant");
+  p.create_on_both(AppId{2}, {GpuId{8}, GpuId{9}, GpuId{12}, GpuId{13}});
+  p.expect_routes_match("high-priority cross-rack tenant");
+  p.create_on_both(AppId{3}, {GpuId{4}, GpuId{5}, GpuId{6}, GpuId{7}});
+  p.expect_routes_match("third tenant");
+
+  // Link failure: take one fabric link down in the netsim (feeds the
+  // incremental controller's change-log cursor) and tell both controllers,
+  // as the stall->confirm path would.
+  const auto link_count = p.full.cluster().topology().link_count();
+  const LinkId victim{static_cast<std::uint32_t>(link_count - 1)};
+  p.full.network().set_link_state(victim, net::LinkState::kDown);
+  p.inc.network().set_link_state(victim, net::LinkState::kDown);
+  p.ctl_full.mark_link_failed(victim);
+  p.ctl_inc.mark_link_failed(victim);
+  p.settle();
+  p.expect_routes_match("link failed");
+
+  // Recovery: link back up, exclusion lifted.
+  p.full.network().set_link_state(victim, net::LinkState::kUp);
+  p.inc.network().set_link_state(victim, net::LinkState::kUp);
+  p.ctl_full.clear_link_failed(victim);
+  p.ctl_inc.clear_link_failed(victim);
+  p.settle();
+  p.expect_routes_match("link recovered");
+
+  // Departure: the priority tenant leaves; survivors rebalance.
+  p.full.kill_app(AppId{2});
+  p.inc.kill_app(AppId{2});
+  p.ctl_full.rebalance();
+  p.ctl_inc.rebalance();
+  p.settle();
+  p.expect_routes_match("tenant killed");
+
+  // Re-admission onto the freed GPUs (warm add after a removal).
+  p.create_on_both(AppId{4}, {GpuId{8}, GpuId{9}, GpuId{12}, GpuId{13}});
+  p.expect_routes_match("re-admitted tenant");
+}
+
+TEST(ClusterChurn, TelemetryRegistryDoesNotGrowAcrossCommLifecycles) {
+  Fabric fabric{cluster::make_testbed()};
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  const std::size_t count = 256;
+
+  std::vector<std::size_t> sizes;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const AppId app{static_cast<std::uint32_t>(cycle + 1)};
+    const CommId comm = create_comm(fabric, app, gpus);
+    auto ranks = make_ranks(fabric, app, gpus);
+    std::vector<gpu::DevicePtr> buf(gpus.size());
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      buf[r] = ranks[r].shim->alloc(count * sizeof(float));
+    }
+    // One collective so the per-comm plan-cache counters really register.
+    int remaining = static_cast<int>(gpus.size());
+    for (std::size_t r = 0; r < gpus.size(); ++r) {
+      ranks[r].shim->all_reduce(comm, buf[r], buf[r], count,
+                                coll::DataType::kFloat32, coll::ReduceOp::kSum,
+                                *ranks[r].stream,
+                                [&remaining](Time) { --remaining; });
+    }
+    ASSERT_TRUE(await(fabric, remaining));
+    fabric.kill_app(app);
+    fabric.loop().run();
+    sizes.push_back(fabric.telemetry().metrics().size());
+  }
+
+  // The registry may warm up over the first cycles (global transport/net
+  // instruments interning once), but per-comm instruments must be evicted
+  // with their comm: after warm-up the size is flat.
+  ASSERT_GE(sizes.size(), 4u);
+  for (std::size_t i = 2; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[1])
+        << "telemetry registry grew across comm lifecycles (cycle " << i
+        << "): plan-cache counters leaked";
+  }
+}
+
+TEST(ClusterChurn, AdmissionQueueIsStrictFifo) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(11);
+
+  // 16 GPUs. Job 0 takes 12; job 1 (8) blocks; job 2 (2) would fit the
+  // remaining 4 but must NOT bypass job 1.
+  ASSERT_TRUE(q.submit(JobId{0}, 12, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{1}, 8, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{2}, 2, rng).has_value());
+  EXPECT_EQ(q.queue_depth(), 2u);
+  EXPECT_EQ(q.free_gpus(), 4u);
+
+  // Job 0 leaves: the queue drains head-first — job 1 then job 2.
+  const auto admitted = q.finish(JobId{0}, rng);
+  ASSERT_EQ(admitted.size(), 2u);
+  EXPECT_EQ(admitted[0].job.get(), 1u);
+  EXPECT_EQ(admitted[0].gpus.size(), 8u);
+  EXPECT_EQ(admitted[1].job.get(), 2u);
+  EXPECT_EQ(admitted[1].gpus.size(), 2u);
+  EXPECT_EQ(q.queue_depth(), 0u);
+  EXPECT_EQ(q.admitted_total(), 3u);
+}
+
+TEST(ClusterChurn, AdmissionQueueDepartureOfQueuedJobUnblocks) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(12);
+
+  ASSERT_TRUE(q.submit(JobId{0}, 12, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{1}, 8, rng).has_value());   // blocked head
+  EXPECT_FALSE(q.submit(JobId{2}, 4, rng).has_value());   // behind it
+  // The blocked head is cancelled while still queued: job 2 fits the free 4
+  // GPUs and must be admitted by the same departure.
+  const auto admitted = q.finish(JobId{1}, rng);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0].job.get(), 2u);
+  EXPECT_EQ(q.queue_depth(), 0u);
+}
+
+TEST(ClusterChurn, PoissonTraceIsSeededAndWellFormed) {
+  workload::ChurnSpec spec;
+  spec.horizon = 4000.0;
+  spec.mean_interarrival = 40.0;
+  spec.mean_duration = 600.0;
+  spec.sizes = {4, 8};
+  spec.size_weights = {3.0, 1.0};
+
+  const auto a = workload::poisson_jobs(spec, 99);
+  const auto b = workload::poisson_jobs(spec, 99);
+  const auto c = workload::poisson_jobs(spec, 100);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job.get(), b[i].job.get());
+    EXPECT_DOUBLE_EQ(a[i].arrive, b[i].arrive);
+    EXPECT_DOUBLE_EQ(a[i].depart, b[i].depart);
+    EXPECT_EQ(a[i].gpus, b[i].gpus);
+    EXPECT_LT(a[i].arrive, a[i].depart);
+    EXPECT_LT(a[i].arrive, spec.horizon);
+    EXPECT_TRUE(a[i].gpus == 4 || a[i].gpus == 8);
+  }
+  // A different seed really is a different trace.
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].arrive != c[i].arrive;
+  }
+  EXPECT_TRUE(differs);
+
+  // Event stream: every job appears exactly twice (arrive + depart), sorted
+  // by time.
+  const auto events = workload::churn_events(a);
+  ASSERT_EQ(events.size(), a.size() * 2);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+  std::vector<int> seen(a.size(), 0);
+  for (const auto& ev : events) ++seen[ev.job.get()];
+  for (int s : seen) EXPECT_EQ(s, 2);
+}
+
+}  // namespace
+}  // namespace mccs

@@ -1,0 +1,85 @@
+// Tests of the stats helpers (common/stats.h), focused on the quantile /
+// p999 additions the cluster-day decision-latency metrics lean on: the
+// generic quantile form must agree exactly with the percentile form it wraps,
+// and TailSummary's p999 must actually read past p99 once the sample count
+// supports it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mccs {
+namespace {
+
+TEST(Stats, QuantileMatchesPercentileExactly) {
+  std::vector<double> xs{5.0, 1.0, 4.0, 2.0, 3.0};
+  for (const double p : {0.0, 10.0, 25.0, 50.0, 73.5, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(quantile(xs, p / 100.0), percentile(xs, p)) << "p=" << p;
+  }
+}
+
+TEST(Stats, QuantileSortedInterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};  // rank = q exactly
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+}
+
+TEST(Stats, QuantileSingleSampleIsThatSample) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.999), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 42.0);
+}
+
+TEST(Stats, P999ReadsTheTailNotTheP99Neighbourhood) {
+  // 10000-sample ramp 0..9999: p99 ~ 9899, p999 ~ 9989 — distinct points.
+  std::vector<double> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const TailSummary t = tail_summary_sorted(xs);
+  EXPECT_DOUBLE_EQ(t.p50, 4999.5);
+  EXPECT_NEAR(t.p99, 9899.01, 1e-9);
+  EXPECT_NEAR(t.p999, 9989.001, 1e-9);
+  EXPECT_LT(t.p99, t.p999);
+  EXPECT_LE(t.p999, xs.back());
+}
+
+TEST(Stats, TailSummaryIsMonotoneOnRandomishData) {
+  // Deterministic pseudo-random-ish data via a fixed LCG (no global RNG).
+  std::vector<double> xs;
+  std::uint64_t s = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    xs.push_back(static_cast<double>(s >> 40));
+  }
+  const TailSummary t = tail_summary(xs);  // by-value form sorts internally
+  EXPECT_LE(t.p50, t.p99);
+  EXPECT_LE(t.p99, t.p999);
+}
+
+TEST(Stats, TailSummaryOnFewSamplesInterpolatesTowardMax) {
+  // Below 1000 samples p999 still interpolates — it lands between the last
+  // two order statistics, never past the max.
+  std::vector<double> xs{1.0, 2.0, 3.0, 100.0};
+  const TailSummary t = tail_summary(xs);
+  EXPECT_GT(t.p999, 3.0);
+  EXPECT_LE(t.p999, 100.0);
+  EXPECT_GE(t.p999, t.p99);
+}
+
+TEST(Stats, QuantileLadderMatchesHandComputedRanks) {
+  // q = 1 - 10^-k ladder on 1001 samples: ranks land on exact indices for
+  // k=1,2 and interpolate for k=3.
+  std::vector<double> xs(1001);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.9), 900.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.99), 990.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.999), 999.0);
+}
+
+}  // namespace
+}  // namespace mccs
