@@ -13,14 +13,28 @@
 //
 // Emits one JSON line per (scale, mode) to BENCH_flowsim.json — the perf
 // trajectory future PRs extend; scripts/check.sh gates on its schema.
+//
+// A second section exercises the arena-backed slab at fabric scale
+// (768 / 8k / 32k endpoints on the widened Clos builders) and writes
+// BENCH_scale.json:
+//   * kind=perf rows: the full churn workload in incremental mode at
+//     MCCS-threads 1 and 8, with an order-sensitive FNV-1a digest of the
+//     completion stream (flow id, completion time) proving the thread count
+//     changed nothing;
+//   * kind=identity rows: a trimmed workload run under both engine modes —
+//     digests must match (component-scoped == global oracle) — plus the
+//     compile-time bytes-per-flow-state split (hot SoA / solve params /
+//     cold) that EXPERIMENTS.md quotes.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "netsim/network.h"
 #include "sim/event_loop.h"
@@ -136,8 +150,43 @@ Workload make_workload(const cluster::Cluster& cl, std::uint64_t seed) {
   return w;
 }
 
+/// The ring edge flow i of a job sends over (precomputed schedule; must match
+/// SlotRunner::start_iteration exactly so route prewarming touches the same
+/// pairs the run resolves).
+std::pair<NodeId, NodeId> ring_edge(const JobPlan& job, std::size_t i) {
+  const std::size_t n = job.nics.size();
+  const NodeId src = job.nics[i];
+  NodeId dst = job.nics[(i + job.channels >= n) ? (i + job.channels - n)
+                                                : (i + job.channels)];
+  if (src == dst) dst = job.nics[(i + 1) % n];
+  return {src, dst};
+}
+
+/// Order-sensitive FNV-1a over the completion stream. Two runs produce equal
+/// digests iff they completed the same flows at the same times in the same
+/// order — the bit-reproducibility contract between engine modes and across
+/// task-pool widths.
+struct CompletionDigest {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void fold(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void record(FlowId id, Time t) {
+    fold(id.get());
+    std::uint64_t bits = 0;
+    static_assert(sizeof(Time) == sizeof(bits));
+    std::memcpy(&bits, &t, sizeof(bits));
+    fold(bits);
+  }
+};
+
 struct RunResult {
   std::uint64_t events = 0;  ///< flow starts + completions + pause/resume ops
+  std::uint64_t digest = 0;  ///< CompletionDigest over the completion stream
   double wall_s = 0.0;
   Time sim_s = 0.0;
 };
@@ -148,6 +197,7 @@ struct SlotRunner {
   net::Network* net;
   const SlotPlan* plan;
   std::uint64_t* events;
+  CompletionDigest* digest;
   std::size_t job_idx = 0;
   std::size_t iter_idx = 0;
   int outstanding = 0;
@@ -166,13 +216,11 @@ struct SlotRunner {
     std::optional<FlowId> first;
     for (std::size_t i = 0; i < n; ++i) {
       net::FlowSpec spec;
-      spec.src = job.nics[i];
-      spec.dst = job.nics[(i + job.channels >= n) ? (i + job.channels - n)
-                                                  : (i + job.channels)];
-      if (spec.src == spec.dst) spec.dst = job.nics[(i + 1) % n];
+      std::tie(spec.src, spec.dst) = ring_edge(job, i);
       spec.size = ip.bytes;
       spec.ecmp_key = ip.ecmp_keys[i];
-      spec.on_complete = [this](FlowId, Time) {
+      spec.on_complete = [this](FlowId id, Time t) {
+        digest->record(id, t);
         ++*events;
         if (--outstanding == 0) iteration_done();
       };
@@ -210,19 +258,56 @@ struct SlotRunner {
   }
 };
 
+struct RunOptions {
+  bool incremental = true;
+  /// Resolve every route the schedule will use before the timer starts, so
+  /// events/s measures the solver hot path, not cold routing-cache fills.
+  bool prewarm_routes = false;
+  /// Pre-size the flow slab / scratch from the workload's own bounds.
+  bool reserve = false;
+};
+
 RunResult run_workload(const cluster::Cluster& cl, const Workload& w,
-                       bool incremental) {
+                       const RunOptions& opts) {
   sim::EventLoop loop;
-  net::Network net(loop, cl.topology(), net::Network::Options{incremental});
+  net::Network net(loop, cl.topology(),
+                   net::Network::Options{opts.incremental});
+  if (opts.reserve) {
+    // Peak concurrency: every slot can have one job's ring in flight at once.
+    std::size_t lifetime = w.background.size();
+    std::size_t peak = w.background.size();
+    for (const SlotPlan& slot : w.slots) {
+      std::size_t slot_peak = 0;
+      for (const JobPlan& job : slot.jobs) {
+        slot_peak = std::max(slot_peak, job.nics.size());
+        lifetime += job.iterations.size() * job.nics.size();
+      }
+      peak += slot_peak;
+    }
+    net.reserve_flows(peak, lifetime);
+  }
+  if (opts.prewarm_routes) {
+    const net::Routing& routing = net.routing();
+    for (const auto& [src, dst] : w.background) routing.paths(src, dst);
+    for (const SlotPlan& slot : w.slots) {
+      for (const JobPlan& job : slot.jobs) {
+        for (std::size_t i = 0; i < job.nics.size(); ++i) {
+          const auto [src, dst] = ring_edge(job, i);
+          routing.paths(src, dst);
+        }
+      }
+    }
+  }
   for (const auto& [src, dst] : w.background) {
     net.start_flow({.src = src, .dst = dst, .background_demand = gbps(40),
                     .on_complete = {}});
   }
 
   RunResult res;
+  CompletionDigest digest;
   std::vector<SlotRunner> runners(w.slots.size());
   for (std::size_t s = 0; s < w.slots.size(); ++s) {
-    runners[s] = SlotRunner{&loop, &net, &w.slots[s], &res.events};
+    runners[s] = SlotRunner{&loop, &net, &w.slots[s], &res.events, &digest};
     loop.schedule_at(w.slots[s].first_start, [&runners, s] {
       runners[s].start_next_job();
     });
@@ -233,7 +318,23 @@ RunResult run_workload(const cluster::Cluster& cl, const Workload& w,
   const auto t1 = std::chrono::steady_clock::now();
   res.wall_s = std::chrono::duration<double>(t1 - t0).count();
   res.sim_s = loop.now();
+  res.digest = digest.h;
   return res;
+}
+
+/// Cut a workload down for the cross-mode identity runs: the reference
+/// (global) oracle is O(cluster) per event, so at 32k endpoints the full
+/// schedule would dominate the bench's wall clock without proving anything
+/// the trimmed prefix doesn't.
+Workload trim_workload(Workload w, std::size_t max_slots,
+                       std::size_t max_iters) {
+  if (w.slots.size() > max_slots) w.slots.resize(max_slots);
+  for (SlotPlan& slot : w.slots) {
+    for (JobPlan& job : slot.jobs) {
+      if (job.iterations.size() > max_iters) job.iterations.resize(max_iters);
+    }
+  }
+  return w;
 }
 
 struct Scale {
@@ -276,7 +377,8 @@ int main() {
     const Workload w = make_workload(sc.cluster, 0xF10F51Dull + sc.gpus);
     double ref_rate = 0.0;
     for (const bool incremental : {false, true}) {
-      const RunResult r = run_workload(sc.cluster, w, incremental);
+      const RunResult r =
+          run_workload(sc.cluster, w, RunOptions{.incremental = incremental});
       const double rate = static_cast<double>(r.events) / r.wall_s;
       const char* mode = incremental ? "incremental" : "reference";
       const double speedup = incremental ? rate / ref_rate : 1.0;
@@ -294,5 +396,83 @@ int main() {
   }
   std::fclose(json);
   std::printf("\nBENCH_flowsim.json written (one line per scale x mode).\n");
+
+  // --- scale points: 768 / 8k / 32k endpoints -> BENCH_scale.json ----------
+  std::printf("\n=== scale points: arena-backed slab at 768/8k/32k ===\n\n");
+  std::FILE* sjson = std::fopen("BENCH_scale.json", "w");
+  MCCS_CHECK(sjson != nullptr, "cannot open BENCH_scale.json");
+
+  const net::Network::StorageFootprint fp = net::Network::flow_state_footprint();
+  std::printf("flow state: %zu B hot SoA + %zu B solve params + %zu B cold "
+              "= %zu B/flow\n\n",
+              fp.hot, fp.param, fp.cold, fp.total());
+
+  std::printf("%-6s %-10s %8s %10s %9s %14s\n", "gpus", "kind", "threads",
+              "events", "wall(s)", "events/sec");
+  bool all_identical = true;
+  for (const int gpus : {768, 8192, 32768}) {
+    const cluster::Cluster cl = cluster::make_scaled_sim_cluster(gpus);
+    // 768 reuses the BENCH_flowsim seed so its incremental events/s is
+    // directly comparable across the two sections (regression tripwire).
+    const Workload w =
+        make_workload(cl, 0xF10F51Dull + static_cast<std::uint64_t>(gpus));
+    const RunOptions perf{.incremental = true, .prewarm_routes = true,
+                          .reserve = true};
+
+    RunResult by_threads[2];
+    for (int t = 0; t < 2; ++t) {
+      par::set_threads(t == 0 ? 1 : 8);
+      by_threads[t] = run_workload(cl, w, perf);
+      par::set_threads(0);
+      const RunResult& r = by_threads[t];
+      const double rate = static_cast<double>(r.events) / r.wall_s;
+      std::printf("%-6d %-10s %8d %10llu %9.3f %14.0f\n", gpus, "perf",
+                  t == 0 ? 1 : 8, static_cast<unsigned long long>(r.events),
+                  r.wall_s, rate);
+      std::fprintf(sjson,
+                   "{\"bench\":\"micro_flowsim_scale\",\"kind\":\"perf\","
+                   "\"gpus\":%d,\"threads\":%d,\"events\":%llu,"
+                   "\"sim_s\":%.6f,\"wall_s\":%.6f,\"events_per_sec\":%.1f,"
+                   "\"digest\":\"%016llx\"}\n",
+                   gpus, t == 0 ? 1 : 8,
+                   static_cast<unsigned long long>(r.events), r.sim_s,
+                   r.wall_s, rate,
+                   static_cast<unsigned long long>(r.digest));
+    }
+    const bool threads_identical =
+        by_threads[0].digest == by_threads[1].digest &&
+        by_threads[0].events == by_threads[1].events;
+
+    const Workload tw = trim_workload(w, 16, 2);
+    const RunResult ref = run_workload(
+        cl, tw, RunOptions{.incremental = false, .prewarm_routes = true,
+                           .reserve = true});
+    const RunResult inc = run_workload(
+        cl, tw, RunOptions{.incremental = true, .prewarm_routes = true,
+                           .reserve = true});
+    const bool identical_to_reference =
+        ref.digest == inc.digest && ref.events == inc.events;
+    std::printf("%-6d %-10s %8s %10llu %9.3f  threads_identical=%s "
+                "identical_to_reference=%s\n",
+                gpus, "identity", "-",
+                static_cast<unsigned long long>(inc.events), inc.wall_s,
+                threads_identical ? "yes" : "NO",
+                identical_to_reference ? "yes" : "NO");
+    std::fprintf(sjson,
+                 "{\"bench\":\"micro_flowsim_scale\",\"kind\":\"identity\","
+                 "\"gpus\":%d,\"threads_identical\":%s,"
+                 "\"identical_to_reference\":%s,\"verify_events\":%llu,"
+                 "\"hot_bytes\":%zu,\"param_bytes\":%zu,\"cold_bytes\":%zu,"
+                 "\"bytes_per_flow_state\":%zu}\n",
+                 gpus, threads_identical ? "true" : "false",
+                 identical_to_reference ? "true" : "false",
+                 static_cast<unsigned long long>(inc.events), fp.hot, fp.param,
+                 fp.cold, fp.total());
+    all_identical = all_identical && threads_identical && identical_to_reference;
+  }
+  std::fclose(sjson);
+  std::printf("\nBENCH_scale.json written (perf + identity rows per scale).\n");
+  MCCS_CHECK(all_identical,
+             "completion streams drifted across threads or engine modes");
   return 0;
 }

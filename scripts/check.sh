@@ -38,8 +38,9 @@ if [[ "${SANITIZE:-}" == "thread" ]]; then
   cmake --build build-tsan -j "$(nproc)" --target mccs_tests
   echo "== parallel-subsystem tests (TSan, MCCS_THREADS=8) =="
   MCCS_THREADS=8 MCCS_NETSIM_PROPERTY_SEEDS=40 MCCS_CHAOS_SEEDS=6 \
+    MCCS_NETSIM_8K_SEEDS=1 \
     build-tsan/tests/mccs_tests \
-    --gtest_filter='*Parallel*:*ChaosFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*' \
+    --gtest_filter='*Parallel*:*ChaosFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*:*NetworkSlab*' \
     --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: thread)"
   exit 0
@@ -63,6 +64,11 @@ if [[ -n "${SANITIZE:-}" ]]; then
   echo "== control-plane churn smoke (sanitized) =="
   MCCS_ASSIGN_SEEDS=40 build-san/tests/mccs_tests \
     --gtest_filter='*ClusterChurn*:*IncrementalAssign*' --gtest_brief=1
+  # The flow slab recycles slots and hands out interned path views — exactly
+  # the use-after-free shapes ASan exists for. Run the slab suite explicitly
+  # (it is also in the full ctest pass above; this keeps it visible).
+  echo "== flow-slab tests (sanitized) =="
+  build-san/tests/mccs_tests --gtest_filter='*NetworkSlab*' --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: ${SANITIZE})"
   exit 0
 fi
@@ -108,6 +114,68 @@ else
     done
   done < "$json"
   echo "BENCH_flowsim.json schema OK (grep fallback)"
+fi
+
+# Scale points (arena-backed slab at 768/8k/32k endpoints): schema, the
+# bit-reproducibility flags, an events/s floor at 8k, and 768-GPU
+# non-regression against the BENCH_flowsim incremental row from the same run.
+sjson=build/bench/BENCH_scale.json
+[[ -s "$sjson" ]] || { echo "FAIL: $sjson missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$sjson" "$json" <<'EOF'
+import json, sys
+
+perf_keys = {"bench", "kind", "gpus", "threads", "events", "sim_s", "wall_s",
+             "events_per_sec", "digest"}
+id_keys = {"bench", "kind", "gpus", "threads_identical",
+           "identical_to_reference", "verify_events", "hot_bytes",
+           "param_bytes", "cold_bytes", "bytes_per_flow_state"}
+perf, ident = {}, {}
+for i, line in enumerate((l for l in open(sys.argv[1]) if l.strip()), 1):
+    rec = json.loads(line)
+    if rec.get("kind") == "perf":
+        if set(rec) != perf_keys:
+            sys.exit(f"FAIL: perf line {i} keys {sorted(rec)}")
+        perf[(rec["gpus"], rec["threads"])] = rec
+    elif rec.get("kind") == "identity":
+        if set(rec) != id_keys:
+            sys.exit(f"FAIL: identity line {i} keys {sorted(rec)}")
+        ident[rec["gpus"]] = rec
+    else:
+        sys.exit(f"FAIL: line {i} unknown kind {rec.get('kind')!r}")
+
+scales = {768, 8192, 32768}
+if set(ident) != scales or {g for g, _ in perf} != scales:
+    sys.exit(f"FAIL: scale points missing (perf {sorted(perf)}, "
+             f"identity {sorted(ident)})")
+for gpus, rec in sorted(ident.items()):
+    if not rec["threads_identical"]:
+        sys.exit(f"FAIL: {gpus}-GPU completion stream differs across threads")
+    if not rec["identical_to_reference"]:
+        sys.exit(f"FAIL: {gpus}-GPU incremental drifted from reference oracle")
+for (gpus, threads), rec in sorted(perf.items()):
+    other = perf[(gpus, 1 if threads == 8 else 8)]
+    if rec["digest"] != other["digest"]:
+        sys.exit(f"FAIL: {gpus}-GPU digests differ between thread counts")
+
+# Conservative floors (measured ~86k/s at 8k, ~1.1M/s at 768 on the CI
+# class of machine): catch order-of-magnitude regressions, not noise.
+if perf[(8192, 1)]["events_per_sec"] < 20000:
+    sys.exit(f"FAIL: 8k events/s floor: {perf[(8192, 1)]['events_per_sec']}")
+flow768 = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+flow768 = [r for r in flow768 if r["gpus"] == 768 and r["mode"] == "incremental"]
+if flow768 and perf[(768, 1)]["events_per_sec"] < 0.5 * flow768[0]["events_per_sec"]:
+    sys.exit(f"FAIL: 768-GPU scale row regressed vs BENCH_flowsim "
+             f"({perf[(768, 1)]['events_per_sec']} vs {flow768[0]['events_per_sec']})")
+print(f"BENCH_scale.json OK ({len(perf)} perf + {len(ident)} identity rows)")
+EOF
+else
+  # Fallback without python3: the reproducibility flags must read true.
+  for gpus in 768 8192 32768; do
+    grep -q "\"kind\":\"identity\",\"gpus\":${gpus},\"threads_identical\":true,\"identical_to_reference\":true" \
+      "$sjson" || { echo "FAIL: identity flags not true at ${gpus} GPUs" >&2; exit 1; }
+  done
+  echo "BENCH_scale.json OK (grep fallback)"
 fi
 
 echo "== micro_datapath =="

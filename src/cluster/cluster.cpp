@@ -11,6 +11,16 @@ Cluster make_spine_leaf(const SpineLeafSpec& spec) {
 
   Cluster c;
   net::Topology& topo = c.mutable_topology();
+  {
+    // Pre-size so a 32k-GPU build does not regrow its node/link stores.
+    const std::size_t nics = static_cast<std::size_t>(spec.num_leaves) *
+                             spec.hosts_per_leaf * spec.nics_per_host;
+    const std::size_t nodes = static_cast<std::size_t>(spec.num_spines) +
+                              static_cast<std::size_t>(spec.num_leaves) + nics;
+    const std::size_t links =
+        2 * (static_cast<std::size_t>(spec.num_leaves) * spec.num_spines + nics);
+    topo.reserve(nodes, links);
+  }
 
   std::vector<NodeId> spines;
   spines.reserve(static_cast<std::size_t>(spec.num_spines));
@@ -65,6 +75,36 @@ Cluster make_large_sim_cluster() {
   spec.nics_per_host = 8;
   spec.nic_link = gbps(200);
   spec.fabric_link = gbps(200);
+  return make_spine_leaf(spec);
+}
+
+Cluster make_scaled_sim_cluster(int num_gpus) {
+  SpineLeafSpec spec;
+  spec.gpus_per_host = 8;
+  spec.nics_per_host = 8;
+  spec.nic_link = gbps(200);
+  spec.fabric_link = gbps(200);
+  switch (num_gpus) {
+    case 768:
+      return make_large_sim_cluster();
+    case 4096:
+      spec.num_spines = 16;
+      spec.num_leaves = 32;
+      spec.hosts_per_leaf = 16;
+      break;
+    case 8192:
+      spec.num_spines = 32;
+      spec.num_leaves = 64;
+      spec.hosts_per_leaf = 16;
+      break;
+    case 32768:
+      spec.num_spines = 64;
+      spec.num_leaves = 128;
+      spec.hosts_per_leaf = 32;
+      break;
+    default:
+      MCCS_CHECK(false, "unsupported scaled-sim GPU count");
+  }
   return make_spine_leaf(spec);
 }
 

@@ -127,6 +127,15 @@ Cluster make_testbed();
 /// 4 hosts per leaf, 8 GPUs + 8 NICs per host, all links 200 Gbps.
 Cluster make_large_sim_cluster();
 
+/// Scaled-up two-tier Clos fabrics for the 8k/32k-endpoint simulations
+/// (ROADMAP item 5): same 8-GPU/8-NIC hosts and 200 Gbps links as the
+/// paper's §6.5 fabric, widened spine/leaf tiers. Supported sizes:
+///   768   -> the §6.5 fabric (16 spines x 24 leaves x 4 hosts)
+///   4096  -> 16 spines x 32 leaves x 16 hosts   (zero-alloc guard scale)
+///   8192  -> 32 spines x 64 leaves x 16 hosts
+///   32768 -> 64 spines x 128 leaves x 32 hosts  (~82k directed links)
+Cluster make_scaled_sim_cluster(int num_gpus);
+
 /// Fig. 7's scenario: `num_switches` switches wired as a ring, one host per
 /// switch; used to showcase ring-direction reconfiguration around a
 /// background flow.

@@ -219,7 +219,7 @@ void TransportEngine::on_deadline(std::uint64_t sid) {
     report.dst_gpu = s.transfer.dst_gpu;
     report.bytes = s.transfer.bytes;
     report.attempts = s.attempts;
-    report.path = ctx_->network->flow_path(s.flow);
+    report.path = ctx_->network->flow_path(s.flow).to_path();
   }
   ctx_->network->cancel_flow(s.flow);
   AppGate* gate = git == gates_.end() ? nullptr : &git->second;

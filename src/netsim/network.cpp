@@ -11,14 +11,11 @@ namespace {
 
 constexpr double kRateEpsilon = 1e-9;  // bytes/s below which a rate is "zero"
 
-struct AllocFlow {
-  std::uint32_t id;
-  const Path* path;
-  double weight;
-  Bandwidth cap;
-  Bandwidth rate = 0.0;
-  bool fixed = false;
-};
+// Acknowledged-by-everyone entries are trimmed from the link-change log in
+// batches of this size (amortises the front erase).
+constexpr std::size_t kLinkChangeTrimBatch = 1024;
+
+}  // namespace
 
 /// Weighted max-min fair allocation with per-flow caps (progressive filling),
 /// scoped to one bottleneck component. `residual` and `weight_on_link` are
@@ -28,19 +25,20 @@ struct AllocFlow {
 ///
 /// Returns true on a clean solve. A pathological capacity state (an
 /// unconstrained flow, or an iteration that cannot fix anything) pins the
-/// remaining unfixed flows at rate zero, appends their ids to `unsatisfied`,
-/// and returns false — degrading those flows instead of aborting the service.
-bool max_min_allocate(std::vector<AllocFlow>& flows,
-                      std::vector<Bandwidth>& residual,
-                      std::vector<double>& weight_on_link,
-                      const std::vector<std::uint32_t>& links,
-                      std::vector<std::uint32_t>& unsatisfied) {
+/// remaining unfixed flows at rate zero, appends their slots to
+/// `unsatisfied`, and returns false — degrading those flows instead of
+/// aborting the service.
+bool Network::max_min_allocate(std::vector<AllocFlow>& flows,
+                               std::vector<Bandwidth>& residual,
+                               std::vector<double>& weight_on_link,
+                               const std::vector<std::uint32_t>& links,
+                               std::vector<std::uint32_t>& unsatisfied) {
   auto pin_unfixed_at_zero = [&flows, &unsatisfied] {
     for (AllocFlow& f : flows) {
       if (f.fixed) continue;
       f.rate = 0.0;
       f.fixed = true;
-      unsatisfied.push_back(f.id);
+      unsatisfied.push_back(f.slot);
     }
     return false;
   };
@@ -49,7 +47,7 @@ bool max_min_allocate(std::vector<AllocFlow>& flows,
   // Per-link unfixed weight sums.
   for (std::uint32_t l : links) weight_on_link[l] = 0.0;
   for (const AllocFlow& f : flows) {
-    for (LinkId l : *f.path) weight_on_link[l.get()] += f.weight;
+    for (LinkId l : f.path) weight_on_link[l.get()] += f.weight;
   }
 
   std::size_t unfixed = flows.size();
@@ -59,7 +57,7 @@ bool max_min_allocate(std::vector<AllocFlow>& flows,
     double best_share = std::numeric_limits<double>::infinity();
     for (const AllocFlow& f : flows) {
       if (f.fixed) continue;
-      for (LinkId l : *f.path) {
+      for (LinkId l : f.path) {
         const double w = weight_on_link[l.get()];
         if (w > 0.0) {
           best_share = std::min(best_share, std::max(residual[l.get()], 0.0) / w);
@@ -76,7 +74,7 @@ bool max_min_allocate(std::vector<AllocFlow>& flows,
       if (f.fixed) continue;
       bool bound = std::isfinite(f.cap) && f.cap / f.weight <= best_share * (1 + 1e-12);
       if (!bound) {
-        for (LinkId l : *f.path) {
+        for (LinkId l : f.path) {
           const double w = weight_on_link[l.get()];
           if (w > 0.0 &&
               std::max(residual[l.get()], 0.0) / w <= best_share * (1 + 1e-12)) {
@@ -90,7 +88,7 @@ bool max_min_allocate(std::vector<AllocFlow>& flows,
       f.fixed = true;
       fixed_any = true;
       --unfixed;
-      for (LinkId l : *f.path) {
+      for (LinkId l : f.path) {
         residual[l.get()] -= f.rate;
         weight_on_link[l.get()] -= f.weight;
       }
@@ -100,7 +98,94 @@ bool max_min_allocate(std::vector<AllocFlow>& flows,
   return true;
 }
 
-}  // namespace
+void Network::reserve_flows(std::size_t concurrent, std::size_t lifetime) {
+  hot_remaining_.reserve(concurrent);
+  hot_rate_.reserve(concurrent);
+  hot_last_update_.reserve(concurrent);
+  hot_mark_.reserve(concurrent);
+  param_.reserve(concurrent);
+  cold_.reserve(concurrent);
+  link_pos_.reserve(concurrent);
+  live_next_.reserve(concurrent);
+  live_prev_.reserve(concurrent);
+  free_slots_.reserve(concurrent);
+  comp_flows_.reserve(concurrent);
+  comp_links_.reserve(topo_->link_count());
+  id_to_slot_.reserve(lifetime);
+}
+
+Network::StorageFootprint Network::flow_state_footprint() {
+  StorageFootprint f;
+  f.hot = sizeof(Bytes) + sizeof(Bandwidth) + sizeof(Time) + sizeof(std::uint64_t);
+  f.param = sizeof(FlowParam);
+  f.cold = sizeof(FlowCold);
+  return f;
+}
+
+PathView Network::intern_path(const Path& p) {
+  auto it = path_intern_.find(&p);
+  if (it != path_intern_.end()) return it->second;
+  const std::size_t n = p.size();
+  MCCS_EXPECTS(n > 0);
+  if (path_arena_.empty() || arena_used_ + n > kArenaBlockLinks) {
+    path_arena_.push_back(
+        std::make_unique<LinkId[]>(std::max(n, kArenaBlockLinks)));
+    arena_used_ = 0;
+  }
+  LinkId* dst = path_arena_.back().get() + arena_used_;
+  std::copy(p.begin(), p.end(), dst);
+  arena_used_ += n;
+  const PathView view{dst, n};
+  path_intern_.emplace(&p, view);
+  return view;
+}
+
+std::uint32_t Network::acquire_slot() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(param_.size());
+    hot_remaining_.push_back(0.0);
+    hot_rate_.push_back(0.0);
+    hot_last_update_.push_back(0.0);
+    hot_mark_.push_back(0);
+    param_.emplace_back();
+    cold_.emplace_back();
+    link_pos_.emplace_back();
+    live_next_.push_back(kNoSlot);
+    live_prev_.push_back(kNoSlot);
+  }
+  // Link at the tail. Ids are monotone, so tail insertion keeps the live
+  // list in ascending-id order — active_flows() walks it sorted for free.
+  live_next_[slot] = kNoSlot;
+  live_prev_[slot] = live_tail_;
+  if (live_tail_ != kNoSlot) {
+    live_next_[live_tail_] = slot;
+  } else {
+    live_head_ = slot;
+  }
+  live_tail_ = slot;
+  ++live_count_;
+  return slot;
+}
+
+void Network::release_slot(std::uint32_t slot) {
+  const std::uint32_t prev = live_prev_[slot];
+  const std::uint32_t next = live_next_[slot];
+  (prev != kNoSlot ? live_next_[prev] : live_head_) = next;
+  (next != kNoSlot ? live_prev_[next] : live_tail_) = prev;
+  --live_count_;
+  id_to_slot_[param_[slot].seq] = kNoSlot;
+  // Drop the cold section's owned state (the on_complete closure in
+  // particular) so a recycled slot cannot leak or observe a prior tenant.
+  cold_[slot].spec = FlowSpec{};
+  cold_[slot].completion = {};
+  cold_[slot].activation = {};
+  param_[slot].path = {};
+  free_slots_.push_back(slot);
+}
 
 FlowId Network::start_flow(FlowSpec spec) {
   MCCS_EXPECTS(spec.src != spec.dst);
@@ -108,119 +193,151 @@ FlowId Network::start_flow(FlowSpec spec) {
   MCCS_EXPECTS(spec.weight > 0.0);
 
   const std::uint32_t id = next_flow_id_++;
-  FlowState st;
-  st.path = spec.route.valid()
-                ? routing_.by_route_id(spec.src, spec.dst, spec.route)
-                : routing_.by_ecmp(spec.src, spec.dst, spec.ecmp_key);
-  st.remaining = static_cast<double>(spec.size);
-  st.last_update = loop_->now();
-  st.created = loop_->now();
-  st.spec = std::move(spec);
+  const Path& route = spec.route.valid()
+                          ? routing_.by_route_id(spec.src, spec.dst, spec.route)
+                          : routing_.by_ecmp(spec.src, spec.dst, spec.ecmp_key);
 
-  const Time latency = st.spec.start_latency;
-  auto [it, inserted] = flows_.emplace(id, std::move(st));
-  MCCS_CHECK(inserted, "duplicate flow id");
+  const std::uint32_t slot = acquire_slot();
+  MCCS_ASSERT(id_to_slot_.size() == id);
+  id_to_slot_.push_back(slot);
+
+  hot_remaining_[slot] = static_cast<double>(spec.size);
+  hot_rate_[slot] = 0.0;
+  hot_last_update_[slot] = loop_->now();
+  hot_mark_[slot] = 0;
+
+  FlowParam& p = param_[slot];
+  p.path = intern_path(route);
+  p.rate_cap = spec.rate_cap;
+  p.weight = spec.weight;
+  p.background_demand = spec.background_demand;
+  p.seq = id;
+  p.started = false;
+  p.paused = false;
+
+  FlowCold& c = cold_[slot];
+  c.created = loop_->now();
+  const Time latency = spec.start_latency;
+  c.spec = std::move(spec);
 
   if (latency > 0.0) {
-    it->second.activation =
+    c.activation =
         loop_->schedule_after(latency, [this, id] { activate_flow(id); });
   } else {
-    it->second.started = true;
-    insert_into_index(id, it->second);
-    reallocate(it->second.path);
+    p.started = true;
+    insert_into_index(slot);
+    reallocate(p.path);
   }
   return FlowId{id};
 }
 
 void Network::activate_flow(std::uint32_t id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;  // cancelled while latent
-  FlowState& f = it->second;
-  f.started = true;
-  f.last_update = loop_->now();
-  if (f.paused) return;  // paused while latent; resume_flow picks it up
-  insert_into_index(id, f);
-  reallocate(f.path);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) return;  // cancelled while latent
+  FlowParam& p = param_[slot];
+  p.started = true;
+  hot_last_update_[slot] = loop_->now();
+  if (p.paused) return;  // paused while latent; resume_flow picks it up
+  insert_into_index(slot);
+  reallocate(p.path);
 }
 
 void Network::cancel_flow(FlowId id) {
-  auto it = flows_.find(id.get());
-  if (it == flows_.end()) return;
-  FlowState& f = it->second;
-  loop_->cancel(f.completion);
-  loop_->cancel(f.activation);
-  const bool was_allocated = allocatable(f);
-  if (was_allocated) remove_from_index(id.get(), f);
-  emit_flow_span(f, /*completed=*/false);
-  const Path path = std::move(f.path);
-  flows_.erase(it);
+  const std::uint32_t slot = slot_of(id.get());
+  if (slot == kNoSlot) return;
+  FlowCold& c = cold_[slot];
+  loop_->cancel(c.completion);
+  loop_->cancel(c.activation);
+  const bool was_allocated = allocatable(slot);
+  if (was_allocated) remove_from_index(slot);
+  emit_flow_span(slot, /*completed=*/false);
+  // The interned path outlives the slot, so the view stays valid as a seed.
+  const PathView path = param_[slot].path;
+  release_slot(slot);
   // A latent or paused flow had rate 0 and constrained nobody.
   if (was_allocated) reallocate(path);
 }
 
 void Network::pause_flow(FlowId id) {
-  auto it = flows_.find(id.get());
-  MCCS_EXPECTS(it != flows_.end());
-  FlowState& f = it->second;
-  if (f.paused) return;
-  f.paused = true;
-  if (!f.started) return;  // latent: was never allocated
-  touch(f, loop_->now());
-  remove_from_index(id.get(), f);
-  f.rate = 0.0;
-  loop_->cancel(f.completion);
-  f.completion = {};
-  reallocate(f.path);
+  const std::uint32_t slot = checked_slot(id.get());
+  FlowParam& p = param_[slot];
+  if (p.paused) return;
+  p.paused = true;
+  if (!p.started) return;  // latent: was never allocated
+  touch(slot, loop_->now());
+  remove_from_index(slot);
+  hot_rate_[slot] = 0.0;
+  loop_->cancel(cold_[slot].completion);
+  cold_[slot].completion = {};
+  reallocate(p.path);
 }
 
 void Network::resume_flow(FlowId id) {
-  auto it = flows_.find(id.get());
-  MCCS_EXPECTS(it != flows_.end());
-  FlowState& f = it->second;
-  if (!f.paused) return;
-  f.paused = false;
-  if (!f.started) return;  // activation will insert it
-  f.last_update = loop_->now();
-  insert_into_index(id.get(), f);
-  reallocate(f.path);
+  const std::uint32_t slot = checked_slot(id.get());
+  FlowParam& p = param_[slot];
+  if (!p.paused) return;
+  p.paused = false;
+  if (!p.started) return;  // activation will insert it
+  hot_last_update_[slot] = loop_->now();
+  insert_into_index(slot);
+  reallocate(p.path);
 }
 
 Bandwidth Network::flow_rate(FlowId id) const {
-  auto it = flows_.find(id.get());
-  MCCS_EXPECTS(it != flows_.end());
-  return it->second.rate;
+  return hot_rate_[checked_slot(id.get())];
 }
 
 Bytes Network::flow_remaining(FlowId id) const {
-  auto it = flows_.find(id.get());
-  MCCS_EXPECTS(it != flows_.end());
-  const FlowState& f = it->second;
+  const std::uint32_t slot = checked_slot(id.get());
   // Lazy progress: integrate the stored counter forward to now on read.
-  double rem = f.remaining;
-  if (allocatable(f) && f.spec.background_demand <= 0.0) {
-    rem -= f.rate * (loop_->now() - f.last_update);
+  double rem = hot_remaining_[slot];
+  if (allocatable(slot) && param_[slot].background_demand <= 0.0) {
+    rem -= hot_rate_[slot] * (loop_->now() - hot_last_update_[slot]);
   }
   return static_cast<Bytes>(std::ceil(std::max(rem, 0.0)));
 }
 
-const Path& Network::flow_path(FlowId id) const {
-  auto it = flows_.find(id.get());
-  MCCS_EXPECTS(it != flows_.end());
-  return it->second.path;
+PathView Network::flow_path(FlowId id) const {
+  return param_[checked_slot(id.get())].path;
 }
 
 const FlowSpec& Network::flow_spec(FlowId id) const {
-  auto it = flows_.find(id.get());
-  MCCS_EXPECTS(it != flows_.end());
-  return it->second.spec;
+  return cold_[checked_slot(id.get())].spec;
 }
 
 std::vector<FlowId> Network::active_flows() const {
   std::vector<FlowId> out;
-  out.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) out.push_back(FlowId{id});
-  std::sort(out.begin(), out.end());
+  out.reserve(live_count_);
+  for (std::uint32_t s = live_head_; s != kNoSlot; s = live_next_[s]) {
+    out.push_back(FlowId{param_[s].seq});
+  }
   return out;
+}
+
+int Network::register_link_change_consumer() {
+  link_change_cursors_.push_back(link_change_base_);
+  return static_cast<int>(link_change_cursors_.size() - 1);
+}
+
+void Network::ack_link_changes(int consumer, std::size_t upto) {
+  MCCS_EXPECTS(consumer >= 0 &&
+               static_cast<std::size_t>(consumer) < link_change_cursors_.size());
+  MCCS_EXPECTS(upto <= link_change_end());
+  std::size_t& cursor = link_change_cursors_[consumer];
+  if (upto <= cursor) return;
+  cursor = upto;
+  maybe_trim_link_changes();
+}
+
+void Network::maybe_trim_link_changes() {
+  if (link_change_cursors_.empty()) return;  // keep whole for late consumers
+  std::size_t min_ack = link_change_end();
+  for (std::size_t c : link_change_cursors_) min_ack = std::min(min_ack, c);
+  const std::size_t drop = min_ack - link_change_base_;
+  if (drop < kLinkChangeTrimBatch) return;
+  link_changes_.erase(link_changes_.begin(),
+                      link_changes_.begin() + static_cast<std::ptrdiff_t>(drop));
+  link_change_base_ = min_ack;
 }
 
 void Network::set_link_state(LinkId id, LinkState state, double capacity_fraction) {
@@ -244,35 +361,51 @@ void Network::set_link_state(LinkId id, LinkState state, double capacity_fractio
   link_changes_.push_back(LinkChange{id, state, scale, loop_->now()});
   // The link is its own seed: every flow crossing it (and their bottleneck
   // component) re-solves; everyone else keeps their rates and events.
-  const Path seed{id};
-  reallocate(seed);
+  const LinkId seed = id;
+  reallocate(PathView{&seed, 1});
 }
 
-void Network::insert_into_index(std::uint32_t id, const FlowState& f) {
-  for (LinkId l : f.path) {
-    LinkIndex& li = links_[l.get()];
-    li.flows.push_back(id);
-    li.throughput += f.rate;
-    if (f.spec.background_demand <= 0.0) ++li.normal_count;
+void Network::insert_into_index(std::uint32_t slot) {
+  const FlowParam& p = param_[slot];
+  const bool normal = p.background_demand <= 0.0;
+  const Bandwidth rate = hot_rate_[slot];
+  std::vector<std::uint32_t>& pos = link_pos_[slot];
+  pos.clear();  // capacity is recycled with the slot
+  for (std::uint32_t k = 0; k < p.path.size(); ++k) {
+    LinkIndex& li = links_[p.path[k].get()];
+    pos.push_back(static_cast<std::uint32_t>(li.flows.size()));
+    li.flows.push_back(LinkIndex::Member{slot, k});
+    li.throughput += rate;
+    if (normal) ++li.normal_count;
   }
 }
 
-void Network::remove_from_index(std::uint32_t id, const FlowState& f) {
-  for (LinkId l : f.path) {
-    LinkIndex& li = links_[l.get()];
-    auto pos = std::find(li.flows.begin(), li.flows.end(), id);
-    MCCS_ASSERT(pos != li.flows.end());
-    *pos = li.flows.back();
+void Network::remove_from_index(std::uint32_t slot) {
+  const FlowParam& p = param_[slot];
+  const bool normal = p.background_demand <= 0.0;
+  const Bandwidth rate = hot_rate_[slot];
+  const std::vector<std::uint32_t>& pos = link_pos_[slot];
+  MCCS_ASSERT(pos.size() == p.path.size());
+  for (std::uint32_t k = 0; k < p.path.size(); ++k) {
+    LinkIndex& li = links_[p.path[k].get()];
+    const std::uint32_t i = pos[k];
+    MCCS_ASSERT(i < li.flows.size() && li.flows[i].slot == slot);
+    // O(1) swap-remove at the backpointer position — the same position a
+    // linear scan would find, so member order (and therefore the FP
+    // accumulation order of the throughput refresh) evolves identically.
+    const LinkIndex::Member moved = li.flows.back();
+    li.flows[i] = moved;
+    if (moved.slot != slot) link_pos_[moved.slot][moved.pos] = i;
     li.flows.pop_back();
-    li.throughput -= f.rate;
-    if (f.spec.background_demand <= 0.0) {
+    li.throughput -= rate;
+    if (normal) {
       MCCS_ASSERT(li.normal_count > 0);
       --li.normal_count;
     }
   }
 }
 
-void Network::collect_component(const Path& seed) {
+void Network::collect_component(PathView seed) {
   ++epoch_;
   comp_flows_.clear();
   comp_links_.clear();
@@ -288,37 +421,39 @@ void Network::collect_component(const Path& seed) {
   // BFS over links: any flow on a reached link joins the component and
   // contributes its own links to the frontier.
   for (std::size_t i = 0; i < comp_links_.size(); ++i) {
-    for (std::uint32_t fid : links_[comp_links_[i]].flows) {
-      FlowState& f = flows_.at(fid);
-      if (f.mark == epoch_) continue;
-      f.mark = epoch_;
-      comp_flows_.push_back(fid);
-      for (LinkId l : f.path) mark_link(l);
+    for (const LinkIndex::Member m : links_[comp_links_[i]].flows) {
+      if (hot_mark_[m.slot] == epoch_) continue;
+      hot_mark_[m.slot] = epoch_;
+      comp_flows_.push_back(m.slot);
+      for (LinkId l : param_[m.slot].path) mark_link(l);
     }
   }
   // Ascending-id order matches the reference path bit-for-bit (the solver's
   // floating-point results depend on per-link accumulation order).
-  std::sort(comp_flows_.begin(), comp_flows_.end());
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return param_[a].seq < param_[b].seq;
+            });
 }
 
 void Network::collect_all() {
   ++epoch_;
   comp_flows_.clear();
   comp_links_.clear();
-  for (auto& [id, f] : flows_) {
-    if (!allocatable(f)) continue;
-    comp_flows_.push_back(id);
-    for (LinkId l : f.path) {
+  // The live list is ascending-id, so the collected set needs no sort.
+  for (std::uint32_t s = live_head_; s != kNoSlot; s = live_next_[s]) {
+    if (!allocatable(s)) continue;
+    comp_flows_.push_back(s);
+    for (LinkId l : param_[s].path) {
       if (link_mark_[l.get()] != epoch_) {
         link_mark_[l.get()] = epoch_;
         comp_links_.push_back(l.get());
       }
     }
   }
-  std::sort(comp_flows_.begin(), comp_flows_.end());
 }
 
-void Network::reallocate(const Path& seed) {
+void Network::reallocate(PathView seed) {
   if (options_.incremental) {
     collect_component(seed);
   } else {
@@ -356,8 +491,8 @@ void Network::allocate_component() {
     }
     return l;
   };
-  for (std::uint32_t id : comp_flows_) {
-    const Path& p = flows_.at(id).path;
+  for (std::uint32_t s : comp_flows_) {
+    const PathView p = param_[s].path;
     // `acc` stays a live root throughout (both operands of every union are
     // roots, and we keep the winner): re-parenting a non-root would silently
     // undo an earlier union and split the component.
@@ -379,31 +514,34 @@ void Network::allocate_component() {
     comp_roots_.push_back(root);
     return comp_roots_.size() - 1;
   };
-  for (std::uint32_t id : comp_flows_) {
-    comp_of(find_root(flows_.at(id).path.front().get()));
+  for (std::uint32_t s : comp_flows_) {
+    comp_of(find_root(param_[s].path.front().get()));
   }
   const std::size_t num_comps = comp_roots_.size();
 
-  struct SubComp {
-    std::vector<AllocFlow> background;
-    std::vector<AllocFlow> normal;
-    std::vector<std::uint32_t> links;
-    std::vector<std::uint32_t> unsatisfied;
-    bool bg_ok = true;
-    bool normal_ok = true;
-  };
-  std::vector<SubComp> comps(num_comps);
+  // The SubComp pool is high-water sized and cleared in place: inner vectors
+  // keep their capacity, so a warm solve allocates nothing here.
+  if (comps_.size() < num_comps) comps_.resize(num_comps);
+  for (std::size_t i = 0; i < num_comps; ++i) {
+    SubComp& sc = comps_[i];
+    sc.background.clear();
+    sc.normal.clear();
+    sc.links.clear();
+    sc.unsatisfied.clear();
+    sc.bg_ok = true;
+    sc.normal_ok = true;
+  }
 
   // Build each sub-component's flow lists in ascending id order (the order
   // the solver's floating point depends on) and hand it its own links.
-  for (std::uint32_t id : comp_flows_) {
-    FlowState& f = flows_.at(id);
-    SubComp& sc = comps[comp_of(find_root(f.path.front().get()))];
-    if (f.spec.background_demand > 0.0) {
-      sc.background.push_back(AllocFlow{id, &f.path, f.spec.background_demand,
-                                        f.spec.background_demand});
+  for (std::uint32_t s : comp_flows_) {
+    const FlowParam& p = param_[s];
+    SubComp& sc = comps_[comp_of(find_root(p.path.front().get()))];
+    if (p.background_demand > 0.0) {
+      sc.background.push_back(
+          AllocFlow{s, p.path, p.background_demand, p.background_demand});
     } else {
-      sc.normal.push_back(AllocFlow{id, &f.path, f.spec.weight, f.spec.rate_cap});
+      sc.normal.push_back(AllocFlow{s, p.path, p.weight, p.rate_cap});
     }
   }
   for (std::uint32_t l : comp_links_) {
@@ -412,7 +550,7 @@ void Network::allocate_component() {
     const std::uint32_t root = find_root(l);
     for (std::size_t i = 0; i < comp_roots_.size(); ++i) {
       if (comp_roots_[i] == root) {
-        comps[i].links.push_back(l);
+        comps_[i].links.push_back(l);
         break;
       }
     }
@@ -445,16 +583,17 @@ void Network::allocate_component() {
   constexpr std::size_t kParallelSolveMinFlows = 32;
   if (num_comps > 1 && comp_flows_.size() >= kParallelSolveMinFlows) {
     par::parallel_for(num_comps, 1, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) solve_one(comps[i]);
+      for (std::size_t i = begin; i < end; ++i) solve_one(comps_[i]);
     });
   } else {
-    for (SubComp& sc : comps) solve_one(sc);
+    for (std::size_t i = 0; i < num_comps; ++i) solve_one(comps_[i]);
   }
 
   unsatisfied_scratch_.clear();
   bool bg_ok = true;
   bool normal_ok = true;
-  for (SubComp& sc : comps) {
+  for (std::size_t i = 0; i < num_comps; ++i) {
+    SubComp& sc = comps_[i];
     bg_ok = bg_ok && sc.bg_ok;
     normal_ok = normal_ok && sc.normal_ok;
     unsatisfied_scratch_.insert(unsatisfied_scratch_.end(),
@@ -466,8 +605,10 @@ void Network::allocate_component() {
       AllocationError err;
       err.at = now;
       err.flows.reserve(unsatisfied_scratch_.size());
-      std::sort(unsatisfied_scratch_.begin(), unsatisfied_scratch_.end());
-      for (std::uint32_t id : unsatisfied_scratch_) err.flows.push_back(FlowId{id});
+      for (std::uint32_t s : unsatisfied_scratch_) {
+        err.flows.push_back(FlowId{param_[s].seq});
+      }
+      std::sort(err.flows.begin(), err.flows.end());
       // Fresh event: the handler may mutate the flow set (cancel the
       // offending flows, start replacements) without re-entering this solve.
       loop_->schedule_after(0.0, [this, err = std::move(err)] {
@@ -486,29 +627,31 @@ void Network::allocate_component() {
   // lazy fast path that lets an untouched bottleneck component cost nothing.
   comp_cursor_bg_.assign(num_comps, 0);
   comp_cursor_normal_.assign(num_comps, 0);
-  for (std::uint32_t id : comp_flows_) {
-    FlowState& f = flows_.at(id);
-    const std::size_t ci = comp_of(find_root(f.path.front().get()));
-    SubComp& sc = comps[ci];
-    if (f.spec.background_demand > 0.0) {
+  for (std::uint32_t s : comp_flows_) {
+    const FlowParam& p = param_[s];
+    const std::size_t ci = comp_of(find_root(p.path.front().get()));
+    SubComp& sc = comps_[ci];
+    if (p.background_demand > 0.0) {
       const AllocFlow& a = sc.background[comp_cursor_bg_[ci]++];
-      MCCS_ASSERT(a.id == id);
-      f.rate = a.rate;
+      MCCS_ASSERT(a.slot == s);
+      hot_rate_[s] = a.rate;
       continue;
     }
     const AllocFlow& a = sc.normal[comp_cursor_normal_[ci]++];
-    MCCS_ASSERT(a.id == id);
-    if (std::abs(a.rate - f.rate) <= kRateEpsilon) continue;
-    touch(f, now);  // integrate at the old rate first
-    f.rate = a.rate;
-    loop_->cancel(f.completion);
-    f.completion = {};
-    if (f.remaining <= 0.0) {
+    MCCS_ASSERT(a.slot == s);
+    if (std::abs(a.rate - hot_rate_[s]) <= kRateEpsilon) continue;
+    touch(s, now);  // integrate at the old rate first
+    hot_rate_[s] = a.rate;
+    FlowCold& c = cold_[s];
+    loop_->cancel(c.completion);
+    c.completion = {};
+    const std::uint32_t id = p.seq;
+    if (hot_remaining_[s] <= 0.0) {
       // Already delivered; complete "now" (from a fresh event for re-entrancy).
-      f.completion = loop_->schedule_after(0.0, [this, id] { complete_flow(id); });
-    } else if (f.rate > kRateEpsilon) {
-      const Time eta = f.remaining / f.rate;
-      f.completion = loop_->schedule_after(eta, [this, id] { complete_flow(id); });
+      c.completion = loop_->schedule_after(0.0, [this, id] { complete_flow(id); });
+    } else if (hot_rate_[s] > kRateEpsilon) {
+      const Time eta = hot_remaining_[s] / hot_rate_[s];
+      c.completion = loop_->schedule_after(eta, [this, id] { complete_flow(id); });
     }
   }
 
@@ -522,7 +665,7 @@ void Network::allocate_component() {
   for (std::uint32_t l : comp_links_) {
     LinkIndex& li = links_[l];
     Bandwidth total = 0.0;
-    for (std::uint32_t fid : li.flows) total += flows_.at(fid).rate;
+    for (const LinkIndex::Member m : li.flows) total += hot_rate_[m.slot];
     link_bytes_[l] += li.throughput * (now - link_sample_time_[l]);
     link_sample_time_[l] = now;
     if (record && total != li.throughput) {
@@ -550,29 +693,29 @@ void Network::allocate_component() {
   }
 }
 
-void Network::emit_flow_span(const FlowState& f, bool completed) {
+void Network::emit_flow_span(std::uint32_t slot, bool completed) {
   if (telemetry_ == nullptr || !telemetry_->enabled()) return;
-  if (f.spec.background_demand > 0.0) return;  // background flows never end
+  const FlowCold& c = cold_[slot];
+  if (param_[slot].background_demand > 0.0) return;  // background flows never end
   telemetry::Timeline& tl = telemetry_->timeline();
   if (flow_track_ < 0) flow_track_ = tl.track("netsim", "flows");
   // Lean on purpose (endpoints ride on the matching transport chunk_send
   // span): flow completion is the hottest netsim recording site.
   tl.span(flow_track_, "netsim",
-          completed ? "flow" : "flow_cancelled", f.created, loop_->now(),
-          {{"app", static_cast<std::int64_t>(f.spec.app.get())},
-           {"bytes", static_cast<std::uint64_t>(f.spec.size)}});
+          completed ? "flow" : "flow_cancelled", c.created, loop_->now(),
+          {{"app", static_cast<std::int64_t>(c.spec.app.get())},
+           {"bytes", static_cast<std::uint64_t>(c.spec.size)}});
 }
 
 void Network::complete_flow(std::uint32_t id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  FlowState& f = it->second;
-  f.remaining = 0.0;
-  remove_from_index(id, f);
-  emit_flow_span(f, /*completed=*/true);
-  FlowSpec spec = std::move(f.spec);
-  const Path path = std::move(f.path);
-  flows_.erase(it);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) return;
+  hot_remaining_[slot] = 0.0;
+  remove_from_index(slot);
+  emit_flow_span(slot, /*completed=*/true);
+  FlowSpec spec = std::move(cold_[slot].spec);
+  const PathView path = param_[slot].path;  // interned: survives the slot
+  release_slot(slot);
   reallocate(path);
   if (spec.on_complete) spec.on_complete(FlowId{id}, loop_->now());
 }

@@ -26,10 +26,24 @@
 // `Options::incremental = false`; both paths order flows identically
 // (ascending id), so they produce bit-identical rates on disjoint
 // components (see tests/test_netsim_properties.cpp).
+//
+// Storage (DESIGN.md §12): flow state lives in a slab of reusable slots
+// (same idiom as sim::EventLoop), split into a hot SoA section — the four
+// fields every solve touches, in dense parallel arrays — and a cold section
+// (FlowSpec with its callbacks, telemetry fields, event handles) read only
+// at flow boundaries. Flow ids are a monotone sequence that is never reused,
+// so a stale id can never alias a recycled slot; `id_to_slot_` maps ids to
+// live slots (or nothing). Paths are interned into a chunked link-id arena
+// with stable addresses and referenced by PathView — flows on the same
+// cached route share one copy. Per-link membership removal is O(path) via
+// per-(flow,link) backpointers instead of a scan. At steady state (warm
+// slab, warm scratch) a start/complete cycle performs no heap allocation in
+// `reallocate` (guarded by tests/test_netsim_slab.cpp).
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -85,7 +99,7 @@ struct FlowSpec {
 enum class LinkState { kUp, kDegraded, kDown };
 
 /// One administrative link-state transition, in the order it was applied.
-/// The append-only log lets control-plane consumers (the incremental flow
+/// The bounded log lets control-plane consumers (the incremental flow
 /// assigner) learn exactly which links changed since their last look —
 /// a change-set export, so re-solve work scales with events, not links.
 struct LinkChange {
@@ -140,6 +154,26 @@ class Network {
   [[nodiscard]] sim::EventLoop& loop() { return *loop_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Pre-size the flow slab and per-event scratch so a scale run (or the
+  /// zero-allocation guard test) reaches steady state without growth:
+  /// `concurrent` bounds simultaneously-live flows, `lifetime` bounds flow
+  /// ids ever issued. Optional — the structures grow on demand otherwise.
+  void reserve_flows(std::size_t concurrent, std::size_t lifetime);
+
+  /// Per-flow-state slab cost in bytes, by temperature class: `hot` is the
+  /// SoA touched every rate solve (remaining / rate / last_update / mark),
+  /// `param` the per-flow solve parameters (path view, caps, weight, flags),
+  /// `cold` everything touched only at start/completion (spec, timestamps,
+  /// event handles). Compile-time facts surfaced for the scale bench, which
+  /// reports bytes-per-flow-state alongside events/s.
+  struct StorageFootprint {
+    std::size_t hot = 0;
+    std::size_t param = 0;
+    std::size_t cold = 0;
+    [[nodiscard]] std::size_t total() const { return hot + param + cold; }
+  };
+  [[nodiscard]] static StorageFootprint flow_state_footprint();
+
   /// Start a flow; the path is resolved immediately (route id or ECMP).
   FlowId start_flow(FlowSpec spec);
 
@@ -151,13 +185,22 @@ class Network {
   void pause_flow(FlowId id);
   void resume_flow(FlowId id);
 
-  [[nodiscard]] bool flow_active(FlowId id) const { return flows_.count(id.get()) > 0; }
+  /// Liveness by id. Ids are never reused, so a cancelled/completed flow's id
+  /// stays dead forever even after its slab slot is recycled. O(1).
+  [[nodiscard]] bool flow_active(FlowId id) const {
+    return slot_of(id.get()) != kNoSlot;
+  }
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
   [[nodiscard]] Bytes flow_remaining(FlowId id) const;
-  [[nodiscard]] const Path& flow_path(FlowId id) const;
+  /// View of the flow's path in the shared link-id arena. Stable for the
+  /// lifetime of the Network (paths are interned, never freed); copy with
+  /// `.to_path()` for consumers that outlive it.
+  [[nodiscard]] PathView flow_path(FlowId id) const;
   [[nodiscard]] const FlowSpec& flow_spec(FlowId id) const;
-  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
-  /// All live flow ids, ascending (diagnostics / debug dumps).
+  [[nodiscard]] std::size_t active_flow_count() const { return live_count_; }
+  /// All live flow ids, ascending (diagnostics / debug dumps). Served by
+  /// walking the slab's live list, which is insertion-ordered — and insertion
+  /// order is id order because ids are monotone. No sort, no hashing.
   [[nodiscard]] std::vector<FlowId> active_flows() const;
 
   // --- fault injection -------------------------------------------------------
@@ -175,11 +218,40 @@ class Network {
     return capacity_scale_[id.get()];
   }
 
-  /// Every effective set_link_state in application order (no-op calls are
-  /// not logged). Consumers keep a cursor into this append-only log and
-  /// process entries past it; entries are never mutated or dropped.
-  [[nodiscard]] const std::vector<LinkChange>& link_change_log() const {
-    return link_changes_;
+  // --- link-change log -------------------------------------------------------
+  // Every effective set_link_state in application order (no-op calls are not
+  // logged), addressed by a monotone absolute index that survives trimming.
+  // Consumers register a cursor and acknowledge what they have processed;
+  // entries acknowledged by *every* consumer are trimmed in batches, so the
+  // log's memory is bounded by the slowest consumer's lag (soak-tested over
+  // ~10k flaps). With no registered consumer the log is kept whole, so a
+  // consumer that registers late (the controller enables incremental mode
+  // mid-run) still observes every change since construction.
+
+  /// Register a consumer whose cursor starts at the oldest retained entry.
+  [[nodiscard]] int register_link_change_consumer();
+  /// One past the newest change's absolute index.
+  [[nodiscard]] std::size_t link_change_end() const {
+    return link_change_base_ + link_changes_.size();
+  }
+  /// Entry by absolute index; must be >= the consumer's acknowledged cursor
+  /// (trimming never outruns the slowest cursor).
+  [[nodiscard]] const LinkChange& link_change(std::size_t abs_index) const {
+    MCCS_EXPECTS(abs_index >= link_change_base_ &&
+                 abs_index < link_change_end());
+    return link_changes_[abs_index - link_change_base_];
+  }
+  /// The consumer's acknowledged cursor — the absolute index to resume from.
+  [[nodiscard]] std::size_t link_change_cursor(int consumer) const {
+    MCCS_EXPECTS(consumer >= 0 && static_cast<std::size_t>(consumer) <
+                                      link_change_cursors_.size());
+    return link_change_cursors_[static_cast<std::size_t>(consumer)];
+  }
+  /// Mark entries below `upto` as processed by `consumer`; may trim.
+  void ack_link_changes(int consumer, std::size_t upto);
+  /// Entries currently held in memory (bounded-growth soak assertions).
+  [[nodiscard]] std::size_t link_changes_retained() const {
+    return link_changes_.size();
   }
 
   /// Observer for unsatisfiable allocations (see AllocationError). Invoked
@@ -220,47 +292,81 @@ class Network {
   }
 
  private:
-  struct FlowState {
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Cold per-flow state: read at flow boundaries (start / completion /
+  /// cancel / telemetry), never inside a solve.
+  struct FlowCold {
     FlowSpec spec;
-    Path path;
-    double remaining = 0.0;  ///< bytes left as of `last_update` (fluid model)
-    Bandwidth rate = 0.0;
-    Time last_update = 0.0;  ///< when `remaining` was last integrated
-    Time created = 0.0;      ///< start_flow time (telemetry span begin)
-    bool started = false;    ///< start_latency elapsed
-    bool paused = false;
-    std::uint64_t mark = 0;  ///< component-BFS visit epoch
+    Time created = 0.0;  ///< start_flow time (telemetry span begin)
     sim::EventLoop::Handle completion;
     sim::EventLoop::Handle activation;
   };
 
-  /// Per-link view of the allocatable flows crossing it, maintained on every
-  /// flow add/remove/pause/resume and refreshed when rates change.
-  struct LinkIndex {
-    std::vector<std::uint32_t> flows;  ///< allocatable members (both classes)
-    Bandwidth throughput = 0.0;        ///< Σ rate over `flows`
-    std::size_t normal_count = 0;      ///< members with no background demand
+  /// Warm per-flow parameters: what component discovery and the solver need
+  /// besides the hot arrays (path, class, weight/cap, gating state).
+  struct FlowParam {
+    PathView path;
+    Bandwidth rate_cap = 0.0;
+    double weight = 1.0;
+    Bandwidth background_demand = 0.0;
+    std::uint32_t seq = 0;   ///< external flow id (monotone, never reused)
+    bool started = false;    ///< start_latency elapsed
+    bool paused = false;
   };
 
-  [[nodiscard]] bool allocatable(const FlowState& f) const {
-    return f.started && !f.paused;
+  /// Per-link view of the allocatable flows crossing it, maintained on every
+  /// flow add/remove/pause/resume and refreshed when rates change. `pos` is
+  /// the member flow's hop index on its own path — the backpointer slot in
+  /// link_pos_ that makes swap-removal O(1).
+  struct LinkIndex {
+    struct Member {
+      std::uint32_t slot;
+      std::uint32_t pos;
+    };
+    std::vector<Member> flows;  ///< allocatable members (both classes)
+    Bandwidth throughput = 0.0; ///< Σ rate over `flows`
+    std::size_t normal_count = 0;  ///< members with no background demand
+  };
+
+  [[nodiscard]] std::uint32_t slot_of(std::uint32_t id) const {
+    return id < id_to_slot_.size() ? id_to_slot_[id] : kNoSlot;
+  }
+  [[nodiscard]] std::uint32_t checked_slot(std::uint32_t id) const {
+    const std::uint32_t s = slot_of(id);
+    MCCS_EXPECTS(s != kNoSlot);
+    return s;
+  }
+
+  [[nodiscard]] bool allocatable(std::uint32_t slot) const {
+    const FlowParam& p = param_[slot];
+    return p.started && !p.paused;
   }
 
   /// Integrate a flow's progress up to `now` at its current rate.
-  void touch(FlowState& f, Time now) {
-    if (now > f.last_update && f.spec.background_demand <= 0.0) {
-      f.remaining = std::max(0.0, f.remaining - f.rate * (now - f.last_update));
+  void touch(std::uint32_t slot, Time now) {
+    if (now > hot_last_update_[slot] && param_[slot].background_demand <= 0.0) {
+      hot_remaining_[slot] = std::max(
+          0.0, hot_remaining_[slot] -
+                   hot_rate_[slot] * (now - hot_last_update_[slot]));
     }
-    f.last_update = now;
+    hot_last_update_[slot] = now;
   }
 
-  void insert_into_index(std::uint32_t id, const FlowState& f);
-  void remove_from_index(std::uint32_t id, const FlowState& f);
+  /// Copy `p` into the link-id arena (once per distinct routing-cache entry;
+  /// the cache's Path addresses are stable, so identity-keying is sound).
+  PathView intern_path(const Path& p);
+
+  std::uint32_t acquire_slot();      ///< from the free list, else grown
+  void release_slot(std::uint32_t slot);  ///< unlink, clear cold, recycle
+
+  void insert_into_index(std::uint32_t slot);
+  void remove_from_index(std::uint32_t slot);
 
   /// Gather the connected component of allocatable flows reachable from
-  /// `seed` through shared links into comp_flows_ (ascending id) and
-  /// comp_links_. Reference mode gathers everything.
-  void collect_component(const Path& seed);
+  /// `seed` through shared links into comp_flows_ (slots, ascending flow id)
+  /// and comp_links_. Reference mode gathers everything.
+  void collect_component(PathView seed);
   void collect_all();
 
   /// Re-solve max-min over comp_flows_ / comp_links_ and apply: rates,
@@ -269,27 +375,62 @@ class Network {
   void allocate_component();
 
   /// Flow-set change entry point: scope to `seed`'s component (or everything
-  /// in reference mode) and re-allocate.
-  void reallocate(const Path& seed);
+  /// in reference mode) and re-allocate. Allocation-free at steady state.
+  void reallocate(PathView seed);
 
   void complete_flow(std::uint32_t id);
   void activate_flow(std::uint32_t id);
 
+  void maybe_trim_link_changes();
+
   /// Timeline span for a flow that just left the network (delivered or
   /// cancelled). No-op unless telemetry is enabled.
-  void emit_flow_span(const FlowState& f, bool completed);
+  void emit_flow_span(std::uint32_t slot, bool completed);
 
   sim::EventLoop* loop_;
   const Topology* topo_;
   Routing routing_;
   Options options_;
-  std::unordered_map<std::uint32_t, FlowState> flows_;
+
+  // --- flow slab -------------------------------------------------------------
+  // Parallel arrays indexed by slot. Hot SoA section first: the fields every
+  // solve reads/writes, kept dense so a component walk stays cache-resident.
+  std::vector<double> hot_remaining_;    ///< bytes left as of last_update
+  std::vector<Bandwidth> hot_rate_;
+  std::vector<Time> hot_last_update_;    ///< when remaining was integrated
+  std::vector<std::uint64_t> hot_mark_;  ///< component-BFS visit epoch
+  std::vector<FlowParam> param_;
+  std::vector<FlowCold> cold_;
+  /// Backpointers: link_pos_[slot][k] = this flow's index in
+  /// links_[path[k]].flows while the flow is in the index. The inner vectors
+  /// are recycled with their slot, so a warm slab never reallocates them.
+  std::vector<std::vector<std::uint32_t>> link_pos_;
+  /// Insertion-ordered doubly-linked list of live slots (== ascending id).
+  std::vector<std::uint32_t> live_next_;
+  std::vector<std::uint32_t> live_prev_;
+  std::uint32_t live_head_ = kNoSlot;
+  std::uint32_t live_tail_ = kNoSlot;
+  std::size_t live_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  /// External id -> slot (kNoSlot once the flow is gone). Ids are issued
+  /// sequentially, so this is a flat array, not a hash.
+  std::vector<std::uint32_t> id_to_slot_;
   std::uint32_t next_flow_id_ = 0;
+
+  // --- path arena ------------------------------------------------------------
+  static constexpr std::size_t kArenaBlockLinks = 4096;
+  std::vector<std::unique_ptr<LinkId[]>> path_arena_;
+  std::size_t arena_used_ = 0;  ///< links used in the newest block
+  std::unordered_map<const Path*, PathView> path_intern_;
 
   std::vector<LinkIndex> links_;
   std::vector<LinkState> link_states_;
   std::vector<double> capacity_scale_;  ///< effective = nominal * scale
-  std::vector<LinkChange> link_changes_;  ///< append-only change-set export
+
+  // Bounded change-set export (see the link-change log section above).
+  std::vector<LinkChange> link_changes_;
+  std::size_t link_change_base_ = 0;  ///< absolute index of link_changes_[0]
+  std::vector<std::size_t> link_change_cursors_;  ///< per-consumer acks
 
   std::function<void(const AllocationError&)> allocation_error_handler_;
   std::uint64_t allocation_error_count_ = 0;
@@ -297,7 +438,7 @@ class Network {
 
   // Scratch for component discovery + allocation (persistent to avoid O(L)
   // work per event; only entries for comp_links_ are ever read or written).
-  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> comp_flows_;  ///< slots, ascending flow id
   std::vector<std::uint32_t> comp_links_;
   std::vector<std::uint64_t> link_mark_;
   std::uint64_t epoch_ = 0;
@@ -308,11 +449,38 @@ class Network {
   // over links + per-component apply cursors). Sub-components solve
   // independently — concurrently on the task pool when there are several —
   // and apply serially in ascending flow-id order, keeping every outcome
-  // independent of the thread count (see allocate_component).
+  // independent of the thread count (see allocate_component). The SubComp
+  // pool is high-water sized: entries are cleared, never shrunk, so their
+  // inner vectors keep their capacity across events.
+  struct AllocFlow {
+    std::uint32_t slot;
+    PathView path;
+    double weight;
+    Bandwidth cap;
+    Bandwidth rate = 0.0;
+    bool fixed = false;
+  };
+  struct SubComp {
+    std::vector<AllocFlow> background;
+    std::vector<AllocFlow> normal;
+    std::vector<std::uint32_t> links;
+    std::vector<std::uint32_t> unsatisfied;
+    bool bg_ok = true;
+    bool normal_ok = true;
+  };
   std::vector<std::uint32_t> uf_parent_;
   std::vector<std::uint32_t> comp_roots_;
+  std::vector<SubComp> comps_;
   std::vector<std::size_t> comp_cursor_bg_;
   std::vector<std::size_t> comp_cursor_normal_;
+
+  /// Weighted max-min fair allocation with per-flow caps (progressive
+  /// filling), scoped to one bottleneck component (see network.cpp).
+  static bool max_min_allocate(std::vector<AllocFlow>& flows,
+                               std::vector<Bandwidth>& residual,
+                               std::vector<double>& weight_on_link,
+                               const std::vector<std::uint32_t>& links,
+                               std::vector<std::uint32_t>& unsatisfied);
 
   // Link-utilization sampler: cumulative bytes as of `link_sample_time_`,
   // integrated from the allocated rate whenever a link's throughput is
@@ -329,6 +497,8 @@ class Network {
   std::size_t link_sample_event_ = telemetry::Timeline::kNoSample;
   /// Reused arg buffer for the batched per-reallocation counter sample.
   std::vector<telemetry::Arg> counter_scratch_;
+
+  friend class NetworkTestPeer;  ///< white-box slab assertions in tests
 };
 
 }  // namespace mccs::net

@@ -37,6 +37,16 @@ struct Link {
 /// Immutable once built; the Network and Routing layers hold const references.
 class Topology {
  public:
+  /// Pre-size the node/link stores. Optional — builders constructing 32k-GPU
+  /// fabrics call this so construction does not rehash/regrow repeatedly.
+  void reserve(std::size_t nodes, std::size_t links) {
+    nodes_.reserve(nodes);
+    out_links_.reserve(nodes);
+    in_links_.reserve(nodes);
+    links_.reserve(links);
+    link_index_.reserve(links);
+  }
+
   NodeId add_host(std::string name, RackId rack = RackId{}, PodId pod = PodId{}) {
     return add_node(NodeKind::kHost, std::move(name), rack, pod);
   }
@@ -54,6 +64,7 @@ class Topology {
     const LinkId id{static_cast<std::uint32_t>(links_.size())};
     links_.push_back(Link{id, src, dst, capacity, propagation_delay});
     out_links_[src.get()].push_back(id);
+    in_links_[dst.get()].push_back(id);
     link_index_[key(src, dst)] = id;
     return id;
   }
@@ -76,6 +87,10 @@ class Topology {
   [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const {
     MCCS_EXPECTS(id.get() < out_links_.size());
     return out_links_[id.get()];
+  }
+  [[nodiscard]] const std::vector<LinkId>& in_links(NodeId id) const {
+    MCCS_EXPECTS(id.get() < in_links_.size());
+    return in_links_[id.get()];
   }
 
   /// Link from src to dst, if one exists.
@@ -100,6 +115,7 @@ class Topology {
     const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
     nodes_.push_back(Node{id, kind, std::move(name), rack, pod});
     out_links_.emplace_back();
+    in_links_.emplace_back();
     return id;
   }
 
@@ -110,6 +126,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
   std::unordered_map<std::uint64_t, LinkId> link_index_;
 };
 

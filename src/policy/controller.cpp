@@ -84,12 +84,18 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes_increment
                                      : std::unordered_set<std::uint32_t>{});
   assigner_->set_failed_links(failed_links_);
   // Consume the netsim's change-set: links whose administrative state moved
-  // since the last solve dirty exactly the tenants routed across them.
-  const std::vector<net::LinkChange>& changes =
-      fabric_->network().link_change_log();
-  for (; link_change_cursor_ < changes.size(); ++link_change_cursor_) {
-    assigner_->mark_link_dirty(changes[link_change_cursor_].link);
+  // since the last solve dirty exactly the tenants routed across them. The
+  // ack releases consumed entries for trimming, bounding the log's memory.
+  net::Network& network = fabric_->network();
+  if (link_change_consumer_ < 0) {
+    link_change_consumer_ = network.register_link_change_consumer();
   }
+  const std::size_t end = network.link_change_end();
+  for (std::size_t i = network.link_change_cursor(link_change_consumer_);
+       i < end; ++i) {
+    assigner_->mark_link_dirty(network.link_change(i).link);
+  }
+  network.ack_link_changes(link_change_consumer_, end);
 
   // Diff the fabric's live communicator set against the warm state:
   // departures first (their freed demand seeds the closure), then arrivals

@@ -160,7 +160,9 @@ class Controller {
 
   bool incremental_ = false;
   std::unique_ptr<IncrementalAssigner> assigner_;  ///< lazily built
-  std::size_t link_change_cursor_ = 0;  ///< into Network::link_change_log
+  /// Registered link-change consumer (lazily, with the assigner). Acking
+  /// what we consumed lets the network trim the change log behind us.
+  int link_change_consumer_ = -1;
   IncrementalSolveStats last_solve_stats_;
 };
 

@@ -347,8 +347,8 @@ TEST(Network, LinkIndexMatchesShadowScanUnderChurn) {
         };
         const Time latency = spec.start_latency;
         const FlowId id = net.start_flow(std::move(spec));
-        shadows.push_back(
-            Shadow{id, net.flow_path(id), now + latency, false, background});
+        shadows.push_back(Shadow{id, net.flow_path(id).to_path(), now + latency,
+                                 false, background});
       } else {
         const std::size_t pick = rng.below(shadows.size());
         Shadow& s = shadows[pick];
