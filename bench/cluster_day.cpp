@@ -24,11 +24,22 @@
 // gates it together with a >= 3x p99 speedup floor at >= 1024 GPUs.
 //
 // Emits one JSON line per (scale, mode) to BENCH_cluster.json.
+//
+// A second section exercises the same control plane under chaos: the
+// workload::run_chaos_churn harness (churn composed with link fault storms
+// and tenant kills) swept over seeds in reconfig vs rehash-only mode for the
+// goodput-retention headline, plus a long-horizon soak on the 4k-GPU Clos
+// (hours of virtual time in four quarters) asserting memory and telemetry-
+// registry stability. Emits BENCH_chaos.json; scripts/check.sh gates the
+// retention ratio, zero invariant violations, and the soak growth bounds.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -41,7 +52,9 @@
 #include "netsim/routing.h"
 #include "policy/flow_assign.h"
 #include "policy/ring_config.h"
+#include "telemetry/metrics.h"
 #include "workload/arrivals.h"
+#include "workload/chaos.h"
 
 namespace {
 
@@ -131,44 +144,11 @@ struct ModeResult {
   /// ascending, route keys ascending), so "identical" means identical at
   /// each of the trace's thousands of decision points — not merely at the
   /// end, where both modes trivially agree on an empty cluster.
-  std::uint64_t assignment_digest = 1469598103934665603ull;  // FNV offset
+  std::uint64_t assignment_digest = policy::kFnvOffset;
   /// Exact assignment snapshot at the trace midpoint, for a direct map
   /// comparison on top of the digest.
   std::unordered_map<std::uint32_t, policy::RouteMap> mid_assignments;
 };
-
-void fold_digest(std::uint64_t& h, std::uint64_t v) {
-  for (int b = 0; b < 8; ++b) {
-    h ^= (v >> (8 * b)) & 0xff;
-    h *= 1099511628211ull;  // FNV prime
-  }
-}
-
-void fold_assignment(std::uint64_t& h,
-                     const std::unordered_map<std::uint32_t, policy::RouteMap>&
-                         assignment) {
-  std::vector<std::uint32_t> ids;
-  ids.reserve(assignment.size());
-  // Skip tenants with no routed flows (single-host jobs): assign_flows omits
-  // them from its result while the warm assigner tracks them with an empty
-  // route map — same assignment, different map shape.
-  for (const auto& [id, routes] : assignment) {
-    if (!routes.empty()) ids.push_back(id);
-  }
-  std::sort(ids.begin(), ids.end());
-  for (std::uint32_t id : ids) {
-    fold_digest(h, id);
-    const policy::RouteMap& routes = assignment.at(id);
-    std::vector<std::uint64_t> keys;
-    keys.reserve(routes.size());
-    for (const auto& [key, route] : routes) keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    for (std::uint64_t key : keys) {
-      fold_digest(h, key);
-      fold_digest(h, routes.at(key).get());
-    }
-  }
-}
 
 /// Replay the trace once. `incremental` selects the control plane; all
 /// workload-side state (admission, placement, strategies) is identical
@@ -272,12 +252,17 @@ ModeResult run_mode(const Scale& scale, bool incremental) {
     ++res.events;
 
     // Identity accounting, outside the timed region: digest this event's
-    // post-decision assignment of every live tenant.
+    // post-decision assignment of every live tenant and fold it into the
+    // running trace digest. policy::assignment_digest skips tenants with no
+    // routed flows (single-host jobs), which assign_flows omits while the
+    // warm assigner tracks with an empty route map; the explicit erase keeps
+    // the mid-trace map snapshots comparable too.
     auto assignment = incremental ? assigner.assignments() : full_routes;
     for (auto it = assignment.begin(); it != assignment.end();) {
       it = it->second.empty() ? assignment.erase(it) : std::next(it);
     }
-    fold_assignment(res.assignment_digest, assignment);
+    policy::fold_digest(res.assignment_digest,
+                        policy::assignment_digest(assignment));
     if (res.events == events.size() / 2) res.mid_assignments = std::move(assignment);
 
     // Workload accounting, outside the timed region.
@@ -297,6 +282,210 @@ ModeResult run_mode(const Scale& scale, bool incremental) {
   res.goodput = busy_gpu_time /
                 (static_cast<double>(cluster.gpu_count()) * horizon);
   return res;
+}
+
+// --- chaos-under-churn: goodput retention sweep + long-horizon soak ---------
+
+/// Resident set size right now (Linux /proc/self/statm), in bytes.
+std::size_t rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long resident = 0;
+  const int n = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+int chaos_seed_count() {
+  const char* env = std::getenv("MCCS_CHAOS_BENCH_SEEDS");
+  if (env == nullptr) return 10;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 10;
+}
+
+/// The retention sweep's fabric: 64 GPUs, one host per leaf, so every
+/// multi-host tenant crosses the spine and a fabric fault sits on routed
+/// paths — steering (reconfig) vs not steering (rehash) is the ONLY
+/// difference between the modes. Four spines give every flow alternates to
+/// steer to.
+workload::ChaosChurnSpec chaos_retention_spec() {
+  workload::ChaosChurnSpec s;
+  s.fabric.num_spines = 4;
+  s.fabric.num_leaves = 16;
+  s.fabric.hosts_per_leaf = 1;
+  s.fabric.gpus_per_host = 4;
+  s.fabric.nics_per_host = 4;
+  s.fabric.nic_link = gbps(200);
+  s.fabric.fabric_link = gbps(200);
+  s.churn.horizon = 4000.0;
+  s.churn.mean_interarrival = 30.0;
+  s.churn.mean_duration = 500.0;
+  s.churn.sizes = {8, 16};
+  s.churn.size_weights = {3.0, 1.0};
+  s.churn.high_priority_fraction = 0.1;
+  s.reserved_routes = {0};
+  s.fault_episodes = 10;
+  s.degrade_prob = 0.15;  // mostly hard downs: the steerable failure mode
+  s.min_outage = 300.0;
+  s.max_outage = 900.0;
+  s.flap_bursts = 2;
+  s.flaps_per_burst = 3;
+  s.max_kills = 2;
+  s.kill_prob = 0.5;
+  s.audit_period = 8;
+  s.max_admission_retries = 16;
+  return s;
+}
+
+struct ChaosAgg {
+  int seeds = 0;
+  std::size_t events = 0;
+  std::size_t violations = 0;  ///< seeds where any invariant failed
+  std::size_t divergent = 0;
+  double retention_sum = 0.0;
+  std::uint64_t audits = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t duplicates = 0;
+
+  void add(const workload::ChaosChurnResult& r) {
+    ++seeds;
+    events += r.events;
+    if (!r.ok()) ++violations;
+    divergent += r.divergent_events;
+    retention_sum += r.goodput_retention;
+    audits += r.audits;
+    mismatches += r.audit_mismatches;
+    fallbacks += r.fallbacks;
+    kills += r.killed;
+    rejected += r.rejected;
+    deferred += r.deferred;
+    duplicates += r.duplicate_departures;
+  }
+  [[nodiscard]] double retention_mean() const {
+    return seeds > 0 ? retention_sum / seeds : 1.0;
+  }
+};
+
+void emit_chaos_mode(std::FILE* json, const char* mode, int gpus,
+                     const ChaosAgg& a) {
+  std::fprintf(
+      json,
+      "{\"bench\":\"chaos_churn\",\"mode\":\"%s\",\"gpus\":%d,\"seeds\":%d,"
+      "\"events\":%zu,\"retention_mean\":%.4f,\"violations\":%zu,"
+      "\"divergent_events\":%zu,\"audits\":%llu,\"audit_mismatches\":%llu,"
+      "\"fallbacks\":%llu,\"kills\":%llu,\"rejected\":%llu,\"deferred\":%llu,"
+      "\"duplicate_departures\":%llu}\n",
+      mode, gpus, a.seeds, a.events, a.retention_mean(), a.violations,
+      a.divergent,
+      static_cast<unsigned long long>(a.audits),
+      static_cast<unsigned long long>(a.mismatches),
+      static_cast<unsigned long long>(a.fallbacks),
+      static_cast<unsigned long long>(a.kills),
+      static_cast<unsigned long long>(a.rejected),
+      static_cast<unsigned long long>(a.deferred),
+      static_cast<unsigned long long>(a.duplicates));
+}
+
+/// The soak: the 4k-GPU Clos from the churn bench driven through four
+/// quarters of chaos-under-churn (4 virtual hours each), sharing one
+/// telemetry registry. Every quarter injects a warm-state poison that the
+/// sampled audit must heal; identity is checked on a stride and at quiesce.
+/// RSS and registry size are sampled after each quarter: a control plane
+/// that leaks per-tenant or per-fault state shows up as monotone growth
+/// between quarter 1 (steady-state footprint) and the end.
+void run_soak(std::FILE* json, const Scale& scale4k) {
+  workload::ChaosChurnSpec s;
+  s.fabric = scale4k.spec;
+  // A slice of larger-than-rack tenants (256 GPUs = two 128-GPU leaves):
+  // compact placement never fragments smaller jobs across racks (it prefers
+  // whole free racks), so only over-rack tenants put flows on the spine —
+  // without them spine faults sit on no live path, the poison has no
+  // multi-path victim, and retention is a vacuous 1.0. ~60% offered load.
+  s.churn.sizes = {16, 64, 256};
+  s.churn.size_weights = {4.0, 2.0, 1.0};
+  s.churn.mean_interarrival = 30.0;
+  s.churn.mean_duration = 1200.0;
+  s.churn.horizon = 14400.0;  // 4 virtual hours per quarter
+  s.churn.high_priority_fraction = 0.1;
+  s.reserved_routes = {0, 1};
+  s.fault_episodes = 24;
+  s.degrade_prob = 0.3;
+  s.min_outage = 300.0;
+  s.max_outage = 1200.0;
+  s.flap_bursts = 4;
+  s.flaps_per_burst = 4;
+  s.max_kills = 4;
+  s.kill_prob = 0.5;
+  s.audit_period = 32;
+  s.max_admission_retries = 32;
+  s.poison = true;
+  s.oracle_every_event = false;
+  s.oracle_stride = 101;
+
+  constexpr int kQuarters = 4;
+  telemetry::MetricsRegistry registry;
+  ChaosAgg agg;
+  bool healed = true;
+  int poisons_engaged = 0;
+  std::size_t rss_q1 = 0;
+  std::size_t registry_q1 = 0;
+  for (int q = 0; q < kQuarters; ++q) {
+    const workload::ChaosChurnResult r =
+        workload::run_chaos_churn(s, 0x50a4u + static_cast<std::uint64_t>(q),
+                                  &registry);
+    agg.add(r);
+    healed = healed && r.healed;
+    if (r.poisoned) ++poisons_engaged;
+    std::printf("  soak quarter %d/%d: %zu events, retention %.3f, "
+                "audits %llu, fallbacks %llu, %s\n",
+                q + 1, kQuarters, r.events, r.goodput_retention,
+                static_cast<unsigned long long>(r.audits),
+                static_cast<unsigned long long>(r.fallbacks),
+                r.ok() ? "ok" : "INVARIANT VIOLATION");
+    if (q == 0) {
+      rss_q1 = rss_bytes();
+      registry_q1 = registry.size();
+    }
+  }
+  const std::size_t rss_end = rss_bytes();
+  const std::size_t registry_end = registry.size();
+  const double rss_growth =
+      rss_q1 > 0
+          ? (static_cast<double>(rss_end) - static_cast<double>(rss_q1)) /
+                static_cast<double>(rss_q1)
+          : 0.0;
+  const double virtual_hours =
+      kQuarters * s.churn.horizon / 3600.0;
+
+  std::printf("  soak: %.0f virtual hours, %zu events, rss %.1f -> %.1f MiB "
+              "(%+.1f%%), registry %zu -> %zu instruments\n",
+              virtual_hours, agg.events, rss_q1 / 1048576.0,
+              rss_end / 1048576.0, rss_growth * 100.0, registry_q1,
+              registry_end);
+  std::fprintf(
+      json,
+      "{\"bench\":\"chaos_soak\",\"gpus\":4096,\"quarters\":%d,"
+      "\"virtual_hours\":%.1f,\"events\":%zu,\"violations\":%zu,"
+      "\"divergent_events\":%zu,\"audits\":%llu,\"audit_mismatches\":%llu,"
+      "\"fallbacks\":%llu,\"poisons_engaged\":%d,\"poisons_healed\":%s,"
+      "\"rss_q1_mib\":%.1f,\"rss_end_mib\":%.1f,"
+      "\"rss_growth_frac\":%.4f,\"registry_size\":%zu,"
+      "\"registry_growth\":%lld}\n",
+      kQuarters, virtual_hours, agg.events, agg.violations, agg.divergent,
+      static_cast<unsigned long long>(agg.audits),
+      static_cast<unsigned long long>(agg.mismatches),
+      static_cast<unsigned long long>(agg.fallbacks), poisons_engaged,
+      healed ? "true" : "false", rss_q1 / 1048576.0, rss_end / 1048576.0,
+      rss_growth, registry_end,
+      static_cast<long long>(registry_end) -
+          static_cast<long long>(registry_q1));
 }
 
 }  // namespace
@@ -355,5 +544,55 @@ int main() {
   }
   std::fclose(json);
   std::printf("\nBENCH_cluster.json written (one line per scale x mode).\n");
+
+  // --- chaos-under-churn: retention sweep + soak ---------------------------
+  std::printf("\n=== chaos_churn: faults under churn, reconfig vs rehash ===\n\n");
+  std::FILE* cjson = std::fopen("BENCH_chaos.json", "w");
+  MCCS_CHECK(cjson != nullptr, "cannot open BENCH_chaos.json");
+
+  const workload::ChaosChurnSpec base = chaos_retention_spec();
+  const int seeds = chaos_seed_count();
+  ChaosAgg reconfig_agg;
+  ChaosAgg rehash_agg;
+  for (int i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = 0xbadc0deull + static_cast<std::uint64_t>(i);
+    workload::ChaosChurnSpec spec = base;
+    spec.reconfig = true;
+    spec.poison = i % 3 == 2;  // every third seed proves the self-heal path
+    reconfig_agg.add(workload::run_chaos_churn(spec, seed));
+    spec.reconfig = false;
+    spec.poison = false;
+    rehash_agg.add(workload::run_chaos_churn(spec, seed));
+  }
+  const double loss_reconfig =
+      std::max(1e-9, 1.0 - reconfig_agg.retention_mean());
+  const double loss_rehash = 1.0 - rehash_agg.retention_mean();
+  const double loss_ratio = loss_rehash / loss_reconfig;
+  std::printf("%-10s %6s %10s %11s %8s %10s %9s\n", "mode", "seeds",
+              "retention", "violations", "audits", "fallbacks", "kills");
+  for (const auto& [name, agg] :
+       {std::pair<const char*, const ChaosAgg*>{"reconfig", &reconfig_agg},
+        {"rehash", &rehash_agg}}) {
+    std::printf("%-10s %6d %9.3f%% %11zu %8llu %10llu %9llu\n", name,
+                agg->seeds, agg->retention_mean() * 100.0, agg->violations,
+                static_cast<unsigned long long>(agg->audits),
+                static_cast<unsigned long long>(agg->fallbacks),
+                static_cast<unsigned long long>(agg->kills));
+  }
+  std::printf("goodput loss rehash/reconfig: %.1fx\n\n", loss_ratio);
+  emit_chaos_mode(cjson, "reconfig", 64, reconfig_agg);
+  emit_chaos_mode(cjson, "rehash", 64, rehash_agg);
+  std::fprintf(
+      cjson,
+      "{\"bench\":\"chaos_summary\",\"retention_reconfig\":%.4f,"
+      "\"retention_rehash\":%.4f,\"loss_ratio_rehash_vs_reconfig\":%.2f,"
+      "\"violations\":%zu}\n",
+      reconfig_agg.retention_mean(), rehash_agg.retention_mean(), loss_ratio,
+      reconfig_agg.violations + rehash_agg.violations);
+
+  std::printf("=== chaos_soak: 4k-GPU Clos, %d virtual hours ===\n\n", 16);
+  run_soak(cjson, scales()[1]);
+  std::fclose(cjson);
+  std::printf("\nBENCH_chaos.json written (sweep + summary + soak).\n");
   return 0;
 }

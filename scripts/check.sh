@@ -19,7 +19,12 @@
 #   prohibitive, and the single-threaded tests have no data races to find.
 #
 # CHAOS_SEEDS=N (default 100) sizes the seeded random fault-schedule sweep of
-# tests/test_chaos_fuzz.cpp run in both modes.
+# tests/test_chaos_fuzz.cpp run in both modes. CHAOS_CHURN_SEEDS=N (default
+# 100) sizes the chaos-under-churn invariant sweep of tests/test_chaos_churn.cpp
+# (faults + kills composed with tenant churn; termination, exactly-once,
+# zero-orphan quiesce and assignment-identity invariants per seed), which runs
+# at MCCS_THREADS=1 and 8 — the seed-parallel sweep must be thread-count
+# independent.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,15 +37,26 @@ chaos_sweep() {
     --gtest_filter='*ChaosFuzz*' --gtest_brief=1
 }
 
+chaos_churn_sweep() {
+  local tests_bin="$1"
+  local seeds="${CHAOS_CHURN_SEEDS:-100}"
+  for threads in 1 8; do
+    echo "== chaos-under-churn sweep (${seeds} seeds, MCCS_THREADS=${threads}) =="
+    MCCS_THREADS="${threads}" MCCS_CHAOS_CHURN_SEEDS="${seeds}" "$tests_bin" \
+      --gtest_filter='*ChaosChurn*:*LinkChangeLog*:*ControllerRestart*:*IncrementalAssignAudit*' \
+      --gtest_brief=1
+  done
+}
+
 if [[ "${SANITIZE:-}" == "thread" ]]; then
   echo "== sanitizer build: thread =="
   cmake -B build-tsan -S . -DMCCS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target mccs_tests
   echo "== parallel-subsystem tests (TSan, MCCS_THREADS=8) =="
   MCCS_THREADS=8 MCCS_NETSIM_PROPERTY_SEEDS=40 MCCS_CHAOS_SEEDS=6 \
-    MCCS_NETSIM_8K_SEEDS=1 \
+    MCCS_NETSIM_8K_SEEDS=1 MCCS_CHAOS_CHURN_SEEDS=8 \
     build-tsan/tests/mccs_tests \
-    --gtest_filter='*Parallel*:*ChaosFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*:*NetworkSlab*' \
+    --gtest_filter='*Parallel*:*ChaosFuzz*:*ChaosChurnFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*:*NetworkSlab*' \
     --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: thread)"
   exit 0
@@ -64,6 +80,13 @@ if [[ -n "${SANITIZE:-}" ]]; then
   echo "== control-plane churn smoke (sanitized) =="
   MCCS_ASSIGN_SEEDS=40 build-san/tests/mccs_tests \
     --gtest_filter='*ClusterChurn*:*IncrementalAssign*' --gtest_brief=1
+  # The chaos composition (faults + kills + backpressure + audit fallback +
+  # restart recovery) stresses exactly the teardown/rebuild lifetimes the
+  # sanitizers exist for; a trimmed sweep is seconds-scale even instrumented.
+  echo "== chaos-under-churn (sanitized) =="
+  MCCS_CHAOS_CHURN_SEEDS=20 build-san/tests/mccs_tests \
+    --gtest_filter='*ChaosChurn*:*LinkChangeLog*:*ControllerRestart*' \
+    --gtest_brief=1
   # The flow slab recycles slots and hands out interned path views — exactly
   # the use-after-free shapes ASan exists for. Run the slab suite explicitly
   # (it is also in the full ctest pass above; this keeps it visible).
@@ -235,6 +258,7 @@ else
 fi
 
 chaos_sweep build/tests/mccs_tests
+chaos_churn_sweep build/tests/mccs_tests
 
 echo "== micro_recovery =="
 (cd build/bench && ./micro_recovery)
@@ -525,6 +549,94 @@ else
     fi
   done < "$cljson"
   echo "BENCH_cluster.json schema OK (grep fallback; speedup gate skipped)"
+fi
+
+# Chaos-under-churn robustness gates (cluster_day writes BENCH_chaos.json in
+# the same run): the fault-steering control plane must retain goodput — the
+# rehash-only baseline must lose >= 2x as much — with ZERO invariant
+# violations across the seed sweep, and the 4k soak must hold memory and
+# telemetry-registry growth flat across 16 virtual hours while every injected
+# warm-state poison heals.
+chjson=build/bench/BENCH_chaos.json
+[[ -s "$chjson" ]] || { echo "FAIL: $chjson missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$chjson" <<'EOF'
+import json, sys
+
+expected = {
+    "chaos_churn": {"bench", "mode", "gpus", "seeds", "events",
+                    "retention_mean", "violations", "divergent_events",
+                    "audits", "audit_mismatches", "fallbacks", "kills",
+                    "rejected", "deferred", "duplicate_departures"},
+    "chaos_summary": {"bench", "retention_reconfig", "retention_rehash",
+                      "loss_ratio_rehash_vs_reconfig", "violations"},
+    "chaos_soak": {"bench", "gpus", "quarters", "virtual_hours", "events",
+                   "violations", "divergent_events", "audits",
+                   "audit_mismatches", "fallbacks", "poisons_engaged",
+                   "poisons_healed", "rss_q1_mib", "rss_end_mib",
+                   "rss_growth_frac", "registry_size", "registry_growth"},
+}
+recs = {}
+modes = set()
+for i, line in enumerate((l for l in open(sys.argv[1]) if l.strip()), 1):
+    rec = json.loads(line)
+    bench = rec.get("bench")
+    if bench not in expected:
+        sys.exit(f"FAIL: line {i} unknown bench {bench!r}")
+    if set(rec) != expected[bench]:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != "
+                 f"{sorted(expected[bench])}")
+    recs.setdefault(bench, []).append(rec)
+    if bench == "chaos_churn":
+        modes.add(rec["mode"])
+        if rec["violations"] != 0:
+            sys.exit(f"FAIL: {rec['mode']} sweep has "
+                     f"{rec['violations']} invariant violations")
+if modes != {"reconfig", "rehash"}:
+    sys.exit(f"FAIL: sweep modes {sorted(modes)} != ['reconfig', 'rehash']")
+summary = recs.get("chaos_summary", [None])[0]
+if summary is None:
+    sys.exit("FAIL: chaos_summary record missing")
+if summary["violations"] != 0:
+    sys.exit(f"FAIL: {summary['violations']} invariant violations in sweep")
+if summary["loss_ratio_rehash_vs_reconfig"] < 2.0:
+    sys.exit(f"FAIL: goodput-loss ratio "
+             f"{summary['loss_ratio_rehash_vs_reconfig']:.2f} < 2x — "
+             "fault steering is not earning its keep")
+soak = recs.get("chaos_soak", [None])[0]
+if soak is None:
+    sys.exit("FAIL: chaos_soak record missing")
+if soak["violations"] != 0:
+    sys.exit(f"FAIL: soak has {soak['violations']} invariant violations")
+if soak["poisons_engaged"] < 1:
+    sys.exit("FAIL: soak never engaged a warm-state poison (vacuous)")
+if soak["poisons_healed"] is not True:
+    sys.exit("FAIL: a soak poison window never healed")
+if soak["rss_growth_frac"] > 0.25:
+    sys.exit(f"FAIL: soak RSS grew {soak['rss_growth_frac']:.1%} past "
+             "quarter-1 steady state — control plane is leaking")
+if soak["registry_size"] > 8:
+    sys.exit(f"FAIL: soak registry holds {soak['registry_size']} "
+             "instruments — must stay O(1), not O(tenants)")
+if soak["registry_growth"] != 0:
+    sys.exit(f"FAIL: soak registry grew by {soak['registry_growth']} "
+             "instruments after quarter 1")
+print(f"BENCH_chaos.json schema + gates OK "
+      f"(loss ratio {summary['loss_ratio_rehash_vs_reconfig']:.1f}x, "
+      f"soak rss {soak['rss_growth_frac']:+.1%}, "
+      f"{soak['poisons_engaged']} poisons healed)")
+EOF
+else
+  grep -q '"bench":"chaos_summary"' "$chjson" || {
+    echo "FAIL: chaos_summary record missing" >&2; exit 1;
+  }
+  grep -q '"violations":0' "$chjson" || {
+    echo "FAIL: chaos invariant violations" >&2; exit 1;
+  }
+  grep -q '"poisons_healed":true' "$chjson" || {
+    echo "FAIL: soak poison never healed" >&2; exit 1;
+  }
+  echo "BENCH_chaos.json schema OK (grep fallback; ratio/growth gates skipped)"
 fi
 
 echo "ALL CHECKS PASSED"

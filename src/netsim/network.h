@@ -230,6 +230,33 @@ class Network {
 
   /// Register a consumer whose cursor starts at the oldest retained entry.
   [[nodiscard]] int register_link_change_consumer();
+
+  /// A cursor-resume request that landed below the oldest retained entry:
+  /// the history between `requested` and `earliest` was trimmed away, so a
+  /// warm resume is impossible. Returned (never silently absorbed) so the
+  /// consumer can rebuild from scratch instead of replaying with a gap.
+  struct TrimmedHistory {
+    std::size_t requested = 0;  ///< the cursor the consumer asked for
+    std::size_t earliest = 0;   ///< oldest absolute index still retained
+  };
+  struct LinkChangeRegistration {
+    int consumer = -1;  ///< valid only when !trimmed
+    bool trimmed = false;
+    TrimmedHistory gap;  ///< meaningful only when trimmed
+    [[nodiscard]] bool ok() const { return !trimmed; }
+  };
+  /// Register a consumer resuming at an absolute cursor (crash/restart
+  /// recovery: the cursor comes from the dead consumer's snapshot). Succeeds
+  /// iff every entry from `cursor` onward is still retained; otherwise the
+  /// registration is REFUSED with the trimmed-history gap — the caller must
+  /// rebuild its derived state cold rather than replay across a hole.
+  /// `cursor` may not exceed link_change_end().
+  [[nodiscard]] LinkChangeRegistration register_link_change_consumer_at(
+      std::size_t cursor);
+  /// Release a consumer's cursor (clean shutdown or lease expiry after a
+  /// crash) so it no longer pins the log against trimming. The consumer id
+  /// is dead afterwards; released slots are never reused.
+  void unregister_link_change_consumer(int consumer);
   /// One past the newest change's absolute index.
   [[nodiscard]] std::size_t link_change_end() const {
     return link_change_base_ + link_changes_.size();
@@ -245,6 +272,8 @@ class Network {
   [[nodiscard]] std::size_t link_change_cursor(int consumer) const {
     MCCS_EXPECTS(consumer >= 0 && static_cast<std::size_t>(consumer) <
                                       link_change_cursors_.size());
+    MCCS_EXPECTS(link_change_cursors_[static_cast<std::size_t>(consumer)] !=
+                 kReleasedCursor);
     return link_change_cursors_[static_cast<std::size_t>(consumer)];
   }
   /// Mark entries below `upto` as processed by `consumer`; may trim.
@@ -428,6 +457,11 @@ class Network {
   std::vector<double> capacity_scale_;  ///< effective = nominal * scale
 
   // Bounded change-set export (see the link-change log section above).
+  /// Sentinel for a released consumer slot: skipped by the min-ack trim scan
+  /// and rejected by cursor reads/acks. Slots are never reused, so a stale
+  /// consumer id from before a release fails loudly instead of aliasing.
+  static constexpr std::size_t kReleasedCursor =
+      static_cast<std::size_t>(-1);
   std::vector<LinkChange> link_changes_;
   std::size_t link_change_base_ = 0;  ///< absolute index of link_changes_[0]
   std::vector<std::size_t> link_change_cursors_;  ///< per-consumer acks

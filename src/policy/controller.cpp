@@ -15,6 +15,84 @@ int controller_track(svc::Fabric& fabric) {
 
 }  // namespace
 
+Controller::~Controller() {
+  if (link_change_consumer_ >= 0) {
+    fabric_->network().unregister_link_change_consumer(link_change_consumer_);
+  }
+}
+
+IncrementalAssigner& Controller::warm_assigner() {
+  MCCS_EXPECTS(incremental_);
+  if (assigner_ == nullptr) {
+    assigner_ = std::make_unique<IncrementalAssigner>(
+        fabric_->cluster(), fabric_->network().routing());
+  }
+  return *assigner_;
+}
+
+Controller::ControllerSnapshot Controller::snapshot() const {
+  ControllerSnapshot snap;
+  net::Network& network = fabric_->network();
+  snap.link_change_cursor =
+      link_change_consumer_ >= 0
+          ? network.link_change_cursor(link_change_consumer_)
+          : network.link_change_end();
+  snap.failed_links = failed_links_;
+  if (assigner_ != nullptr) snap.assignments = assigner_->assignments();
+  return snap;
+}
+
+Controller::RestoreOutcome Controller::restore(const ControllerSnapshot& snap) {
+  MCCS_EXPECTS(incremental_);
+  MCCS_EXPECTS(link_change_consumer_ < 0);  // a fresh controller restores
+  failed_links_ = snap.failed_links;
+  net::Network& network = fabric_->network();
+  IncrementalAssigner& assigner = warm_assigner();
+
+  // Re-register WHERE the dead controller stopped reading, so every link
+  // event that fired during the outage replays into the next solve's dirty
+  // closure. The network refuses the registration when it has trimmed the
+  // log past the cursor — a silent gap here would mean silently stale
+  // routes, the exact failure the audit subsystem exists to catch late.
+  const net::Network::LinkChangeRegistration reg =
+      network.register_link_change_consumer_at(snap.link_change_cursor);
+  RestoreOutcome outcome;
+  if (reg.ok()) {
+    link_change_consumer_ = reg.consumer;
+    outcome = RestoreOutcome::kWarmReplay;
+  } else {
+    // Trimmed history: the events in [cursor, earliest) are unrecoverable,
+    // so the snapshot's warm assignment cannot be trusted. Rebuild cold —
+    // loudly — from the current fabric state.
+    fabric_->telemetry()
+        .metrics()
+        .counter("controller_cold_rebuild_total")
+        .increment();
+    link_change_consumer_ = network.register_link_change_consumer();
+    outcome = RestoreOutcome::kColdRebuild;
+  }
+
+  // Seed the assigner with the live communicator set, then either adopt the
+  // snapshot's decisions (warm) or leave everything dirty (cold). rebalance()
+  // runs the replayed/dirty solve and pushes any changed routes out.
+  for (const svc::CommInfo& info : fabric_->list_communicators()) {
+    if (assigner.has_item(info.id)) continue;
+    const svc::CommStrategy strategy = fabric_->strategy_of(info.id);
+    AssignItem item;
+    item.comm = info.id;
+    item.app = info.app;
+    item.gpus_by_rank = &info.gpus;  // add_item copies both
+    item.strategy = &strategy;
+    item.high_priority = priority_apps_.count(info.app.get()) > 0;
+    assigner.add_item(item);
+  }
+  if (outcome == RestoreOutcome::kWarmReplay) {
+    assigner.adopt_assignment(snap.assignments);
+  }
+  rebalance();
+  return outcome;
+}
+
 void Controller::attach() {
   fabric_->set_strategy_provider(
       [this](const svc::CommInfo& info) { return provide(info); });

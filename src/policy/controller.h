@@ -31,6 +31,14 @@ class Controller {
   };
 
   explicit Controller(svc::Fabric& fabric) : fabric_(&fabric) {}
+  /// Releases the link-change consumer so a dead controller never pins the
+  /// network's change log. NOTE: the destructor does NOT detach the strategy
+  /// provider / stall handler (the fabric holds std::functions bound to
+  /// this); a restart must attach the successor before creating any
+  /// communicator.
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
 
   void set_ring_policy(RingPolicy p) { ring_policy_ = p; }
   void set_flow_policy(FlowPolicy p) { flow_policy_ = p; }
@@ -115,6 +123,43 @@ class Controller {
   void clear_link_failed(LinkId link);
 
   [[nodiscard]] std::vector<LinkId> failed_links() const;
+
+  // --- crash / restart recovery ---------------------------------------------------
+
+  /// Everything a restarted controller needs to resume WITHOUT a full
+  /// re-solve: its placement decisions (the warm assignment), the dynamic
+  /// failure state it had discovered, and the change-log cursor marking the
+  /// last netsim event it had consumed. Static configuration (policies,
+  /// priority apps, reserved routes) is deliberately excluded — the operator
+  /// re-applies it on restart, exactly as a real deployment redeploys config.
+  struct ControllerSnapshot {
+    std::size_t link_change_cursor = 0;  ///< first log index NOT yet consumed
+    std::unordered_set<std::uint32_t> failed_links;
+    std::unordered_map<std::uint32_t, RouteMap> assignments;
+  };
+  /// Capture the current decision state (cheap; safe at any quiesce point).
+  [[nodiscard]] ControllerSnapshot snapshot() const;
+
+  enum class RestoreOutcome {
+    kWarmReplay,   ///< log replay from the cursor covered the outage
+    kColdRebuild,  ///< history trimmed past the cursor: full re-solve forced
+  };
+  /// Resume from `snap` on this (freshly constructed, incremental-mode)
+  /// controller. Registers a change-log consumer AT the snapshot cursor so
+  /// every link event that fired during the outage replays into the dirty
+  /// closure; adopts the snapshot assignment as the warm state; then
+  /// rebalances (comms whose routes moved during the outage reconfigure).
+  /// When the network trimmed the log past the cursor, restore REFUSES to
+  /// gap silently: it counts controller_cold_rebuild_total in the fabric's
+  /// metrics, discards the warm assignment, and re-solves everything from
+  /// scratch. Either way the post-restore assignment is correct; the outcome
+  /// only tells how much work it cost.
+  RestoreOutcome restore(const ControllerSnapshot& snap);
+
+  /// The warm assigner (incremental mode only; constructed on first use).
+  /// Tests and the chaos harness reach through it for audit configuration
+  /// and state poisoning.
+  [[nodiscard]] IncrementalAssigner& warm_assigner();
   [[nodiscard]] const std::vector<RecoveryRecord>& recovery_log() const {
     return recovery_log_;
   }

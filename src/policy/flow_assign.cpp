@@ -159,7 +159,55 @@ std::uint32_t best_route(const PendingFlow& f, const net::Routing& routing,
   return 0;
 }
 
+/// splitmix64 finalizer — the audit sampler's hash (stable across platforms,
+/// matching the FaultPlan generator's idiom).
+std::uint64_t mix_u64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+void fold_digest(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ull;  // FNV prime
+  }
+}
+
+std::uint64_t assignment_digest(
+    const std::unordered_map<std::uint32_t, RouteMap>& assignment) {
+  std::uint64_t h = kFnvOffset;
+  std::vector<std::uint32_t> ids;
+  ids.reserve(assignment.size());
+  for (const auto& [id, routes] : assignment) {
+    if (!routes.empty()) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t id : ids) {
+    fold_digest(h, id);
+    const RouteMap& routes = assignment.at(id);
+    keys.clear();
+    keys.reserve(routes.size());
+    for (const auto& [key, route] : routes) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys) {
+      fold_digest(h, key);
+      fold_digest(h, routes.at(key).get());
+    }
+  }
+  return h;
+}
+
+std::vector<PendingFlow> enumerate_flows(const AssignItem& item,
+                                         const cluster::Cluster& cluster) {
+  MCCS_EXPECTS(item.gpus_by_rank != nullptr && item.strategy != nullptr);
+  std::vector<PendingFlow> out;
+  collect_flows(0, item, cluster, out);
+  return out;
+}
 
 std::unordered_map<std::uint32_t, RouteMap> assign_flows(
     const std::vector<AssignItem>& items, const cluster::Cluster& cluster,
@@ -395,7 +443,15 @@ IncrementalSolveStats IncrementalAssigner::solve(Time now) {
   dirty_items_.clear();
   dirty_links_.clear();
   stats.solved_items = closure.size();
-  if (closure.empty()) return stats;
+  if (closure.empty()) {
+    // Dirt that touched no live item (e.g. a change-log entry for a link no
+    // tenant crosses) still counts as a solve for audit sampling: staleness
+    // can only be healed by a solve, so every non-trivial solve is a
+    // candidate.
+    ++solve_count_;
+    maybe_audit(stats);
+    return stats;
+  }
 
   // Roll the closure's previous placements out of the global demand map;
   // everything outside the closure is in a different interference component,
@@ -464,7 +520,140 @@ IncrementalSolveStats IncrementalAssigner::solve(Time now) {
       }
     }
   }
+  ++solve_count_;
+  maybe_audit(stats);
   return stats;
+}
+
+void IncrementalAssigner::set_audit(const AuditOptions& options,
+                                    telemetry::MetricsRegistry* metrics) {
+  audit_ = options;
+  audit_metrics_ = metrics;
+}
+
+std::unordered_map<std::uint32_t, RouteMap> IncrementalAssigner::full_resolve()
+    const {
+  std::vector<AssignItem> batch;
+  batch.reserve(items_.size());
+  for (const auto& [id, st] : items_) {
+    AssignItem item;
+    item.comm = CommId{id};
+    item.app = st.app;
+    item.gpus_by_rank = &st.gpus;
+    item.strategy = &st.strategy;
+    item.high_priority = st.high_priority;
+    batch.push_back(item);
+  }
+  AssignOptions options;
+  options.reserved_routes = reserved_routes_;
+  options.failed_links = failed_links_;
+  return assign_flows(batch, *cluster_, *routing_, options);
+}
+
+void IncrementalAssigner::adopt_assignment(
+    const std::unordered_map<std::uint32_t, RouteMap>& warm) {
+  std::fill(link_demand_.begin(), link_demand_.end(), 0.0);
+  dirty_items_.clear();
+  dirty_links_.clear();
+  for (auto& [id, st] : items_) {
+    st.contrib.clear();
+    auto it = warm.find(id);
+    if (it == warm.end() && !st.flows.empty()) {
+      // Live item the adopted assignment knows nothing about (e.g. created
+      // against a snapshot taken before it arrived): solve it next round.
+      st.routes.clear();
+      dirty_items_.insert(id);
+      continue;
+    }
+    st.routes = it != warm.end() ? it->second : RouteMap{};
+    for (const PendingFlow& f : st.flows) {
+      auto rit = st.routes.find(f.route_key);
+      if (rit == st.routes.end()) continue;
+      for (LinkId l : routing_->paths(f.src, f.dst)[rit->second.get()]) {
+        link_demand_[l.get()] += f.demand;
+        st.contrib.emplace_back(l.get(), f.demand);
+      }
+    }
+  }
+}
+
+void IncrementalAssigner::maybe_audit(IncrementalSolveStats& stats) {
+  if (audit_.period == 0) return;
+  const std::uint64_t h =
+      mix_u64(audit_.seed ^ (solve_count_ * 0x9e3779b97f4a7c15ull));
+  if (h % audit_.period != 0) return;
+  stats.audited = true;
+  ++audit_runs_;
+  if (audit_metrics_ != nullptr) {
+    audit_metrics_->counter("policy_audit_runs_total").increment();
+  }
+  const auto full = full_resolve();
+  if (assignment_digest(full) == assignment_digest(assignments())) return;
+  ++audit_mismatches_;
+  ++fallbacks_;
+  if (audit_metrics_ != nullptr) {
+    audit_metrics_->counter("policy_audit_mismatch_total").increment();
+    audit_metrics_->counter("policy_fallback_total").increment();
+  }
+  adopt_assignment(full);
+  stats.fell_back = true;
+}
+
+void IncrementalAssigner::invalidate_all() {
+  std::fill(link_demand_.begin(), link_demand_.end(), 0.0);
+  dirty_links_.clear();
+  dirty_items_.clear();
+  for (auto& [id, st] : items_) {
+    st.contrib.clear();
+    st.routes.clear();
+    dirty_items_.insert(id);
+  }
+  ++fallbacks_;
+  if (audit_metrics_ != nullptr) {
+    audit_metrics_->counter("policy_fallback_total").increment();
+  }
+}
+
+bool IncrementalAssigner::debug_poison_state(std::uint64_t seed) {
+  std::vector<std::uint32_t> candidates;
+  for (const auto& [id, st] : items_) {
+    if (st.routes.empty()) continue;  // unsolved items have nothing to skew
+    for (const PendingFlow& f : st.flows) {
+      if (routing_->paths(f.src, f.dst).size() > 1) {
+        candidates.push_back(id);
+        break;
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+  const std::uint32_t victim_id =
+      candidates[mix_u64(seed ^ 0x9e3779b97f4a7c15ull) % candidates.size()];
+  ItemState& st = items_.at(victim_id);
+  // Re-place every multi-path flow on the next-index route, keeping the
+  // demand map and contrib list consistent with the (now wrong) routes: the
+  // state stays internally coherent, so nothing short of an audit or a cold
+  // rebuild will ever notice.
+  for (const auto& [link, demand] : st.contrib) link_demand_[link] -= demand;
+  st.contrib.clear();
+  for (const PendingFlow& f : st.flows) {
+    const auto& paths = routing_->paths(f.src, f.dst);
+    auto rit = st.routes.find(f.route_key);
+    if (rit == st.routes.end()) continue;
+    const std::uint32_t r = static_cast<std::uint32_t>(
+        (rit->second.get() + 1) % static_cast<std::uint32_t>(paths.size()));
+    rit->second = RouteId{r};
+    for (LinkId l : paths[r]) {
+      link_demand_[l.get()] += f.demand;
+      st.contrib.emplace_back(l.get(), f.demand);
+    }
+  }
+  return true;
+}
+
+double IncrementalAssigner::total_link_demand() const {
+  double total = 0.0;
+  for (double d : link_demand_) total += d;
+  return total;
 }
 
 const RouteMap& IncrementalAssigner::routes_of(CommId comm) const {

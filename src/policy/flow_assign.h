@@ -72,6 +72,18 @@ struct AssignOptions {
 /// Route map per communicator: CommStrategy::route_key -> RouteId.
 using RouteMap = std::unordered_map<std::uint64_t, RouteId>;
 
+/// Order-insensitive FNV-1a digest of a full assignment (comms ascending,
+/// route keys ascending within each comm; comms with no routed flows are
+/// skipped, so the one-shot solver's map shape and the warm assigner's
+/// agree). The canonical "same assignment" check for benches, audits, and
+/// the chaos invariants — two assignments digest equal iff their routed
+/// flows match exactly.
+std::uint64_t assignment_digest(
+    const std::unordered_map<std::uint32_t, RouteMap>& assignment);
+/// Fold `v` into a running FNV-1a digest `h` (seed with kFnvOffset).
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+void fold_digest(std::uint64_t& h, std::uint64_t v);
+
 /// Compute explicit routes for every inter-host connection of every item.
 /// Deterministic: same input, same placement.
 std::unordered_map<std::uint32_t, RouteMap> assign_flows(
@@ -95,6 +107,13 @@ struct PendingFlow {
   bool high_priority = false;
 };
 
+/// Enumerate one item's inter-host connections in drain order (ring
+/// successors per channel / tree edges / pairwise mesh) — the flow set both
+/// solvers place. Public so harnesses modelling per-flow goodput see exactly
+/// the flows the assigner routed.
+std::vector<PendingFlow> enumerate_flows(const AssignItem& item,
+                                         const cluster::Cluster& cluster);
+
 /// What one IncrementalAssigner::solve actually did, for decision-latency
 /// accounting: how much of the cluster the dirty closure touched versus the
 /// total, and how many flows were re-placed.
@@ -103,6 +122,8 @@ struct IncrementalSolveStats {
   std::size_t solved_items = 0;    ///< communicators inside the dirty closure
   std::size_t flows_resolved = 0;  ///< flows re-placed by this solve
   std::size_t links_touched = 0;   ///< links visited by the dirty closure
+  bool audited = false;            ///< this solve ran the sampled audit
+  bool fell_back = false;          ///< audit found stale state; full rebuild ran
 };
 
 /// Warm-started incremental FFA/PFA.
@@ -147,6 +168,63 @@ class IncrementalAssigner {
   /// Placement-decision instants land on this timeline when enabled (same
   /// events assign_flows emits). Null disables.
   void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+
+  // --- divergence audit --------------------------------------------------------
+  /// Self-healing safety net for the warm state. Warm re-solves are proven
+  /// assignment-identical to the full greedy — but only while the assigner's
+  /// internal demand/route state is in sync with reality. A fault landing
+  /// mid-dirty-closure, a missed change-log entry, or a memory-corrupting
+  /// bug leaves the state *stale*: internally coherent, silently wrong. The
+  /// audit samples solves (seeded, so a seed sweep audits different solves
+  /// per seed but each run is deterministic): an audited solve re-runs the
+  /// full one-shot greedy over the live items and digests both assignments.
+  /// On mismatch the assigner falls back — it adopts the full result and
+  /// rebuilds its warm demand state from it — so one audit hit heals every
+  /// consequence of the staleness.
+  struct AuditOptions {
+    /// Expected solves between audits (0 disables). The audit fires when a
+    /// splitmix64 hash of (seed, solve index) lands in a 1/period window,
+    /// so audits are spread rather than phase-locked to the event stream.
+    std::uint32_t period = 0;
+    std::uint64_t seed = 0;
+  };
+  /// Configure the audit; counters land in `metrics` (may be null):
+  /// policy_audit_runs_total / policy_audit_mismatch_total /
+  /// policy_fallback_total.
+  void set_audit(const AuditOptions& options,
+                 telemetry::MetricsRegistry* metrics = nullptr);
+  [[nodiscard]] std::uint64_t audit_runs() const { return audit_runs_; }
+  [[nodiscard]] std::uint64_t audit_mismatches() const {
+    return audit_mismatches_;
+  }
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+
+  /// Throw away all warm state (demand map, every item's routes) and mark
+  /// every item dirty: the next solve() is a from-scratch re-solve that
+  /// rebuilds the warm start. The recovery entry point for controller
+  /// restarts that cannot replay the change log (trimmed history) and for
+  /// any caller that knows the warm state is stale.
+  void invalidate_all();
+
+  /// Adopt `warm` as the stored assignment and rebuild the warm demand state
+  /// (link_demand_, per-item contrib) from it. Items covered by `warm` (and
+  /// items with no inter-host flows) come out clean; a live item with flows
+  /// but no entry stays dirty for the next solve. The audit fallback feeds
+  /// this the full greedy's output; controller restart feeds it a snapshot.
+  void adopt_assignment(
+      const std::unordered_map<std::uint32_t, RouteMap>& warm);
+
+  /// Test hook: make the stored assignment stale while keeping the internal
+  /// demand state self-consistent with it — exactly the failure mode the
+  /// audit exists to catch (no dirt is raised, so without an audit the
+  /// staleness persists silently). Reroutes every multi-path flow of the
+  /// seeded victim item to the next-index route. Returns false when no item
+  /// has a multi-path flow to corrupt.
+  bool debug_poison_state(std::uint64_t seed);
+
+  /// Sum of the warm per-link demand map (0 iff no item holds placed
+  /// demand) — the chaos harness's orphaned-reservation check.
+  [[nodiscard]] double total_link_demand() const;
 
   // --- event API ---------------------------------------------------------------
   /// Register a communicator (copies its GPU list and strategy; the item is
@@ -199,12 +277,24 @@ class IncrementalAssigner {
   /// Expand dirty items/links to the full interference closure; returns the
   /// affected comm ids ascending and the visited-link count.
   std::vector<std::uint32_t> collect_closure(std::size_t* links_touched);
+  /// Run the one-shot greedy over all live items with this assigner's
+  /// options (the audit oracle).
+  [[nodiscard]] std::unordered_map<std::uint32_t, RouteMap> full_resolve() const;
+  /// Decide + run the sampled audit for solve index `solve_index`.
+  void maybe_audit(IncrementalSolveStats& stats);
 
   const cluster::Cluster* cluster_;
   const net::Routing* routing_;
   std::unordered_set<std::uint32_t> reserved_routes_;
   std::unordered_set<std::uint32_t> failed_links_;
   telemetry::Telemetry* telemetry_ = nullptr;
+
+  AuditOptions audit_;
+  telemetry::MetricsRegistry* audit_metrics_ = nullptr;
+  std::uint64_t solve_count_ = 0;   ///< solves that re-solved something
+  std::uint64_t audit_runs_ = 0;
+  std::uint64_t audit_mismatches_ = 0;
+  std::uint64_t fallbacks_ = 0;
 
   /// Live items, ordered by comm id — the canonical greedy order.
   std::map<std::uint32_t, ItemState> items_;

@@ -212,6 +212,135 @@ TEST(ClusterChurn, AdmissionQueueDepartureOfQueuedJobUnblocks) {
   EXPECT_EQ(q.queue_depth(), 0u);
 }
 
+TEST(ClusterChurn, AdmissionQueueCancelOfQueuedMidListDoesNotDrain) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(21);
+
+  // 16 GPUs. Job 0 takes 12; 1 and 2 queue behind it. Cancelling job 2 —
+  // queued but NOT at the head — must dequeue it without admitting anyone
+  // (the head is still blocked, and FIFO forbids skipping it).
+  ASSERT_TRUE(q.submit(JobId{0}, 12, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{1}, 8, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{2}, 2, rng).has_value());
+  EXPECT_TRUE(q.is_waiting(JobId{2}));
+  EXPECT_TRUE(q.finish(JobId{2}, rng).empty());
+  EXPECT_FALSE(q.is_waiting(JobId{2}));
+  EXPECT_EQ(q.queue_depth(), 1u);
+  EXPECT_EQ(q.duplicate_finish_total(), 0u);
+}
+
+TEST(ClusterChurn, AdmissionQueueDuplicateDepartureIsIdempotent) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(22);
+
+  ASSERT_TRUE(q.submit(JobId{0}, 4, rng).has_value());
+  EXPECT_TRUE(q.finish(JobId{0}, rng).empty());
+  EXPECT_EQ(q.free_gpus(), 16u);
+  // Second departure (chaos kill followed by the trace's natural one): a
+  // counted no-op, not an abort, and GPUs are not double-released.
+  EXPECT_TRUE(q.finish(JobId{0}, rng).empty());
+  EXPECT_EQ(q.duplicate_finish_total(), 1u);
+  EXPECT_EQ(q.free_gpus(), 16u);
+  // Departure of a job never submitted is the same no-op.
+  EXPECT_TRUE(q.finish(JobId{99}, rng).empty());
+  EXPECT_EQ(q.duplicate_finish_total(), 2u);
+}
+
+TEST(ClusterChurn, AdmissionQueueRejectsMalformedRequests) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(23);
+
+  // Zero, negative, or cluster-exceeding GPU counts can never be placed;
+  // queueing them would wedge the FIFO head forever, so they are rejected
+  // at submit — counted and reported, never queued.
+  EXPECT_FALSE(q.submit(JobId{0}, 0, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{1}, -3, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{2}, 17, rng).has_value());
+  EXPECT_EQ(q.queue_depth(), 0u);
+  EXPECT_EQ(q.rejected_total(), 3u);
+  const std::vector<JobId> rejected = q.take_rejected();
+  ASSERT_EQ(rejected.size(), 3u);
+  EXPECT_EQ(rejected[0].get(), 0u);
+  EXPECT_EQ(rejected[1].get(), 1u);
+  EXPECT_EQ(rejected[2].get(), 2u);
+  EXPECT_TRUE(q.take_rejected().empty());
+  // A well-formed submit still works afterwards.
+  EXPECT_TRUE(q.submit(JobId{3}, 16, rng).has_value());
+}
+
+TEST(ClusterChurn, AdmissionQueueDeferredRetryOrderingUnderBackpressure) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(24);
+
+  // 16 GPUs. Occupy 12, then raise backpressure (recovery storm): every
+  // submit defers, departures release capacity but admit nobody, and
+  // drain_deferred is a no-op until the storm clears.
+  ASSERT_TRUE(q.submit(JobId{0}, 12, rng).has_value());
+  q.set_backpressure(true);
+  EXPECT_FALSE(q.submit(JobId{1}, 8, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{2}, 2, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{3}, 12, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{4}, 2, rng).has_value());
+  EXPECT_EQ(q.deferred_total(), 4u);
+  EXPECT_TRUE(q.finish(JobId{0}, rng).empty());
+  EXPECT_EQ(q.free_gpus(), 16u);
+  EXPECT_TRUE(q.drain_deferred(rng).empty());
+  EXPECT_EQ(q.queue_depth(), 4u);
+
+  // Storm clears: the backlog admits strictly in FIFO order — job 1 (8) and
+  // job 2 (2) fit, job 3 (12) blocks on the remaining 6, and job 4 (2) must
+  // NOT bypass it even though it would fit.
+  q.set_backpressure(false);
+  const auto first = q.drain_deferred(rng);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].job.get(), 1u);
+  EXPECT_EQ(first[1].job.get(), 2u);
+  EXPECT_EQ(q.retry_total(), 1u);
+  EXPECT_TRUE(q.is_waiting(JobId{3}));
+  EXPECT_TRUE(q.is_waiting(JobId{4}));
+
+  // Job 1 departs: 14 free covers the blocked head, and the tail follows in
+  // the original deferral order.
+  const auto second = q.finish(JobId{1}, rng);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].job.get(), 3u);
+  EXPECT_EQ(second[1].job.get(), 4u);
+  EXPECT_EQ(q.queue_depth(), 0u);
+}
+
+TEST(ClusterChurn, AdmissionQueueBoundedRetryRejectsBlockedHead) {
+  const cluster::Cluster cluster = cluster::make_spine_leaf(smoke_spec());
+  cluster::AdmissionQueue q(cluster, cluster::Placement::kCompact);
+  Rng rng(25);
+  q.set_max_retries(1);
+
+  // Job 0 holds 12; job 1 (8) and job 2 (2) queue. Each failed head
+  // placement consumes a retry; past the budget the head is rejected and the
+  // queue moves on instead of livelocking.
+  ASSERT_TRUE(q.submit(JobId{0}, 12, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{1}, 8, rng).has_value());
+  EXPECT_FALSE(q.submit(JobId{2}, 2, rng).has_value());
+
+  // First drain attempt: head (8) fails placement (4 free), retry 1 charged,
+  // but job 2 must NOT bypass it.
+  EXPECT_TRUE(q.drain_deferred(rng).empty());
+  EXPECT_EQ(q.retry_total(), 1u);
+  EXPECT_EQ(q.queue_depth(), 2u);
+
+  // Second failure exhausts the budget: job 1 is rejected, job 2 admits.
+  const auto admitted = q.drain_deferred(rng);
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0].job.get(), 2u);
+  const std::vector<JobId> rejected = q.take_rejected();
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].get(), 1u);
+  EXPECT_EQ(q.queue_depth(), 0u);
+}
+
 TEST(ClusterChurn, PoissonTraceIsSeededAndWellFormed) {
   workload::ChurnSpec spec;
   spec.horizon = 4000.0;
