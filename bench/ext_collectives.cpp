@@ -1,4 +1,5 @@
-// Extension bench: the full primitive suite through the MCCS service.
+// Extension bench: the full primitive suite through the MCCS service, plus
+// the plan compiler's algorithm diversity.
 //
 // The paper's prototype ports NCCL's ring AllReduce and AllGather and notes
 // the rest are straightforward (§5). This repository implements the rest —
@@ -6,11 +7,22 @@
 // this bench characterises each one on the 8-GPU testbed under the full
 // MCCS scheme (locality rings + FFA): large-message algorithm bandwidth and
 // small-message latency, next to the nccl-tests bus-bandwidth view.
+//
+// Two JSON sections go to BENCH_compiler.json for the perf-tracking gates in
+// scripts/check.sh:
+//   * "algo"      — measured simulated time/busbw of every compiler-
+//                   selectable AllReduce algorithm at three payload sizes;
+//   * "selection" — the algorithm-choice pass over the controller's cost
+//                   parameters for this fabric, next to the MEASURED ring and
+//                   selected-algorithm times, so the claim "the compiler
+//                   picks a non-ring algorithm somewhere, and it actually
+//                   wins" is checked on every run.
 
 #include <cstdio>
 #include <vector>
 
 #include "common.h"
+#include "common/check.h"
 
 namespace {
 
@@ -34,6 +46,93 @@ double run_one(coll::CollectiveKind kind, Bytes size, Time* latency_out) {
       mean(durations);
   if (latency_out != nullptr) *latency_out = mean_t;
   return to_gibps(coll::algorithm_bandwidth(size, mean_t));
+}
+
+/// Simulated time of one AllReduce under a forced algorithm (locality rings,
+/// same pipeline heuristic as the ring-vs-tree ablation).
+Time run_algorithm(coll::Algorithm algo, Bytes size) {
+  svc::Fabric::Options options;
+  options.seed = 3;
+  options.config.move_data = false;
+  options.gpu_config.materialize_memory = false;
+  svc::Fabric fabric{cluster::make_testbed(), options};
+  const std::size_t tree_chunks = size <= 1_MB ? 1 : 8;
+  fabric.set_strategy_provider(
+      [&fabric, algo, tree_chunks](const svc::CommInfo& info) {
+        svc::CommStrategy s =
+            policy::locality_aware_strategy(info.gpus, fabric.cluster());
+        s.algorithm = algo;
+        s.tree_pipeline_chunks = tree_chunks;
+        return s;
+      });
+  const AppId app{1};
+  const std::vector<GpuId> gpus{GpuId{0}, GpuId{1}, GpuId{2}, GpuId{3},
+                                GpuId{4}, GpuId{5}, GpuId{6}, GpuId{7}};
+  const CommId comm = bench::bench_create_comm(fabric, app, gpus);
+  const auto durations = bench::run_collective_loop(
+      fabric, app, gpus, comm, coll::CollectiveKind::kAllReduce, size, 2, 6);
+  return mean(durations);
+}
+
+void bench_algorithms(std::FILE* json) {
+  std::printf("%-10s %12s %12s %12s %12s\n", "size", "ring us", "tree us",
+              "dbtree us", "pairwise us");
+  for (const Bytes size : {16_KB, 1_MB, 128_MB}) {
+    double us[4] = {};
+    int i = 0;
+    for (const coll::Algorithm algo :
+         coll::selectable_algorithms(coll::CollectiveKind::kAllReduce)) {
+      const Time t = run_algorithm(algo, size);
+      us[i++] = t * 1e6;
+      const double busbw =
+          to_gibps(coll::algorithm_bandwidth(size, t)) *
+          coll::bus_bandwidth_factor(coll::CollectiveKind::kAllReduce, 8);
+      std::fprintf(json,
+                   "{\"bench\":\"ext_collectives\",\"section\":\"algo\","
+                   "\"kind\":\"AllReduce\",\"algo\":\"%s\",\"bytes\":%llu,"
+                   "\"sim_us\":%.2f,\"busbw_gbps\":%.3f}\n",
+                   coll::algorithm_name(algo),
+                   static_cast<unsigned long long>(size), t * 1e6, busbw);
+    }
+    std::printf("%-10llu %12.1f %12.1f %12.1f %12.1f\n",
+                static_cast<unsigned long long>(size), us[0], us[1], us[2],
+                us[3]);
+  }
+}
+
+void bench_selection(std::FILE* json) {
+  // The controller's cost parameters for this fabric (alpha from the
+  // service's per-step constants, beta from the testbed NIC rate).
+  svc::Fabric fabric{cluster::make_testbed()};
+  policy::Controller ctl(fabric);
+  const coll::CostParams p = ctl.cost_params();
+  std::printf("cost model: alpha %.1f us, beta %.3f ns/KB\n\n", p.alpha * 1e6,
+              p.beta * 1e9 * 1024);
+  std::printf("%-10s %10s %14s %14s %14s %14s\n", "size", "selected",
+              "model sel us", "model ring us", "sim sel us", "sim ring us");
+  for (const Bytes size : {4_KB, 16_KB, 64_KB, 256_KB, 1_MB, 16_MB, 128_MB}) {
+    const coll::Algorithm sel = coll::choose_algorithm(
+        coll::CollectiveKind::kAllReduce, 8, size, p);
+    const Time model_sel =
+        coll::algorithm_cost(sel, coll::CollectiveKind::kAllReduce, 8, size, p);
+    const Time model_ring = coll::algorithm_cost(
+        coll::Algorithm::kRing, coll::CollectiveKind::kAllReduce, 8, size, p);
+    const Time sim_ring = run_algorithm(coll::Algorithm::kRing, size);
+    const Time sim_sel =
+        sel == coll::Algorithm::kRing ? sim_ring : run_algorithm(sel, size);
+    std::printf("%-10llu %10s %14.1f %14.1f %14.1f %14.1f\n",
+                static_cast<unsigned long long>(size),
+                coll::algorithm_name(sel), model_sel * 1e6, model_ring * 1e6,
+                sim_sel * 1e6, sim_ring * 1e6);
+    std::fprintf(json,
+                 "{\"bench\":\"ext_collectives\",\"section\":\"selection\","
+                 "\"kind\":\"AllReduce\",\"bytes\":%llu,\"selected\":\"%s\","
+                 "\"model_selected_us\":%.2f,\"model_ring_us\":%.2f,"
+                 "\"sim_selected_us\":%.2f,\"sim_ring_us\":%.2f}\n",
+                 static_cast<unsigned long long>(size),
+                 coll::algorithm_name(sel), model_sel * 1e6, model_ring * 1e6,
+                 sim_sel * 1e6, sim_ring * 1e6);
+  }
 }
 
 }  // namespace
@@ -62,5 +161,14 @@ int main() {
   std::printf("\nBus bandwidth uses the nccl-tests normalisation; comparable\n"
               "values across primitives indicate the datapath drives the NICs\n"
               "equally well regardless of the algorithm shape.\n");
+
+  std::FILE* json = std::fopen("BENCH_compiler.json", "w");
+  MCCS_CHECK(json != nullptr, "cannot open BENCH_compiler.json");
+  std::printf("\n-- compiled AllReduce algorithms (simulated) --\n");
+  bench_algorithms(json);
+  std::printf("\n-- algorithm-choice pass vs measurement --\n");
+  bench_selection(json);
+  std::fclose(json);
+  std::printf("\nBENCH_compiler.json written.\n");
   return 0;
 }

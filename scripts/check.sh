@@ -639,4 +639,90 @@ else
   echo "BENCH_chaos.json schema OK (grep fallback; ratio/growth gates skipped)"
 fi
 
+echo "== ext_collectives (plan compiler) =="
+(cd build/bench && ./ext_collectives)
+
+# Compiler gates: every selectable AllReduce algorithm must have been
+# measured, and the algorithm-choice pass must pick a non-ring algorithm for
+# at least one payload size AND that pick must win in the measured
+# simulation — the selection pass is vacuous otherwise.
+cpjson=build/bench/BENCH_compiler.json
+[[ -s "$cpjson" ]] || { echo "FAIL: $cpjson missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$cpjson" <<'EOF'
+import json, sys
+
+expected = {
+    "algo": {"bench", "section", "kind", "algo", "bytes", "sim_us",
+             "busbw_gbps"},
+    "selection": {"bench", "section", "kind", "bytes", "selected",
+                  "model_selected_us", "model_ring_us", "sim_selected_us",
+                  "sim_ring_us"},
+}
+algo_rows, sel_rows = [], []
+for i, line in enumerate((l for l in open(sys.argv[1]) if l.strip()), 1):
+    rec = json.loads(line)
+    sec = rec.get("section")
+    if sec not in expected:
+        sys.exit(f"FAIL: line {i} unknown section {sec!r}")
+    if set(rec) != expected[sec]:
+        sys.exit(f"FAIL: line {i} keys {sorted(rec)} != "
+                 f"{sorted(expected[sec])}")
+    (algo_rows if sec == "algo" else sel_rows).append(rec)
+if not algo_rows or not sel_rows:
+    sys.exit("FAIL: BENCH_compiler.json missing a section")
+algos = {"ring", "tree", "dbtree", "pairwise"}
+for size in {r["bytes"] for r in algo_rows}:
+    seen = {r["algo"] for r in algo_rows if r["bytes"] == size}
+    if seen != algos:
+        sys.exit(f"FAIL: algorithms {sorted(seen)} measured at {size}B, "
+                 f"want {sorted(algos)}")
+for r in algo_rows + sel_rows:
+    for key in r:
+        if key.endswith("_us") or key == "sim_us":
+            if not r[key] > 0:
+                sys.exit(f"FAIL: non-positive time {key}={r[key]} at "
+                         f"{r['bytes']}B")
+for r in sel_rows:
+    if r["model_selected_us"] > r["model_ring_us"]:
+        sys.exit(f"FAIL: selection at {r['bytes']}B is not the model argmin")
+wins = [r for r in sel_rows
+        if r["selected"] != "ring" and r["sim_selected_us"] < r["sim_ring_us"]]
+if not wins:
+    sys.exit("FAIL: the compiler never selected a non-ring algorithm with a "
+             "measured simulated-time win")
+print(f"BENCH_compiler.json schema + gates OK ({len(algo_rows)} algo + "
+      f"{len(sel_rows)} selection rows; non-ring wins at "
+      f"{sorted(r['bytes'] for r in wins)})")
+EOF
+else
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    for key in bench section kind bytes; do
+      grep -q "\"$key\":" <<<"$line" || {
+        echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
+      }
+    done
+  done < "$cpjson"
+  grep -q '"selected":"ring"' "$cpjson" && grep -qv '"selected":"ring"' \
+    <<<"$(grep '"section":"selection"' "$cpjson")" || {
+    echo "FAIL: no non-ring selection row" >&2; exit 1;
+  }
+  echo "BENCH_compiler.json schema OK (grep fallback; win gate skipped)"
+fi
+
+# Fail loudly if any BENCH_*.json this script gates went missing: a bench
+# that silently stopped writing its file must fail the run, not skip its
+# gates on the next one.
+bench_manifest=(BENCH_flowsim.json BENCH_scale.json BENCH_datapath.json
+                BENCH_recovery.json BENCH_telemetry.json BENCH_parallel.json
+                BENCH_cluster.json BENCH_chaos.json BENCH_compiler.json)
+for f in "${bench_manifest[@]}"; do
+  [[ -s "build/bench/$f" ]] || {
+    echo "FAIL: build/bench/$f missing or empty after the bench pass" >&2
+    exit 1
+  }
+done
+echo "BENCH manifest complete (${#bench_manifest[@]} files)"
+
 echo "ALL CHECKS PASSED"

@@ -182,9 +182,16 @@ std::vector<std::pair<int, int>> tree_edges(int nranks, int root,
     const int parent = (tid - 1) / 2;
     const int up = tid_to_rank(tid, root, nranks);
     const int down = tid_to_rank(parent, root, nranks);
-    // Broadcast only flows down the tree; AllReduce uses both directions.
-    edges.emplace_back(down, up);
-    if (kind == CollectiveKind::kAllReduce) edges.emplace_back(up, down);
+    // Broadcast flows down the tree, Reduce flows up (child -> parent), and
+    // AllReduce uses both directions. The old form emitted the parent->child
+    // edge unconditionally, which for kReduce is a phantom edge the schedule
+    // never sends on (and omitted the child->parent edge it does send on) —
+    // a flow assigner consuming the per-kind edge set would place capacity
+    // on dead links and starve the live ones.
+    if (kind != CollectiveKind::kReduce) edges.emplace_back(down, up);
+    if (kind == CollectiveKind::kAllReduce || kind == CollectiveKind::kReduce) {
+      edges.emplace_back(up, down);
+    }
   }
   return edges;
 }

@@ -27,7 +27,24 @@ enum class DataType { kFloat32, kFloat64, kInt32, kInt64, kUint8 };
 
 enum class ReduceOp { kSum, kProd, kMin, kMax };
 
-enum class Algorithm { kRing, kTree };
+/// Collective algorithms the plan compiler can lower (compiler.h). kRing and
+/// kTree are the paper-faithful schedules; kDoubleBinaryTree splits the
+/// buffer across two rotated trees so no single link carries every chunk;
+/// kPairwise exchanges directly over the full mesh (reduce-scatter +
+/// all-gather without forwarding). Kinds an algorithm cannot express fall
+/// back deterministically — see selectable_algorithms().
+enum class Algorithm { kRing, kTree, kDoubleBinaryTree, kPairwise };
+
+/// Static-storage algorithm name (telemetry, trace export, bench tables).
+inline const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kRing: return "ring";
+    case Algorithm::kTree: return "tree";
+    case Algorithm::kDoubleBinaryTree: return "dbtree";
+    case Algorithm::kPairwise: return "pairwise";
+  }
+  return "?";
+}
 
 inline std::size_t dtype_size(DataType t) {
   switch (t) {

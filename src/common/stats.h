@@ -53,8 +53,17 @@ inline double percentile(std::vector<double> xs, double p) {
 /// percentile_sorted(xs, 100 q)); the unit-interval form reads better when
 /// the q itself is computed (tail sweeps, q = 1 - 10^-k ladders).
 inline double quantile_sorted(std::span<const double> xs, double q) {
+  MCCS_EXPECTS(!xs.empty());
   MCCS_EXPECTS(q >= 0.0 && q <= 1.0);
-  return percentile_sorted(xs, q * 100.0);
+  if (xs.size() == 1) return xs.front();
+  // Compute the rank directly from q: routing through percentile_sorted(xs,
+  // q * 100) lands in a different interpolation cell whenever q * 100 is not
+  // exact (q = 0.29 -> p = 28.999999999999996, rank floor off by one).
+  const double rank = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
 /// One-shot quantile: copies and sorts.

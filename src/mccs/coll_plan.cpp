@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "collectives/compiler.h"
 #include "mccs/proxy_engine.h"
 #include "mccs/strategy.h"
 
@@ -47,53 +48,18 @@ PlanByteRange chunk_byte_range(coll::CollectiveKind kind, std::size_t count,
                        sub.count_elem * esize};
 }
 
-/// Build the per-channel schedule exactly as the pre-plan proxy engine did.
-coll::ChannelSchedule build_channel_schedule(const CommStrategy& strategy,
-                                             int nranks, int rank, int channel,
-                                             coll::CollectiveKind kind,
-                                             int root, bool* is_ring,
-                                             int* my_position) {
-  *is_ring = false;
-  *my_position = 0;
-  // Trees apply to AllReduce/Broadcast/Reduce (AllGather/ReduceScatter fall
-  // back to rings: their outputs are ring-structured by construction).
-  const bool use_tree = strategy.algorithm == coll::Algorithm::kTree &&
-                        (kind == coll::CollectiveKind::kAllReduce ||
-                         kind == coll::CollectiveKind::kBroadcast ||
-                         kind == coll::CollectiveKind::kReduce);
-  if (kind == coll::CollectiveKind::kAllToAll) {
-    return coll::build_alltoall_schedule(nranks, rank);
-  }
-  if (kind == coll::CollectiveKind::kGather) {
-    return coll::build_gather_schedule(nranks, rank, root);
-  }
-  if (kind == coll::CollectiveKind::kScatter) {
-    return coll::build_scatter_schedule(nranks, rank, root);
-  }
-  if (use_tree) {
-    switch (kind) {
-      case coll::CollectiveKind::kAllReduce:
-        return coll::build_tree_allreduce_schedule(
-            nranks, rank, strategy.tree_pipeline_chunks);
-      case coll::CollectiveKind::kBroadcast:
-        return coll::build_tree_broadcast_schedule(
-            nranks, rank, root, strategy.tree_pipeline_chunks);
-      default:
-        return coll::build_tree_reduce_schedule(nranks, rank, root,
-                                                strategy.tree_pipeline_chunks);
-    }
-  }
-  const coll::RingOrder& order =
-      strategy.channel_orders[static_cast<std::size_t>(channel)];
-  *is_ring = true;
-  *my_position = order.position_of(rank);
-  if (kind == coll::CollectiveKind::kReduce) {
-    return coll::build_chain_reduce_schedule(order, rank, root);
-  }
-  return coll::build_ring_schedule(kind, order, rank, root);
-}
-
 }  // namespace
+
+PlanKey make_plan_key(const CommStrategy& strategy, coll::CollectiveKind kind,
+                      std::size_t count, coll::DataType dtype, int root) {
+  return PlanKey{kind,
+                 count,
+                 dtype,
+                 root,
+                 strategy.num_channels(),
+                 strategy.algorithm,
+                 coll::compiler_fingerprint(strategy.tree_pipeline_chunks)};
+}
 
 std::shared_ptr<const CollPlan> build_coll_plan(
     const CommSetup& setup, const CommStrategy& strategy,
@@ -114,10 +80,29 @@ std::shared_ptr<const CollPlan> build_coll_plan(
   plan->root = root;
   plan->channels.resize(static_cast<std::size_t>(num_channels));
 
+  // Hierarchy-pass input: the host of every rank (the locality ring orders
+  // already encode hosts, but the compiler also summarises them).
+  std::vector<int> host_of_rank;
+  host_of_rank.reserve(setup.gpus.size());
+  for (const GpuId gpu : setup.gpus) {
+    host_of_rank.push_back(static_cast<int>(cluster.host_of_gpu(gpu).get()));
+  }
+
   for (int c = 0; c < num_channels; ++c) {
     CollPlan::Channel& pc = plan->channels[static_cast<std::size_t>(c)];
-    const coll::ChannelSchedule sched = build_channel_schedule(
-        strategy, n, rank, c, kind, root, &pc.is_ring, &pc.my_position);
+    coll::CompileInput in;
+    in.kind = kind;
+    in.algorithm = strategy.algorithm;
+    in.nranks = n;
+    in.rank = rank;
+    in.root = root;
+    in.order = &strategy.channel_orders[static_cast<std::size_t>(c)];
+    in.tree_chunks = strategy.tree_pipeline_chunks;
+    in.host_of_rank = &host_of_rank;
+    const coll::CompiledSchedule compiled = coll::compile_collective(in);
+    pc.is_ring = compiled.is_ring;
+    pc.my_position = compiled.my_position;
+    const coll::ChannelSchedule& sched = compiled.schedule;
     plan->num_chunks = sched.num_chunks;
 
     pc.chunk_ranges.reserve(sched.num_chunks);
@@ -157,13 +142,18 @@ std::shared_ptr<const CollPlan> build_coll_plan(
 
     if (kind == coll::CollectiveKind::kReduceScatter) {
       // This rank's fully-reduced chunk (this channel's stripe) moves from
-      // the scratch buffer to the user's recv buffer on channel finish.
-      MCCS_CHECK(pc.is_ring, "reduce-scatter executes on rings");
-      const std::size_t owned = coll::reducescatter_owned_chunk(n, pc.my_position);
-      const std::size_t buffer_chunk = coll::chunk_to_buffer_index(
-          kind, strategy.channel_orders[static_cast<std::size_t>(c)], owned);
-      MCCS_CHECK(buffer_chunk == static_cast<std::size_t>(rank),
-                 "reduce-scatter chunk ownership mismatch");
+      // the scratch buffer to the user's recv buffer on channel finish. Both
+      // lowerings — ring and pairwise mesh — leave it in block `rank`; the
+      // ring derivation below double-checks the position arithmetic agrees.
+      const auto buffer_chunk = static_cast<std::size_t>(rank);
+      if (pc.is_ring) {
+        const std::size_t owned =
+            coll::reducescatter_owned_chunk(n, pc.my_position);
+        const std::size_t mapped = coll::chunk_to_buffer_index(
+            kind, strategy.channel_orders[static_cast<std::size_t>(c)], owned);
+        MCCS_CHECK(mapped == buffer_chunk,
+                   "reduce-scatter chunk ownership mismatch");
+      }
       pc.rs_src = pc.chunk_ranges[buffer_chunk];
       const auto sub = coll::chunk_range(count,
                                          static_cast<std::size_t>(num_channels),
@@ -186,7 +176,7 @@ std::shared_ptr<const CollPlan> CollPlanCache::acquire(
     plans_.clear();
     epoch_ = epoch;
   }
-  const PlanKey key{kind, count, dtype, root, strategy.num_channels()};
+  const PlanKey key = make_plan_key(strategy, kind, count, dtype, root);
   if (enabled) {
     auto it = plans_.find(key);
     if (it != plans_.end()) {
@@ -200,12 +190,10 @@ std::shared_ptr<const CollPlan> CollPlanCache::acquire(
   return plan;
 }
 
-std::shared_ptr<const CollPlan> CollPlanCache::peek(coll::CollectiveKind kind,
-                                                    std::size_t count,
-                                                    coll::DataType dtype,
-                                                    int root,
-                                                    int num_channels) const {
-  auto it = plans_.find(PlanKey{kind, count, dtype, root, num_channels});
+std::shared_ptr<const CollPlan> CollPlanCache::peek(
+    const CommStrategy& strategy, coll::CollectiveKind kind, std::size_t count,
+    coll::DataType dtype, int root) const {
+  auto it = plans_.find(make_plan_key(strategy, kind, count, dtype, root));
   return it == plans_.end() ? nullptr : it->second;
 }
 

@@ -114,16 +114,28 @@ struct CollPlan {
 
 /// Cache key. `root` only matters for rooted collectives but is always part
 /// of the key (callers pass 0 otherwise); the reduction op never is — it
-/// affects the arithmetic applied to delivered bytes, not the plan.
+/// affects the arithmetic applied to delivered bytes, not the plan. The
+/// `algorithm` and compiler `fingerprint` ARE part of the key: plans are
+/// compiled from the strategy, and an epoch alone does not distinguish two
+/// strategies that produce different schedules for the same shape. A
+/// shape-only key turned a same-epoch algorithm swap into silent execution
+/// of the old algorithm's cached plan (the stale-plan hazard
+/// test_plan_cache.cpp regresses).
 struct PlanKey {
   coll::CollectiveKind kind = coll::CollectiveKind::kAllReduce;
   std::size_t count = 0;
   coll::DataType dtype = coll::DataType::kFloat32;
   int root = 0;
   int num_channels = 0;
+  coll::Algorithm algorithm = coll::Algorithm::kRing;
+  std::uint32_t fingerprint = 0;  ///< coll::compiler_fingerprint(...)
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
+
+/// The cache key a strategy produces for one collective shape.
+PlanKey make_plan_key(const CommStrategy& strategy, coll::CollectiveKind kind,
+                      std::size_t count, coll::DataType dtype, int root);
 
 struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const {
@@ -136,6 +148,8 @@ struct PlanKeyHash {
     mix(static_cast<std::uint64_t>(k.dtype));
     mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.root)));
     mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.num_channels)));
+    mix(static_cast<std::uint64_t>(k.algorithm));
+    mix(static_cast<std::uint64_t>(k.fingerprint));
     return static_cast<std::size_t>(h);
   }
 };
@@ -181,12 +195,13 @@ class CollPlanCache {
                                           std::size_t count,
                                           coll::DataType dtype, int root);
 
-  /// The cached plan for a shape, or nullptr (never builds). Test hook.
-  [[nodiscard]] std::shared_ptr<const CollPlan> peek(coll::CollectiveKind kind,
-                                                     std::size_t count,
-                                                     coll::DataType dtype,
-                                                     int root,
-                                                     int num_channels) const;
+  /// The cached plan for a shape under `strategy`, or nullptr (never
+  /// builds). Test hook. Keyed through make_plan_key, so a strategy whose
+  /// algorithm or compiler fingerprint differs from the cached plan's sees
+  /// nullptr, not the other strategy's plan.
+  [[nodiscard]] std::shared_ptr<const CollPlan> peek(
+      const CommStrategy& strategy, coll::CollectiveKind kind,
+      std::size_t count, coll::DataType dtype, int root) const;
 
   [[nodiscard]] Stats stats() const {
     return Stats{hits().value(), misses().value(), invalidations().value()};

@@ -163,8 +163,7 @@ std::shared_ptr<const CollPlan> ProxyEngine::cached_plan(
     CommId comm, coll::CollectiveKind kind, std::size_t count,
     coll::DataType dtype, int root) const {
   const CommRank& st = comm_state(comm);
-  return st.plan_cache.peek(kind, count, dtype, root,
-                            st.strategy.num_channels());
+  return st.plan_cache.peek(st.strategy, kind, count, dtype, root);
 }
 
 // --- issue / launch -----------------------------------------------------------

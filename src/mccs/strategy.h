@@ -47,6 +47,9 @@ struct CommStrategy {
 
   friend bool operator==(const CommStrategy& a, const CommStrategy& b) {
     if (a.algorithm != b.algorithm) return false;
+    // Plan-shaping knob: two strategies that differ only here still compile
+    // different tree schedules, so they are not interchangeable.
+    if (a.tree_pipeline_chunks != b.tree_pipeline_chunks) return false;
     if (a.channel_orders.size() != b.channel_orders.size()) return false;
     for (std::size_t i = 0; i < a.channel_orders.size(); ++i) {
       if (!(a.channel_orders[i] == b.channel_orders[i])) return false;

@@ -61,8 +61,7 @@ std::string comm_info_to_json(const CommInfo& info, const CommStrategy& strategy
     out += std::to_string(info.gpus[r].get());
   }
   out += "]";
-  append_kv(out, "algorithm",
-            strategy.algorithm == coll::Algorithm::kRing ? "ring" : "tree", true);
+  append_kv(out, "algorithm", coll::algorithm_name(strategy.algorithm), true);
   append_kv(out, "channels", std::to_string(strategy.num_channels()), false);
   out += ",\"channel_orders\":[";
   for (std::size_t c = 0; c < strategy.channel_orders.size(); ++c) {

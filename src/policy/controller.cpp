@@ -116,9 +116,15 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
                                       strategy_storage);
   }
   std::vector<AssignItem> items;
+  bool extra_is_live = false;
   for (const svc::CommInfo& info : fabric_->list_communicators()) {
     gpu_storage[info.id.get()] = info.gpus;
-    strategy_storage[info.id.get()] = fabric_->strategy_of(info.id);
+    // A live comm named by `extra` gets the override strategy: the fabric
+    // still reports the pre-swap one until the barrier completes.
+    const bool overridden = extra != nullptr && info.id == extra->id;
+    extra_is_live = extra_is_live || overridden;
+    strategy_storage[info.id.get()] =
+        overridden ? *extra_strategy : fabric_->strategy_of(info.id);
     AssignItem item;
     item.comm = info.id;
     item.app = info.app;
@@ -127,7 +133,7 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes(
     item.high_priority = priority_apps_.count(info.app.get()) > 0;
     items.push_back(item);
   }
-  if (extra != nullptr) {
+  if (extra != nullptr && !extra_is_live) {
     gpu_storage[extra->id.get()] = extra->gpus;
     strategy_storage[extra->id.get()] = *extra_strategy;
     AssignItem item;
@@ -186,9 +192,11 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes_increment
     strategy_storage[info.id.get()] = fabric_->strategy_of(info.id);
   }
   if (extra != nullptr) {
-    live.push_back(*extra);
+    if (live_ids.count(extra->id.get()) == 0) live.push_back(*extra);
     live_ids.insert(extra->id.get());
     gpu_storage[extra->id.get()] = extra->gpus;
+    // Override: for an algorithm swap the fabric still reports the
+    // pre-barrier strategy, so the caller's replacement wins.
     strategy_storage[extra->id.get()] = *extra_strategy;
   }
   for (CommId id : assigner_->item_ids()) {
@@ -204,8 +212,15 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes_increment
       item.strategy = &strategy_storage[info.id.get()];
       item.high_priority = priority;
       assigner_->add_item(item);
-    } else if (assigner_->item_high_priority(info.id) != priority) {
-      assigner_->set_high_priority(info.id, priority);
+    } else {
+      // Sync the warm copy with the (possibly overridden) strategy. A
+      // flow-shape change — an algorithm swap's new edge list — re-registers
+      // the item and dirties the links its old flows loaded; route-only
+      // differences just refresh the stored copy.
+      assigner_->update_strategy(info.id, strategy_storage[info.id.get()]);
+      if (assigner_->item_high_priority(info.id) != priority) {
+        assigner_->set_high_priority(info.id, priority);
+      }
     }
   }
 
@@ -221,6 +236,11 @@ std::unordered_map<std::uint32_t, RouteMap> Controller::compute_routes_increment
 
 svc::CommStrategy Controller::provide(const svc::CommInfo& info) {
   svc::CommStrategy strategy = ring_strategy(info);
+  if (auto_algorithm_bytes_ > 0) {
+    strategy.algorithm = coll::choose_algorithm(
+        coll::CollectiveKind::kAllReduce, info.nranks, auto_algorithm_bytes_,
+        cost_params());
+  }
   if (flow_policy_ == FlowPolicy::kEcmp) return strategy;
 
   std::unordered_map<std::uint32_t, std::vector<GpuId>> gpu_storage;
@@ -254,6 +274,63 @@ void Controller::rebalance() {
       fabric_->reconfigure(info.id, std::move(s));
     }
   }
+}
+
+coll::CostParams Controller::cost_params() const {
+  coll::CostParams p;
+  const svc::ServiceConfig& cfg = fabric_->config();
+  // One schedule hop on the critical path: post the send, cross the fabric.
+  // The kernel-launch term folds in the per-step pipeline bubble the proxy
+  // adds between dependent chunks.
+  p.alpha = cfg.comm_kernel_launch + cfg.transport_step_overhead +
+            cfg.network_hop_latency;
+  // Bottleneck seconds-per-byte: the NIC uplink rate of the cluster's first
+  // GPU (the testbed and sim clusters are NIC-homogeneous).
+  const cluster::Cluster& cl = fabric_->cluster();
+  const NodeId nic = cl.nic_node_of_gpu(GpuId{0});
+  Bandwidth rate = 0.0;
+  for (LinkId l : cl.topology().out_links(nic)) {
+    rate = std::max(rate, cl.topology().link(l).capacity);
+  }
+  if (rate > 0.0) p.beta = 1.0 / rate;
+  return p;
+}
+
+bool Controller::swap_algorithm(CommId comm, coll::Algorithm algorithm,
+                                std::size_t tree_pipeline_chunks) {
+  const svc::CommInfo& info = fabric_->comm_info(comm);
+  svc::CommStrategy strategy = fabric_->strategy_of(comm);
+  const bool same_chunks = tree_pipeline_chunks == 0 ||
+                           tree_pipeline_chunks == strategy.tree_pipeline_chunks;
+  if (strategy.algorithm == algorithm && same_chunks) return false;
+  strategy.algorithm = algorithm;
+  if (tree_pipeline_chunks > 0) {
+    strategy.tree_pipeline_chunks = tree_pipeline_chunks;
+  }
+
+  if (flow_policy_ == FlowPolicy::kEcmp) {
+    fabric_->reconfigure(comm, std::move(strategy));
+    return true;
+  }
+
+  // Re-place flows with the new algorithm's compiled edge list. `strategy`
+  // rides as the override — the fabric reports the pre-swap strategy until
+  // the barrier completes, so compute_routes must not read it back.
+  std::unordered_map<std::uint32_t, std::vector<GpuId>> gpu_storage;
+  std::unordered_map<std::uint32_t, svc::CommStrategy> strategy_storage;
+  auto routes = compute_routes(&info, &strategy, gpu_storage, strategy_storage);
+
+  // The swapped communicator always reconfigures (its schedule changed even
+  // when its routes did not); neighbours only when their placement moved.
+  for (const svc::CommInfo& existing : fabric_->list_communicators()) {
+    const RouteMap& updated = routes[existing.id.get()];
+    svc::CommStrategy s = strategy_storage[existing.id.get()];
+    if (existing.id == comm || s.routes != updated) {
+      s.routes = updated;
+      fabric_->reconfigure(existing.id, std::move(s));
+    }
+  }
+  return true;
 }
 
 void Controller::enable_fault_recovery() {

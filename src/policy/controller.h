@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "collectives/compiler.h"
 #include "mccs/fabric.h"
 #include "policy/flow_assign.h"
 #include "policy/ring_config.h"
@@ -51,9 +52,11 @@ class Controller {
   /// (tenants and links touched by the event) instead of running the full
   /// FFA/PFA greedy each time. Assignment-identical to the full re-solve
   /// (see flow_assign.h); off by default so existing harnesses and goldens
-  /// keep the one-shot solver. Relies on each communicator's flow-generating
-  /// strategy (rings / tree / mesh shape) being fixed for its lifetime —
-  /// reconfiguration rewrites only routes, and a resize is a new comm id.
+  /// keep the one-shot solver. Flow-generating strategy changes (an
+  /// algorithm swap rewrites the compiled edge list) are synced into the
+  /// warm state via IncrementalAssigner::update_strategy on every route
+  /// computation, so swaps and route-only reconfigurations both stay
+  /// assignment-identical to the one-shot solver.
   void set_incremental(bool v) { incremental_ = v; }
   [[nodiscard]] bool incremental() const { return incremental_; }
 
@@ -81,6 +84,35 @@ class Controller {
   /// those whose routes changed. Called automatically on job arrival when
   /// attached; call manually after a job exits.
   void rebalance();
+
+  // --- algorithm choice -----------------------------------------------------------
+
+  /// Swap a live communicator's collective algorithm mid-job, through the
+  /// Fig.-4 barrier: flow assignment re-runs with the new algorithm's
+  /// compiled edge list (the swapped communicator's flows move to the new
+  /// edges; neighbours whose placement that disturbs reconfigure too), then
+  /// the new strategy installs via runtime reconfiguration — in-flight
+  /// collectives drain on the old plan, held launches replay on the new
+  /// one, and the algorithm-keyed plan cache compiles the new schedules.
+  /// `tree_pipeline_chunks` of 0 keeps the communicator's current setting.
+  /// Returns false (no-op) when nothing would change.
+  bool swap_algorithm(CommId comm, coll::Algorithm algorithm,
+                      std::size_t tree_pipeline_chunks = 0);
+
+  /// Automatic algorithm choice at communicator creation: when set to a
+  /// nonzero typical AllReduce payload, provide() runs the compiler's
+  /// analytic selection (choose_algorithm) for that size over this fabric's
+  /// cost parameters and installs the winner instead of defaulting to ring.
+  /// Off (0) by default — existing harnesses and the paper-figure goldens
+  /// rely on the ring default.
+  void set_auto_algorithm(Bytes typical_message_bytes) {
+    auto_algorithm_bytes_ = typical_message_bytes;
+  }
+
+  /// The alpha-beta cost parameters the selection pass uses on this fabric:
+  /// alpha from the service's per-step latency constants, beta from the
+  /// NIC uplink rate of the cluster's first GPU.
+  [[nodiscard]] coll::CostParams cost_params() const;
 
   /// Time-window QoS (example #4): pull `prio`'s trace from the management
   /// API, find its idle cycles, and confine every app in `others` to them.
@@ -177,8 +209,11 @@ class Controller {
   /// ones whose routes changed (always including `must_move` if valid).
   int reconfigure_around_failures(AppId must_move);
 
-  /// Flow placement for all known comms (+ optionally one not yet
-  /// registered); returns per-comm route maps.
+  /// Flow placement for all known comms; returns per-comm route maps.
+  /// `extra` names either a communicator not yet registered (arrival) or a
+  /// live one whose strategy is being replaced (algorithm swap) — in the
+  /// latter case `extra_strategy` overrides the fabric's current strategy,
+  /// which still reads pre-barrier.
   std::unordered_map<std::uint32_t, RouteMap> compute_routes(
       const svc::CommInfo* extra, const svc::CommStrategy* extra_strategy,
       std::unordered_map<std::uint32_t, std::vector<GpuId>>& gpu_storage,
@@ -203,6 +238,7 @@ class Controller {
   std::vector<RecoveryRecord> recovery_log_;
   std::uint64_t stall_reports_ = 0;
 
+  Bytes auto_algorithm_bytes_ = 0;
   bool incremental_ = false;
   std::unique_ptr<IncrementalAssigner> assigner_;  ///< lazily built
   /// Registered link-change consumer (lazily, with the assigner). Acking

@@ -5,15 +5,16 @@
 #include <cmath>
 #include <limits>
 
-#include "collectives/schedule.h"
+#include "collectives/compiler.h"
 #include "common/parallel.h"
 #include "netsim/network.h"
 
 namespace mccs::policy {
 namespace {
 
-/// Collect every inter-host edge of an item's strategy as a pending flow
-/// (ring successors per channel, or both directions of the tree). The
+/// Collect every inter-host edge of an item's strategy as a pending flow —
+/// the plan compiler's emitted edge list per channel (algorithm_edges), or
+/// the full mesh when the strategy routes pairwise traffic explicitly. The
 /// enumeration order doubles as the per-item drain order, for both the
 /// one-shot and the incremental solver.
 void collect_flows(std::size_t item_index, const AssignItem& item,
@@ -49,18 +50,17 @@ void collect_flows(std::size_t item_index, const AssignItem& item,
       }
       continue;
     }
-    if (s.algorithm == coll::Algorithm::kTree) {
-      // Tree edges (both directions; AllReduce is the superset).
-      for (auto [src_rank, dst_rank] :
-           coll::tree_edges(n, 0, coll::CollectiveKind::kAllReduce)) {
-        add_edge(c, src_rank, dst_rank);
-      }
-    } else {
-      const coll::RingOrder& order =
-          s.channel_orders[static_cast<std::size_t>(c)];
-      for (int p = 0; p < n; ++p) {
-        add_edge(c, order.rank_at(p), order.rank_at(p + 1));
-      }
+    // The compiler's emitted edge list for this algorithm over this
+    // channel's order: the exact (src, dst) superset any compiled schedule
+    // of the strategy can send on (compiler.h, algorithm_edges). For kRing
+    // this enumerates ring successors in position order — byte-for-byte the
+    // historical loop, so ring assignments (and the fig goldens behind
+    // them) are untouched.
+    const coll::RingOrder& order =
+        s.channel_orders[static_cast<std::size_t>(c)];
+    for (auto [src_rank, dst_rank] :
+         coll::algorithm_edges(s.algorithm, order)) {
+      add_edge(c, src_rank, dst_rank);
     }
   }
 }
@@ -380,6 +380,51 @@ void IncrementalAssigner::set_high_priority(CommId comm, bool high_priority) {
   st.high_priority = high_priority;
   for (PendingFlow& f : st.flows) f.high_priority = high_priority;
   dirty_items_.insert(comm.get());
+}
+
+bool IncrementalAssigner::update_strategy(CommId comm,
+                                          const svc::CommStrategy& strategy) {
+  auto it = items_.find(comm.get());
+  MCCS_EXPECTS(it != items_.end());
+  ItemState& st = it->second;
+
+  auto orders_equal = [&] {
+    if (st.strategy.channel_orders.size() != strategy.channel_orders.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < strategy.channel_orders.size(); ++i) {
+      if (!(st.strategy.channel_orders[i] == strategy.channel_orders[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Flows depend on the algorithm's edge list per channel order and the
+  // mesh-routing flag — not on explicit routes or tree pipeline depth.
+  const bool same_shape =
+      st.strategy.algorithm == strategy.algorithm &&
+      st.strategy.route_pairwise_mesh == strategy.route_pairwise_mesh &&
+      orders_equal();
+  if (same_shape) {
+    st.strategy = strategy;
+    return false;
+  }
+
+  // Re-register: removal subtracts the old demand and dirties the links it
+  // loaded; re-adding rebuilds the flow list and candidate footprint from
+  // the new edge list and marks the item dirty.
+  const AppId app = st.app;
+  const bool high_priority = st.high_priority;
+  const std::vector<GpuId> gpus = std::move(st.gpus);
+  remove_item(comm);
+  AssignItem fresh;
+  fresh.comm = comm;
+  fresh.app = app;
+  fresh.gpus_by_rank = &gpus;
+  fresh.strategy = &strategy;
+  fresh.high_priority = high_priority;
+  add_item(fresh);
+  return true;
 }
 
 void IncrementalAssigner::mark_link_dirty(LinkId link) {

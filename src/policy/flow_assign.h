@@ -235,6 +235,15 @@ class IncrementalAssigner {
   /// Flip an item's PFA priority in place (pass order changes, so its whole
   /// component re-solves). No-op when the flag already matches.
   void set_high_priority(CommId comm, bool high_priority);
+  /// Replace a live item's strategy (the controller's algorithm-swap path).
+  /// When the change alters the compiled flow shape — algorithm, channel
+  /// orders, or the pairwise-mesh flag — the item is re-registered: its old
+  /// demand comes off (dirtying the links it loaded), its flow list and
+  /// candidate footprint are rebuilt from the new edge list, and the item
+  /// re-solves at the next solve(). Shape-neutral changes (routes, tree
+  /// pipeline chunks) just refresh the stored copy. Returns whether the
+  /// flow shape changed.
+  bool update_strategy(CommId comm, const svc::CommStrategy& strategy);
   /// Mark a link changed (the netsim change-set feed: state transitions,
   /// capacity rescales). Items whose candidate paths cross it re-solve.
   void mark_link_dirty(LinkId link);

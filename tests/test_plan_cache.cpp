@@ -14,6 +14,7 @@
 #include "mccs/fabric.h"
 #include "mccs/proxy_engine.h"
 #include "mccs/strategy.h"
+#include "policy/controller.h"
 
 namespace mccs {
 namespace {
@@ -184,6 +185,103 @@ TEST_F(PlanCacheFixture, DisabledCacheStillProducesCorrectResults) {
   fill_ones();
   for (int i = 0; i < kRounds; ++i) run_round();
   EXPECT_DOUBLE_EQ(fabric.loop().now(), cold.loop().now());
+}
+
+TEST_F(PlanCacheFixture, AlgorithmSwapUnderLoadThroughTheBarrier) {
+  // The satellite regression for the algorithm-keyed plan cache: swap a live
+  // communicator's algorithm while a round is in flight. The Fig.-4 barrier
+  // drains the old plan, the swap reconfigures, and the cache must compile a
+  // tree plan instead of replaying the ring entry.
+  policy::Controller ctl(fabric);
+  ctl.set_flow_policy(policy::Controller::FlowPolicy::kEcmp);
+
+  fill_ones();
+  run_round();
+  expect_all_equal(4.0f);
+  std::vector<std::shared_ptr<const CollPlan>> before;
+  for (GpuId g : gpus) {
+    before.push_back(fabric.proxy_for(g).cached_plan(
+        comm, CollectiveKind::kAllReduce, count, DataType::kFloat32, 0));
+    ASSERT_NE(before.back(), nullptr);
+  }
+
+  // Launch the next round, then swap before the loop runs it: the launches
+  // are in flight when the reconfiguration arrives.
+  int remaining = static_cast<int>(gpus.size());
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    ranks[r].shim->all_reduce(comm, buf[r], buf[r], count, DataType::kFloat32,
+                              ReduceOp::kSum, *ranks[r].stream,
+                              [&remaining](Time) { --remaining; });
+  }
+  ASSERT_TRUE(ctl.swap_algorithm(comm, coll::Algorithm::kTree, 4));
+  ASSERT_TRUE(await(fabric, remaining));
+  expect_all_equal(16.0f);
+
+  // A repeat of the same swap is a no-op.
+  EXPECT_FALSE(ctl.swap_algorithm(comm, coll::Algorithm::kTree, 4));
+  EXPECT_EQ(fabric.strategy_of(comm).algorithm, coll::Algorithm::kTree);
+  EXPECT_EQ(fabric.strategy_of(comm).tree_pipeline_chunks, 4u);
+
+  // The round after the swap must run the tree plan, not the ring entry.
+  run_round();
+  expect_all_equal(64.0f);
+  for (std::size_t r = 0; r < gpus.size(); ++r) {
+    const auto& proxy = fabric.proxy_for(gpus[r]);
+    EXPECT_GE(proxy.plan_cache_stats(comm).invalidations, 1u) << "rank " << r;
+    auto after = proxy.cached_plan(comm, CollectiveKind::kAllReduce, count,
+                                   DataType::kFloat32, 0);
+    ASSERT_NE(after, nullptr);
+    EXPECT_FALSE(*after == *before[r])
+        << "rank " << r << ": the swap must recompile the plan";
+  }
+}
+
+TEST(PlanCacheKey, SameEpochAlgorithmSwapNeverServesTheStalePlan) {
+  // Defense-in-depth behind the epoch bump: even within one epoch, a
+  // strategy that differs only in algorithm (or in a plan-shaping knob the
+  // fingerprint folds in) must miss. Before the algorithm-keyed PlanKey the
+  // second acquire returned the ring plan.
+  const cluster::Cluster cl = cluster::make_testbed();
+  svc::CommSetup setup;
+  setup.id = CommId{7};
+  setup.app = AppId{1};
+  setup.nranks = 4;
+  setup.gpus = {GpuId{0}, GpuId{2}, GpuId{4}, GpuId{6}};
+  setup.rank = 1;
+  const std::vector<int> base = {0, 1, 2, 3};
+  CommStrategy ring;
+  ring.channel_orders = svc::make_channel_orders(base, setup.gpus, cl, 1);
+  CommStrategy tree = ring;
+  tree.algorithm = coll::Algorithm::kTree;
+  CommStrategy tree_fine = tree;
+  tree_fine.tree_pipeline_chunks = 2;
+  setup.strategy = ring;
+
+  svc::CollPlanCache cache;
+  const auto kind = CollectiveKind::kAllReduce;
+  const auto ring_plan =
+      cache.acquire(0, true, setup, ring, cl, kind, 1024, DataType::kFloat32, 0);
+  const auto tree_plan =
+      cache.acquire(0, true, setup, tree, cl, kind, 1024, DataType::kFloat32, 0);
+  ASSERT_NE(tree_plan, ring_plan);
+  ASSERT_FALSE(*tree_plan == *ring_plan);
+  const auto fresh =
+      svc::build_coll_plan(setup, tree, cl, kind, 1024, DataType::kFloat32, 0);
+  EXPECT_TRUE(*tree_plan == *fresh);
+
+  // Pipeline granularity is part of the fingerprint, not the algorithm.
+  const auto fine_plan = cache.acquire(0, true, setup, tree_fine, cl, kind,
+                                       1024, DataType::kFloat32, 0);
+  ASSERT_NE(fine_plan, tree_plan);
+  EXPECT_FALSE(*fine_plan == *tree_plan);
+
+  // All three entries coexist; re-acquiring each is a hit.
+  EXPECT_EQ(cache.acquire(0, true, setup, ring, cl, kind, 1024,
+                          DataType::kFloat32, 0),
+            ring_plan);
+  EXPECT_EQ(cache.acquire(0, true, setup, tree, cl, kind, 1024,
+                          DataType::kFloat32, 0),
+            tree_plan);
 }
 
 // --- property test: cached plans are structurally identical to fresh builds --

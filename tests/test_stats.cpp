@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "common/stats.h"
@@ -34,6 +35,36 @@ TEST(Stats, QuantileSingleSampleIsThatSample) {
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 42.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.999), 42.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 42.0);
+}
+
+TEST(Stats, QuantileBitwiseEqualsPercentileAcrossQGrid) {
+  // Property: for every grid point q = k/100, quantile_sorted(xs, q) must be
+  // BITWISE equal to percentile_sorted(xs, k). Both compute rank = (k/100.0)
+  // * (n-1) from the same double, so the interpolation cell and the blend
+  // are identical. The old forwarding form computed percentile_sorted(xs,
+  // q*100.0) instead, and q*100.0 is inexact for most k (k=29 -> p =
+  // 28.999999999999996), shifting the floor/ceil cell.
+  std::vector<double> xs(257);
+  std::uint64_t s = 99;
+  for (auto& x : xs) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    x = static_cast<double>(s >> 40) * 1e-3;
+  }
+  sort_samples(xs);
+  for (int k = 0; k <= 100; ++k) {
+    const double q = static_cast<double>(k) / 100.0;
+    const double via_q = quantile_sorted(xs, q);
+    const double via_p = percentile_sorted(xs, static_cast<double>(k));
+    // Bitwise, not EXPECT_DOUBLE_EQ (which tolerates 4 ulps).
+    EXPECT_EQ(std::memcmp(&via_q, &via_p, sizeof(double)), 0)
+        << "k=" << k << " q=" << via_q << " p=" << via_p;
+  }
+  // The motivating case from the fix: q = 0.29 against p = 29 on a ramp.
+  std::vector<double> ramp(101);
+  for (std::size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  const double via_q = quantile_sorted(ramp, 0.29);
+  const double via_p = percentile_sorted(ramp, 29.0);
+  EXPECT_EQ(std::memcmp(&via_q, &via_p, sizeof(double)), 0);
 }
 
 TEST(Stats, P999ReadsTheTailNotTheP99Neighbourhood) {
