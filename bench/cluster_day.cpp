@@ -140,6 +140,11 @@ struct ModeResult {
   std::uint64_t admitted = 0;
   std::size_t queued_peak = 0;
   double mean_closure = 0.0;  ///< incremental only: avg dirty-closure items
+  /// Control-plane solve coalescing: the event loop folds every tenant
+  /// mutation a churn event carries (one departure can admit a whole burst
+  /// of queued jobs) into a single assigner solve.
+  double solves_per_event = 0.0;
+  double mean_batch_width = 0.0;  ///< tenant mutations folded per solve
   /// Deterministic digest of the assignment after EVERY event (live comms
   /// ascending, route keys ascending), so "identical" means identical at
   /// each of the trace's thousands of decision points — not merely at the
@@ -175,6 +180,7 @@ ModeResult run_mode(const Scale& scale, bool incremental) {
   double busy_gpu_time = 0.0;
   double closure_total = 0.0;
   std::size_t solves = 0;
+  std::size_t mutations = 0;
 
   auto activate = [&](JobId job, std::vector<GpuId> gpus, Time now) {
     const workload::JobSpec& spec = jobs[job.get()];
@@ -204,6 +210,7 @@ ModeResult run_mode(const Scale& scale, bool incremental) {
       }
     }
     res.queued_peak = std::max(res.queued_peak, admission.queue_depth());
+    mutations += started.size() + stopped.size();
 
     // The timed control-plane decision: react to this event's tenant set
     // change with a (re)assignment of flows to routes.
@@ -246,6 +253,7 @@ ModeResult run_mode(const Scale& scale, bool incremental) {
         items.push_back(item);
       }
       full_routes = policy::assign_flows(items, cluster, routing, options);
+      ++solves;
     }
     const auto t1 = std::chrono::steady_clock::now();
     res.latencies_s.push_back(std::chrono::duration<double>(t1 - t0).count());
@@ -277,6 +285,12 @@ ModeResult run_mode(const Scale& scale, bool incremental) {
   if (incremental) {
     res.mean_closure = solves > 0 ? closure_total / static_cast<double>(solves) : 0.0;
   }
+  res.solves_per_event =
+      res.events > 0 ? static_cast<double>(solves) / static_cast<double>(res.events)
+                     : 0.0;
+  res.mean_batch_width =
+      solves > 0 ? static_cast<double>(mutations) / static_cast<double>(solves)
+                 : 0.0;
   res.admitted = admission.admitted_total();
   const double horizon = events.empty() ? 1.0 : events.back().at;
   res.goodput = busy_gpu_time /
@@ -531,13 +545,15 @@ int main() {
           "{\"bench\":\"cluster_day\",\"scale\":\"%s\",\"gpus\":%d,"
           "\"mode\":\"%s\",\"seed\":%llu,\"events\":%zu,\"jobs\":%zu,"
           "\"admitted\":%llu,\"queued_peak\":%zu,\"goodput\":%.4f,"
-          "\"mean_closure_items\":%.2f,\"p50_us\":%.3f,\"p99_us\":%.3f,"
+          "\"mean_closure_items\":%.2f,\"solves_per_event\":%.4f,"
+          "\"mean_batch_width\":%.2f,\"p50_us\":%.3f,\"p99_us\":%.3f,"
           "\"p999_us\":%.3f,\"mean_us\":%.3f,\"speedup_p99_vs_full\":%.2f,"
           "\"assignments_identical\":%s}\n",
           scale.name, gpus, row.mode,
           static_cast<unsigned long long>(kSeed), row.r->events, row.r->jobs,
           static_cast<unsigned long long>(row.r->admitted),
           row.r->queued_peak, row.r->goodput, row.r->mean_closure,
+          row.r->solves_per_event, row.r->mean_batch_width,
           tail.p50 * 1e6, tail.p99 * 1e6, tail.p999 * 1e6, mean_s * 1e6,
           speedup, identical ? "true" : "false");
     }

@@ -168,6 +168,22 @@ std::pair<NodeId, NodeId> ring_edge(const JobPlan& job, std::size_t i) {
 /// task-pool widths.
 struct CompletionDigest {
   std::uint64_t h = 1469598103934665603ull;
+  /// Order-insensitive companion: a wrapping sum of one strong 64-bit hash
+  /// per (id, completion-time-bits) record. Batched and unbatched runs
+  /// complete every flow at the bitwise-identical virtual time but may
+  /// permute completions *within* one instant (per-flow solve cascades
+  /// re-insert same-instant events in solve-history order; the coalesced
+  /// union solve in ascending id) — this digest is invariant under exactly
+  /// that permutation and nothing weaker, so it is the batched-vs-unbatched
+  /// identity gate. See DESIGN.md §15.
+  ///
+  /// `id` must be a WORKLOAD-logical flow name (slot/job/iteration/edge
+  /// here), never the netsim-assigned FlowId sequence number: completion
+  /// callbacks start the next iteration's flows, so sequence numbers are
+  /// allocated in within-instant callback order — exactly the order the
+  /// contract lets the two modes permute. Physics are mode-identical; the
+  /// labels a consumer mints inside same-instant callbacks are not.
+  std::uint64_t canonical = 0;
 
   void fold(std::uint64_t x) {
     for (int i = 0; i < 8; ++i) {
@@ -175,20 +191,39 @@ struct CompletionDigest {
       h *= 1099511628211ull;
     }
   }
-  void record(FlowId id, Time t) {
-    fold(id.get());
+  void record(std::uint64_t id, Time t) {
+    fold(id);
     std::uint64_t bits = 0;
     static_assert(sizeof(Time) == sizeof(bits));
     std::memcpy(&bits, &t, sizeof(bits));
     fold(bits);
+    // splitmix64 finalizer over the packed record.
+    std::uint64_t z = (id * 0x9e3779b97f4a7c15ull) ^ bits;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    canonical += z ^ (z >> 31);
   }
 };
 
 struct RunResult {
   std::uint64_t events = 0;  ///< flow starts + completions + pause/resume ops
   std::uint64_t digest = 0;  ///< CompletionDigest over the completion stream
+  std::uint64_t canonical = 0;  ///< order-insensitive (id, time) digest
+  std::uint64_t solves = 0;      ///< Network::solves_total at loop drain
+  std::uint64_t coalesced = 0;   ///< mutations folded into batch closes
+  std::uint64_t batches = 0;     ///< non-empty batch closes
   double wall_s = 0.0;
   Time sim_s = 0.0;
+
+  [[nodiscard]] double solves_per_event() const {
+    return events == 0 ? 0.0
+                       : static_cast<double>(solves) / static_cast<double>(events);
+  }
+  [[nodiscard]] double mean_batch_width() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(coalesced) /
+                              static_cast<double>(batches);
+  }
 };
 
 /// Drive one slot's job sequence on the network; `events` counts the churn.
@@ -198,6 +233,7 @@ struct SlotRunner {
   const SlotPlan* plan;
   std::uint64_t* events;
   CompletionDigest* digest;
+  std::uint64_t slot_no = 0;  ///< index into Workload::slots — logical-id base
   std::size_t job_idx = 0;
   std::size_t iter_idx = 0;
   int outstanding = 0;
@@ -214,13 +250,20 @@ struct SlotRunner {
     const std::size_t n = job.nics.size();
     outstanding = static_cast<int>(n);
     std::optional<FlowId> first;
+    // One solve for the whole ring launch instead of one per edge (no-op
+    // when the network was built with coalescing off).
+    net::Network::SolveBatch batch(*net);
     for (std::size_t i = 0; i < n; ++i) {
       net::FlowSpec spec;
       std::tie(spec.src, spec.dst) = ring_edge(job, i);
       spec.size = ip.bytes;
       spec.ecmp_key = ip.ecmp_keys[i];
-      spec.on_complete = [this](FlowId id, Time t) {
-        digest->record(id, t);
+      // Logical flow name: stable across engine modes, unlike the netsim
+      // FlowId minted by start_flow (see CompletionDigest::record).
+      const std::uint64_t lid = (slot_no << 48) | (job_idx << 32) |
+                                (iter_idx << 16) | static_cast<std::uint64_t>(i);
+      spec.on_complete = [this, lid](FlowId, Time t) {
+        digest->record(lid, t);
         ++*events;
         if (--outstanding == 0) iteration_done();
       };
@@ -260,6 +303,10 @@ struct SlotRunner {
 
 struct RunOptions {
   bool incremental = true;
+  /// Same-instant solve coalescing (batched mutation epochs + activation /
+  /// completion cohorts). Off = the per-event unbatched baseline the
+  /// kind=coalesce rows compare against.
+  bool coalesce = true;
   /// Resolve every route the schedule will use before the timer starts, so
   /// events/s measures the solver hot path, not cold routing-cache fills.
   bool prewarm_routes = false;
@@ -271,7 +318,8 @@ RunResult run_workload(const cluster::Cluster& cl, const Workload& w,
                        const RunOptions& opts) {
   sim::EventLoop loop;
   net::Network net(loop, cl.topology(),
-                   net::Network::Options{opts.incremental});
+                   net::Network::Options{.incremental = opts.incremental,
+                                         .coalesce = opts.coalesce});
   if (opts.reserve) {
     // Peak concurrency: every slot can have one job's ring in flight at once.
     std::size_t lifetime = w.background.size();
@@ -307,7 +355,7 @@ RunResult run_workload(const cluster::Cluster& cl, const Workload& w,
   CompletionDigest digest;
   std::vector<SlotRunner> runners(w.slots.size());
   for (std::size_t s = 0; s < w.slots.size(); ++s) {
-    runners[s] = SlotRunner{&loop, &net, &w.slots[s], &res.events, &digest};
+    runners[s] = SlotRunner{&loop, &net, &w.slots[s], &res.events, &digest, s};
     loop.schedule_at(w.slots[s].first_start, [&runners, s] {
       runners[s].start_next_job();
     });
@@ -319,6 +367,10 @@ RunResult run_workload(const cluster::Cluster& cl, const Workload& w,
   res.wall_s = std::chrono::duration<double>(t1 - t0).count();
   res.sim_s = loop.now();
   res.digest = digest.h;
+  res.canonical = digest.canonical;
+  res.solves = net.solves_total();
+  res.coalesced = net.coalesced_flows_total();
+  res.batches = net.batches_total();
   return res;
 }
 
@@ -433,10 +485,11 @@ int main() {
                    "{\"bench\":\"micro_flowsim_scale\",\"kind\":\"perf\","
                    "\"gpus\":%d,\"threads\":%d,\"events\":%llu,"
                    "\"sim_s\":%.6f,\"wall_s\":%.6f,\"events_per_sec\":%.1f,"
+                   "\"solves_per_event\":%.4f,\"mean_batch_width\":%.2f,"
                    "\"digest\":\"%016llx\"}\n",
                    gpus, t == 0 ? 1 : 8,
                    static_cast<unsigned long long>(r.events), r.sim_s,
-                   r.wall_s, rate,
+                   r.wall_s, rate, r.solves_per_event(), r.mean_batch_width(),
                    static_cast<unsigned long long>(r.digest));
     }
     const bool threads_identical =
@@ -469,6 +522,47 @@ int main() {
                  static_cast<unsigned long long>(inc.events), fp.hot, fp.param,
                  fp.cold, fp.total());
     all_identical = all_identical && threads_identical && identical_to_reference;
+
+    // Coalescing: the same full workload with batching off — the per-event
+    // solve baseline. The completion stream must be bit-identical (zero
+    // virtual time elapses inside a batch, so the skipped intermediate rate
+    // states transfer zero bytes); the solve count must not be.
+    par::set_threads(1);
+    const RunResult unb = run_workload(
+        cl, w, RunOptions{.incremental = true, .coalesce = false,
+                          .prewarm_routes = true, .reserve = true});
+    par::set_threads(0);
+    const RunResult& bat = by_threads[0];
+    // Canonical (order-insensitive) digest: every flow must complete at the
+    // bitwise-identical virtual time in both modes; only the within-instant
+    // completion order may permute (see CompletionDigest::canonical).
+    const bool digest_identical =
+        bat.canonical == unb.canonical && bat.events == unb.events;
+    const double reduction =
+        bat.solves == 0 ? 0.0
+                        : static_cast<double>(unb.solves) /
+                              static_cast<double>(bat.solves);
+    std::printf("%-6d %-10s %8s %10llu %9.3f  solves %llu -> %llu "
+                "(%.2fx, width %.1f) digest_identical=%s\n",
+                gpus, "coalesce", "-",
+                static_cast<unsigned long long>(unb.events), unb.wall_s,
+                static_cast<unsigned long long>(unb.solves),
+                static_cast<unsigned long long>(bat.solves), reduction,
+                bat.mean_batch_width(), digest_identical ? "yes" : "NO");
+    std::fprintf(sjson,
+                 "{\"bench\":\"micro_flowsim_scale\",\"kind\":\"coalesce\","
+                 "\"gpus\":%d,\"events\":%llu,\"solves_batched\":%llu,"
+                 "\"solves_unbatched\":%llu,\"solves_per_event_batched\":%.4f,"
+                 "\"solves_per_event_unbatched\":%.4f,"
+                 "\"mean_batch_width\":%.2f,\"reduction\":%.2f,"
+                 "\"digest_identical\":%s}\n",
+                 gpus, static_cast<unsigned long long>(bat.events),
+                 static_cast<unsigned long long>(bat.solves),
+                 static_cast<unsigned long long>(unb.solves),
+                 bat.solves_per_event(), unb.solves_per_event(),
+                 bat.mean_batch_width(), reduction,
+                 digest_identical ? "true" : "false");
+    all_identical = all_identical && digest_identical;
   }
   std::fclose(sjson);
   std::printf("\nBENCH_scale.json written (perf + identity rows per scale).\n");

@@ -55,8 +55,9 @@ if [[ "${SANITIZE:-}" == "thread" ]]; then
   echo "== parallel-subsystem tests (TSan, MCCS_THREADS=8) =="
   MCCS_THREADS=8 MCCS_NETSIM_PROPERTY_SEEDS=40 MCCS_CHAOS_SEEDS=6 \
     MCCS_NETSIM_8K_SEEDS=1 MCCS_CHAOS_CHURN_SEEDS=8 \
+    MCCS_NETSIM_BATCH_SEEDS=40 \
     build-tsan/tests/mccs_tests \
-    --gtest_filter='*Parallel*:*ChaosFuzz*:*ChaosChurnFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*:*NetworkSlab*' \
+    --gtest_filter='*Parallel*:*ChaosFuzz*:*ChaosChurnFuzz*:*NetworkProperties*:*FuzzFixture*:*ReduceBytes*:*Collective*:*NetworkSlab*:*NetsimBatch*' \
     --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: thread)"
   exit 0
@@ -92,6 +93,12 @@ if [[ -n "${SANITIZE:-}" ]]; then
   # (it is also in the full ctest pass above; this keeps it visible).
   echo "== flow-slab tests (sanitized) =="
   build-san/tests/mccs_tests --gtest_filter='*NetworkSlab*' --gtest_brief=1
+  # Solve coalescing cancels and re-derives completion events wholesale at
+  # batch close and recycles cohort records — run the batched-vs-unbatched
+  # identity sweep explicitly so a dangling event handle fails loudly here.
+  echo "== solve-coalescing tests (sanitized) =="
+  MCCS_NETSIM_BATCH_SEEDS=100 build-san/tests/mccs_tests \
+    --gtest_filter='*NetsimBatch*' --gtest_brief=1
   echo "ALL CHECKS PASSED (sanitized: ${SANITIZE})"
   exit 0
 fi
@@ -149,11 +156,16 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 
 perf_keys = {"bench", "kind", "gpus", "threads", "events", "sim_s", "wall_s",
-             "events_per_sec", "digest"}
+             "events_per_sec", "digest", "solves_per_event",
+             "mean_batch_width"}
 id_keys = {"bench", "kind", "gpus", "threads_identical",
            "identical_to_reference", "verify_events", "hot_bytes",
            "param_bytes", "cold_bytes", "bytes_per_flow_state"}
-perf, ident = {}, {}
+co_keys = {"bench", "kind", "gpus", "events", "solves_batched",
+           "solves_unbatched", "solves_per_event_batched",
+           "solves_per_event_unbatched", "mean_batch_width", "reduction",
+           "digest_identical"}
+perf, ident, coal = {}, {}, {}
 for i, line in enumerate((l for l in open(sys.argv[1]) if l.strip()), 1):
     rec = json.loads(line)
     if rec.get("kind") == "perf":
@@ -164,6 +176,10 @@ for i, line in enumerate((l for l in open(sys.argv[1]) if l.strip()), 1):
         if set(rec) != id_keys:
             sys.exit(f"FAIL: identity line {i} keys {sorted(rec)}")
         ident[rec["gpus"]] = rec
+    elif rec.get("kind") == "coalesce":
+        if set(rec) != co_keys:
+            sys.exit(f"FAIL: coalesce line {i} keys {sorted(rec)}")
+        coal[rec["gpus"]] = rec
     else:
         sys.exit(f"FAIL: line {i} unknown kind {rec.get('kind')!r}")
 
@@ -171,6 +187,8 @@ scales = {768, 8192, 32768}
 if set(ident) != scales or {g for g, _ in perf} != scales:
     sys.exit(f"FAIL: scale points missing (perf {sorted(perf)}, "
              f"identity {sorted(ident)})")
+if set(coal) != scales:
+    sys.exit(f"FAIL: coalesce rows missing (have {sorted(coal)})")
 for gpus, rec in sorted(ident.items()):
     if not rec["threads_identical"]:
         sys.exit(f"FAIL: {gpus}-GPU completion stream differs across threads")
@@ -181,6 +199,20 @@ for (gpus, threads), rec in sorted(perf.items()):
     if rec["digest"] != other["digest"]:
         sys.exit(f"FAIL: {gpus}-GPU digests differ between thread counts")
 
+# Solve coalescing (DESIGN.md §15): batched and unbatched runs must complete
+# every flow at the bitwise-identical virtual time, and batching must pay for
+# itself — at the 8k scale the per-event solve count must drop >= 3x.
+for gpus, rec in sorted(coal.items()):
+    if not rec["digest_identical"]:
+        sys.exit(f"FAIL: {gpus}-GPU batched completion stream diverged from "
+                 f"the per-event solve baseline")
+    if rec["solves_batched"] > rec["solves_unbatched"]:
+        sys.exit(f"FAIL: {gpus}-GPU batching increased solves "
+                 f"({rec['solves_batched']} > {rec['solves_unbatched']})")
+if coal[8192]["reduction"] < 3.0:
+    sys.exit(f"FAIL: 8k solve coalescing reduction "
+             f"{coal[8192]['reduction']:.2f}x < 3.0x floor")
+
 # Conservative floors (measured ~86k/s at 8k, ~1.1M/s at 768 on the CI
 # class of machine): catch order-of-magnitude regressions, not noise.
 if perf[(8192, 1)]["events_per_sec"] < 20000:
@@ -190,13 +222,17 @@ flow768 = [r for r in flow768 if r["gpus"] == 768 and r["mode"] == "incremental"
 if flow768 and perf[(768, 1)]["events_per_sec"] < 0.5 * flow768[0]["events_per_sec"]:
     sys.exit(f"FAIL: 768-GPU scale row regressed vs BENCH_flowsim "
              f"({perf[(768, 1)]['events_per_sec']} vs {flow768[0]['events_per_sec']})")
-print(f"BENCH_scale.json OK ({len(perf)} perf + {len(ident)} identity rows)")
+print(f"BENCH_scale.json OK ({len(perf)} perf + {len(ident)} identity + "
+      f"{len(coal)} coalesce rows)")
 EOF
 else
   # Fallback without python3: the reproducibility flags must read true.
   for gpus in 768 8192 32768; do
     grep -q "\"kind\":\"identity\",\"gpus\":${gpus},\"threads_identical\":true,\"identical_to_reference\":true" \
       "$sjson" || { echo "FAIL: identity flags not true at ${gpus} GPUs" >&2; exit 1; }
+    grep "\"kind\":\"coalesce\",\"gpus\":${gpus}," "$sjson" \
+      | grep -q "\"digest_identical\":true" \
+      || { echo "FAIL: coalesce digest not identical at ${gpus} GPUs" >&2; exit 1; }
   done
   echo "BENCH_scale.json OK (grep fallback)"
 fi
@@ -504,6 +540,7 @@ import json, sys
 
 expected = {"bench", "scale", "gpus", "mode", "seed", "events", "jobs",
             "admitted", "queued_peak", "goodput", "mean_closure_items",
+            "solves_per_event", "mean_batch_width",
             "p50_us", "p99_us", "p999_us", "mean_us", "speedup_p99_vs_full",
             "assignments_identical"}
 lines = [l for l in open(sys.argv[1]) if l.strip()]
@@ -537,7 +574,7 @@ else
   while IFS= read -r line; do
     [[ -z "$line" ]] && continue
     for key in bench scale gpus mode p99_us speedup_p99_vs_full \
-               assignments_identical; do
+               solves_per_event mean_batch_width assignments_identical; do
       grep -q "\"$key\":" <<<"$line" || {
         echo "FAIL: missing key '$key' in: $line" >&2; exit 1;
       }

@@ -193,6 +193,13 @@ KillReport Fabric::kill_app(AppId app) {
   KillReport report;
   report.app = app;
 
+  // The whole teardown is one mutation epoch: every in-flight flow of the
+  // tenant leaves the network at this instant, and the survivors' rates
+  // re-solve once at batch close (the per-engine abort_app batches nest
+  // under this one). Tombstones, trace drops, and the kill report are
+  // unaffected — only the solve is coalesced.
+  net::Network::SolveBatch batch(*network_);
+
   // Abort every communicator of the app on every rank's proxy. A host crash
   // has no control-plane grace: the state vanishes now, and peers discover it
   // by their in-flight messages being dropped on arrival.

@@ -404,12 +404,16 @@ void ProxyEngine::begin_execution(CommId comm, std::uint64_t seq) {
     for (const Delivery& d : deliveries) apply_delivery(st, a, d);
   }
 
-  // Kick the step machines after the kernel-launch overhead.
+  // Kick the step machines after the kernel-launch overhead. All channels'
+  // first chunk flows post at this one instant, so they share a solve batch
+  // (and, being latent, one activation cohort): one re-solve for the whole
+  // launch, not one per chunk.
   ctx_->loop->schedule_after(ctx_->config.comm_kernel_launch, [this, comm, seq] {
     CommRank* s = find_comm(comm);
     if (s == nullptr) return;
     auto ait = s->active.find(seq);
     if (ait == s->active.end()) return;
+    net::Network::SolveBatch batch(*ctx_->network);
     for (ChannelExec& ch : ait->second.channels) {
       ch.started = true;
       start_step(*s, ait->second, ch);

@@ -221,13 +221,19 @@ void TransportEngine::on_deadline(std::uint64_t sid) {
     report.attempts = s.attempts;
     report.path = ctx_->network->flow_path(s.flow).to_path();
   }
-  ctx_->network->cancel_flow(s.flow);
-  AppGate* gate = git == gates_.end() ? nullptr : &git->second;
-  if (gate != nullptr) {
-    auto& v = gate->active_sends;
-    v.erase(std::remove(v.begin(), v.end(), sid), v.end());
+  {
+    // The retry's cancel + re-hashed restart are one mutation epoch; the
+    // restarted flow is latent (backoff), so when several sends re-hash at
+    // the same instant their restarts also share one activation cohort.
+    net::Network::SolveBatch batch(*ctx_->network);
+    ctx_->network->cancel_flow(s.flow);
+    AppGate* gate = git == gates_.end() ? nullptr : &git->second;
+    if (gate != nullptr) {
+      auto& v = gate->active_sends;
+      v.erase(std::remove(v.begin(), v.end(), sid), v.end());
+    }
+    start_flow(sid, gate);
   }
-  start_flow(sid, gate);
   if (escalate) {
     escalations_->increment();
     if (ctx_->telemetry != nullptr && ctx_->telemetry->enabled()) {
@@ -249,6 +255,10 @@ std::size_t TransportEngine::abort_app(AppId app) {
     gates_.erase(git);
   }
   std::size_t dropped = 0;
+  // One batch epoch for the mass cancel: the tenant's flows leave the
+  // network at one instant, so the survivors' rates re-solve once, not once
+  // per cancelled flow.
+  net::Network::SolveBatch batch(*ctx_->network);
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if (it->second.transfer.app != app) {
       ++it;
@@ -284,7 +294,10 @@ void TransportEngine::clear_schedule(AppId app) {
   if (it == gates_.end()) return;
   AppGate& gate = it->second;
   ctx_->loop->cancel(gate.timer);
-  // Release everything that was held back.
+  // Release everything that was held back — resumes and restarts share one
+  // same-instant batch epoch (the restarted flows are latent, so they join
+  // an activation cohort; the resumes re-solve once here).
+  net::Network::SolveBatch batch(*ctx_->network);
   if (gate.gated_closed) {
     for (std::uint64_t sid : gate.active_sends) {
       auto sit = inflight_.find(sid);
@@ -317,6 +330,11 @@ void TransportEngine::on_boundary(AppId app) {
   if (it == gates_.end()) return;
   AppGate& gate = it->second;
   const bool open = gate.schedule.open_at(ctx_->loop->now());
+
+  // A window boundary gates every in-flight flow of the tenant at one
+  // instant: batch the pause/resume burst (and any releases below) into one
+  // re-solve.
+  net::Network::SolveBatch batch(*ctx_->network);
 
   // Pause or resume in-flight flows to track the window state.
   gate.active_sends.erase(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "common/parallel.h"
@@ -111,7 +112,29 @@ void Network::reserve_flows(std::size_t concurrent, std::size_t lifetime) {
   free_slots_.reserve(concurrent);
   comp_flows_.reserve(concurrent);
   comp_links_.reserve(topo_->link_count());
+  batch_seed_links_.reserve(topo_->link_count());
   id_to_slot_.reserve(lifetime);
+}
+
+void Network::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
+  if (t != nullptr) {
+    solves_counter_ = &t->metrics().counter("netsim_solves_total");
+    coalesced_counter_ = &t->metrics().counter("netsim_coalesced_flows_total");
+    // The members are authoritative from construction; a late attach (the
+    // Fabric wires telemetry right after constructing the network) catches
+    // the registry up so both views agree.
+    if (solves_counter_->value() < solves_total_) {
+      solves_counter_->increment(solves_total_ - solves_counter_->value());
+    }
+    if (coalesced_counter_->value() < coalesced_flows_total_) {
+      coalesced_counter_->increment(coalesced_flows_total_ -
+                                    coalesced_counter_->value());
+    }
+  } else {
+    solves_counter_ = nullptr;
+    coalesced_counter_ = nullptr;
+  }
 }
 
 Network::StorageFootprint Network::flow_state_footprint() {
@@ -182,7 +205,10 @@ void Network::release_slot(std::uint32_t slot) {
   // particular) so a recycled slot cannot leak or observe a prior tenant.
   cold_[slot].spec = FlowSpec{};
   cold_[slot].completion = {};
+  cold_[slot].completion_at = kNoCompletion;
   cold_[slot].activation = {};
+  cold_[slot].cohort_key = 0;
+  cold_[slot].in_cohort = false;
   param_[slot].path = {};
   free_slots_.push_back(slot);
 }
@@ -221,8 +247,32 @@ FlowId Network::start_flow(FlowSpec spec) {
   c.spec = std::move(spec);
 
   if (latency > 0.0) {
-    c.activation =
-        loop_->schedule_after(latency, [this, id] { activate_flow(id); });
+    if (options_.coalesce) {
+      // Activation cohort: latent flows sharing one exact activation instant
+      // (a collective launch posts its chunk flows in one handler with one
+      // start latency) activate through a single event — scheduled at the
+      // seq position the first member's own activation would have held, so
+      // ordering against other same-instant events is unchanged — and solve
+      // once. Keyed by the bit pattern of the instant schedule_after would
+      // compute, so membership is exact-FP, never epsilon.
+      const Time at = loop_->now() + latency;
+      std::uint64_t key = 0;
+      static_assert(sizeof(key) == sizeof(at));
+      std::memcpy(&key, &at, sizeof(key));
+      auto [it, fresh] = activation_cohorts_.try_emplace(key);
+      ActivationCohort& cohort = it->second;
+      cohort.ids.push_back(id);
+      ++cohort.live;
+      c.cohort_key = key;
+      c.in_cohort = true;
+      if (fresh) {
+        cohort.event =
+            loop_->schedule_at(at, [this, key] { activate_cohort(key); });
+      }
+    } else {
+      c.activation =
+          loop_->schedule_after(latency, [this, id] { activate_flow(id); });
+    }
   } else {
     p.started = true;
     insert_into_index(slot);
@@ -234,6 +284,10 @@ FlowId Network::start_flow(FlowSpec spec) {
 void Network::activate_flow(std::uint32_t id) {
   const std::uint32_t slot = slot_of(id);
   if (slot == kNoSlot) return;  // cancelled while latent
+  // The activation phase is over: hand the shared cohort fields to the
+  // completion phase (set again on completion-cohort enrollment).
+  cold_[slot].in_cohort = false;
+  cold_[slot].cohort_key = 0;
   FlowParam& p = param_[slot];
   p.started = true;
   hot_last_update_[slot] = loop_->now();
@@ -242,12 +296,154 @@ void Network::activate_flow(std::uint32_t id) {
   reallocate(p.path);
 }
 
+void Network::activate_cohort(std::uint64_t key) {
+  const auto it = activation_cohorts_.find(key);
+  MCCS_ASSERT(it != activation_cohorts_.end());
+  // Members activate in start order (== ascending id — the order their
+  // per-flow activation events would have fired in); the shared batch folds
+  // the burst into one union solve. activate_flow runs no user callbacks,
+  // so the cohort map cannot be mutated mid-walk.
+  begin_batch();
+  for (const std::uint32_t id : it->second.ids) activate_flow(id);
+  end_batch();
+  activation_cohorts_.erase(it);
+}
+
+void Network::schedule_pending_completions() {
+  // Group the solve's rescheduled completions by exact instant. The common
+  // case — every instant distinct — takes the singleton path below and costs
+  // one per-flow event each, as before. Flows sharing a bit-identical
+  // completion instant (a symmetric cascade: equal sizes, equal rates) share
+  // one cohort event instead of N.
+  //
+  // Ordering: pending_completions_ is in apply order (ascending flow id).
+  // Distinct instants never contend for queue position, so emitting events
+  // here, grouped, instead of one-by-one inside the apply loop is
+  // order-equivalent; within one instant the cohort drains its members in
+  // enrollment order — the order their per-flow events would have fired in.
+  const std::size_t n = pending_completions_.size();
+  auto schedule_singleton = [this](const PendingCompletion& pc) {
+    const std::uint32_t id = param_[pc.slot].seq;
+    cold_[pc.slot].completion =
+        loop_->schedule_at(pc.at, [this, id] { complete_flow(id); });
+  };
+  if (n == 1) {
+    schedule_singleton(pending_completions_[0]);
+    pending_completions_.clear();
+    return;
+  }
+  pending_order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending_order_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(pending_order_.begin(), pending_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (pending_completions_[a].bits != pending_completions_[b].bits) {
+                return pending_completions_[a].bits < pending_completions_[b].bits;
+              }
+              return a < b;  // stable within a group: keep apply order
+            });
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i + 1;
+    while (j < n && pending_completions_[pending_order_[j]].bits ==
+                        pending_completions_[pending_order_[i]].bits) {
+      ++j;
+    }
+    if (j == i + 1) {
+      schedule_singleton(pending_completions_[pending_order_[i]]);
+      i = j;
+      continue;
+    }
+    std::uint32_t idx;
+    if (!free_cohorts_.empty()) {
+      idx = free_cohorts_.back();
+      free_cohorts_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(completion_cohorts_.size());
+      completion_cohorts_.emplace_back();
+    }
+    CompletionCohort& co = completion_cohorts_[idx];
+    MCCS_ASSERT(co.ids.empty() && !co.draining);
+    for (std::size_t k = i; k < j; ++k) {
+      const PendingCompletion& pc = pending_completions_[pending_order_[k]];
+      co.ids.push_back(param_[pc.slot].seq);
+      cold_[pc.slot].cohort_key = idx;
+      cold_[pc.slot].in_cohort = true;
+    }
+    co.event = loop_->schedule_at(
+        pending_completions_[pending_order_[i]].at,
+        [this, idx] { drain_completion_cohort(idx); });
+    i = j;
+  }
+  pending_completions_.clear();
+}
+
+void Network::leave_completion_cohort(std::uint32_t slot) {
+  FlowCold& c = cold_[slot];
+  if (!c.in_cohort) return;
+  CompletionCohort& co = completion_cohorts_[c.cohort_key];
+  if (!co.draining) {
+    const auto pos = std::find(co.ids.begin(), co.ids.end(), param_[slot].seq);
+    MCCS_ASSERT(pos != co.ids.end());
+    co.ids.erase(pos);
+    if (co.ids.empty()) {
+      loop_->cancel(co.event);
+      co.event = {};
+      free_cohorts_.push_back(static_cast<std::uint32_t>(c.cohort_key));
+    }
+  }
+  // Mid-drain the member list was moved out; the drain loop re-checks
+  // in_cohort, so resetting the flags is all a leave needs there.
+  c.in_cohort = false;
+  c.cohort_key = 0;
+}
+
+void Network::drain_completion_cohort(std::uint32_t idx) {
+  CompletionCohort& co = completion_cohorts_[idx];
+  // Move the member list into persistent scratch and mark the record
+  // draining: completion callbacks may cancel or pause later members (their
+  // leave then only resets the flags), and the batch-close solve may form
+  // fresh cohorts — but never from this pool slot, which is freed only after
+  // the walk and the solve are done.
+  drain_ids_.assign(co.ids.begin(), co.ids.end());
+  co.ids.clear();
+  co.draining = true;
+  begin_batch();
+  for (const std::uint32_t id : drain_ids_) {
+    const std::uint32_t slot = slot_of(id);
+    if (slot == kNoSlot) continue;  // cancelled by an earlier member's callback
+    FlowCold& c = cold_[slot];
+    if (!c.in_cohort || c.cohort_key != idx) continue;  // left mid-drain
+    c.in_cohort = false;
+    c.cohort_key = 0;
+    complete_flow(id);
+  }
+  end_batch();
+  // Re-index: the batch-close solve may have grown the pool and moved it.
+  CompletionCohort& done = completion_cohorts_[idx];
+  done.draining = false;
+  done.event = {};
+  free_cohorts_.push_back(idx);
+}
+
 void Network::cancel_flow(FlowId id) {
   const std::uint32_t slot = slot_of(id.get());
   if (slot == kNoSlot) return;
   FlowCold& c = cold_[slot];
   loop_->cancel(c.completion);
   loop_->cancel(c.activation);
+  if (!param_[slot].started && c.in_cohort) {
+    // Leave the dead id in the member list (activation skips it); when the
+    // last live member goes, drop the cohort's event from the loop just as
+    // per-flow cancellation would have.
+    const auto it = activation_cohorts_.find(c.cohort_key);
+    if (it != activation_cohorts_.end() && --it->second.live == 0) {
+      loop_->cancel(it->second.event);
+      activation_cohorts_.erase(it);
+    }
+  } else if (param_[slot].started) {
+    leave_completion_cohort(slot);
+  }
   const bool was_allocated = allocatable(slot);
   if (was_allocated) remove_from_index(slot);
   emit_flow_span(slot, /*completed=*/false);
@@ -269,6 +465,8 @@ void Network::pause_flow(FlowId id) {
   hot_rate_[slot] = 0.0;
   loop_->cancel(cold_[slot].completion);
   cold_[slot].completion = {};
+  cold_[slot].completion_at = kNoCompletion;
+  leave_completion_cohort(slot);
   reallocate(p.path);
 }
 
@@ -489,6 +687,32 @@ void Network::collect_all() {
 }
 
 void Network::reallocate(PathView seed) {
+  if (batch_depth_ > 0) {
+    // Deferred: fold the seed into the batch's dirty-link union (the seed
+    // views point at interned arena storage or at set_link_state's stack
+    // slot, so the links are copied out here, synchronously) and solve once
+    // at batch close. Zero virtual time elapses before that solve, so the
+    // skipped intermediate rate states would have transferred zero bytes and
+    // their completion events would all be superseded — the coalesced solve
+    // is semantically identical (DESIGN.md §15).
+    MCCS_CHECK(loop_->now() == batch_time_,
+               "virtual time advanced inside a solve batch");
+    for (LinkId l : seed) {
+      if (batch_link_mark_[l.get()] != batch_epoch_) {
+        batch_link_mark_[l.get()] = batch_epoch_;
+        batch_seed_links_.push_back(l);
+      }
+    }
+    ++batch_pending_;
+    return;
+  }
+  solve_now(seed);
+}
+
+void Network::solve_now(PathView seed) {
+  ++solves_total_;
+  if (solves_counter_ != nullptr) solves_counter_->increment();
+  solve_seed_ = seed;
   if (options_.incremental) {
     collect_component(seed);
   } else {
@@ -503,10 +727,51 @@ void Network::reallocate(PathView seed) {
     }
   }
   allocate_component();
+  solve_seed_ = {};
+}
+
+void Network::begin_batch() {
+  if (!options_.coalesce) return;
+  if (batch_depth_++ == 0) {
+    batch_time_ = loop_->now();
+    ++batch_epoch_;
+    MCCS_ASSERT(batch_seed_links_.empty() && batch_pending_ == 0);
+  }
+}
+
+void Network::end_batch() {
+  if (!options_.coalesce) return;
+  MCCS_CHECK(batch_depth_ > 0, "end_batch without a matching begin_batch");
+  if (--batch_depth_ > 0) return;  // nested close: the outermost one solves
+  if (batch_pending_ == 0) return;  // empty batch: nothing changed, no solve
+  MCCS_CHECK(loop_->now() == batch_time_,
+             "virtual time advanced inside a solve batch");
+  ++batches_total_;
+  coalesced_flows_total_ += batch_pending_;
+  if (coalesced_counter_ != nullptr) {
+    coalesced_counter_->increment(batch_pending_);
+  }
+  batch_pending_ = 0;
+  // The union seed lives in batch_seed_links_ for the duration of the solve
+  // (nothing appends while the depth is zero); one component discovery from
+  // the union covers every flow any deferred mutation could have re-rated.
+  solve_now(PathView{batch_seed_links_.data(), batch_seed_links_.size()});
+  batch_seed_links_.clear();
 }
 
 void Network::allocate_component() {
   const Time now = loop_->now();
+
+  // Canonicalize the collected link order. Discovery order depends on the
+  // seed that reached the component (a single mutated path vs a batch's
+  // dirty-link union), and the solver's bottleneck scan breaks exact
+  // fair-share ties by iteration order — so without this, the same component
+  // could freeze links in a different sequence and drift by an ulp depending
+  // on how the mutations that produced it were grouped into solves. Sorted,
+  // the solve is a pure function of component content (flows already walk in
+  // ascending id order), which is what the batched/unbatched completion-time
+  // identity rests on.
+  std::sort(comp_links_.begin(), comp_links_.end());
 
   // Partition the collected flows into disjoint bottleneck sub-components
   // (union-find over their links). A multi-link seed — a completed or
@@ -565,6 +830,7 @@ void Network::allocate_component() {
     sc.unsatisfied.clear();
     sc.bg_ok = true;
     sc.normal_ok = true;
+    sc.dirty = false;
   }
 
   // Build each sub-component's flow lists in ascending id order (the order
@@ -586,6 +852,22 @@ void Network::allocate_component() {
     for (std::size_t i = 0; i < comp_roots_.size(); ++i) {
       if (comp_roots_[i] == root) {
         comps_[i].links.push_back(l);
+        break;
+      }
+    }
+  }
+  // Mark the sub-components reachable from the solve's seed links as dirty.
+  // Incremental collection only ever gathers seed-reachable flows, so every
+  // sub-component is dirty there; reference mode collects everything and
+  // this restores the same partition — see SubComp::dirty for why the
+  // distinction must be identical across modes. A memberless seed link's
+  // root is absent from comp_roots_ and marks nothing.
+  for (const LinkId l : solve_seed_) {
+    if (link_mark_[l.get()] != epoch_) continue;  // stale seed, not collected
+    const std::uint32_t root = find_root(l.get());
+    for (std::size_t i = 0; i < comp_roots_.size(); ++i) {
+      if (comp_roots_[i] == root) {
+        comps_[i].dirty = true;
         break;
       }
     }
@@ -657,9 +939,38 @@ void Network::allocate_component() {
   // in that same order, so per-component cursors walk them in lockstep).
   // This reproduces the exact completion-event insertion order of the
   // sequential solver regardless of how many threads solved above. A flow
-  // whose rate is unchanged (within kRateEpsilon) keeps its rate, its
-  // un-integrated progress, and its already-scheduled completion event — the
-  // lazy fast path that lets an untouched bottleneck component cost nothing.
+  // in a clean sub-component whose rate is bitwise unchanged keeps its rate,
+  // its un-integrated progress, and its already-scheduled completion event —
+  // the lazy fast path that lets an untouched bottleneck component cost
+  // nothing (a
+  // component whose flow set did not change re-derives the identical bits:
+  // the solve iterates flows in ascending id order, so its arithmetic
+  // depends only on the component's content, never on the seed that found
+  // it). Exact comparison, not an epsilon: a tolerance would let a flow keep
+  // running at a stale near-equal rate, and *which* intermediate rate it
+  // kept would depend on how the mutations that produced this state were
+  // grouped into solves — breaking the batched/unbatched completion-time
+  // identity that solve coalescing is built on.
+  //
+  // touch() runs BEFORE the fast-path continue for every flow in a dirty
+  // sub-component. Progress integration r*(t1-t0) + r*(t2-t1) is not bitwise
+  // equal to r*(t2-t0) in floating point, so *where* the integration
+  // interval is split must itself be identical across solve groupings.
+  // Touching every dirty-component flow pins the split points to "instants
+  // at which this flow's component contained a mutated link" — a pure
+  // function of the mutation timeline, not of whether a same-instant
+  // up-then-back rate excursion was observed (one solve per mutation) or
+  // coalesced away (one batched solve sees no net change), and not of
+  // whether collection was component-scoped or global (reference mode
+  // collects clean components too; their flows must keep their anchors).
+  // Dirty-component flows also RE-DERIVE their completion event from the
+  // fresh anchor even when the rate is unchanged: `t0 + rem(t0)/r` and
+  // `t1 + rem(t1)/r` name the same mathematical instant but round
+  // differently, so keeping an event computed from an older anchor while
+  // the other grouping re-derives it (because it observed a transient
+  // up-then-back rate excursion) would split the completion by one ulp.
+  // The extra cost is two loads and a store per dirty flow, inside a loop
+  // that already visits it, plus one event reschedule per dirty flow.
   comp_cursor_bg_.assign(num_comps, 0);
   comp_cursor_normal_.assign(num_comps, 0);
   for (std::uint32_t s : comp_flows_) {
@@ -674,20 +985,59 @@ void Network::allocate_component() {
     }
     const AllocFlow& a = sc.normal[comp_cursor_normal_[ci]++];
     MCCS_ASSERT(a.slot == s);
-    if (std::abs(a.rate - hot_rate_[s]) <= kRateEpsilon) continue;
-    touch(s, now);  // integrate at the old rate first
+    const bool dirty = sc.dirty;
+    if (dirty || a.rate != hot_rate_[s]) {
+      touch(s, now);  // integrate at the old rate first
+    }
+    if (!dirty && a.rate == hot_rate_[s]) continue;
     hot_rate_[s] = a.rate;
     FlowCold& c = cold_[s];
     loop_->cancel(c.completion);
     c.completion = {};
+    // Completion-instant clamp: a flow whose completion is already queued at
+    // this very instant IS finished — see FlowCold::completion_at. Forcing
+    // remaining to zero here makes the re-derived completion land at `now`
+    // again (both branches below schedule "complete now" for remaining <= 0)
+    // instead of one ulp later from quotient-rounding residue.
+    if (c.completion_at == now) hot_remaining_[s] = 0.0;
+    c.completion_at = kNoCompletion;
+    if (options_.coalesce) {
+      // Coalesce mode: defer to schedule_pending_completions, which groups
+      // this solve's completions by exact instant. `now + eta` is
+      // bit-for-bit the instant schedule_after(eta) would compute, so flows
+      // that would have completed in one same-instant cascade of per-flow
+      // events land in one group. A stalled flow (rate ~ 0, bytes left)
+      // enrolls nowhere, exactly as it would have no event.
+      leave_completion_cohort(s);
+      PendingCompletion pc;
+      pc.slot = s;
+      if (hot_remaining_[s] <= 0.0) {
+        pc.at = now + 0.0;  // == schedule_after(0.0)
+      } else if (hot_rate_[s] > kRateEpsilon) {
+        pc.at = now + hot_remaining_[s] / hot_rate_[s];
+      } else {
+        continue;
+      }
+      c.completion_at = pc.at;
+      static_assert(sizeof(pc.bits) == sizeof(pc.at));
+      std::memcpy(&pc.bits, &pc.at, sizeof(pc.bits));
+      pending_completions_.push_back(pc);
+      continue;
+    }
     const std::uint32_t id = p.seq;
     if (hot_remaining_[s] <= 0.0) {
       // Already delivered; complete "now" (from a fresh event for re-entrancy).
       c.completion = loop_->schedule_after(0.0, [this, id] { complete_flow(id); });
+      c.completion_at = now + 0.0;
     } else if (hot_rate_[s] > kRateEpsilon) {
       const Time eta = hot_remaining_[s] / hot_rate_[s];
       c.completion = loop_->schedule_after(eta, [this, id] { complete_flow(id); });
+      c.completion_at = now + eta;  // bit-identical to schedule_after's instant
     }
+  }
+
+  if (options_.coalesce && !pending_completions_.empty()) {
+    schedule_pending_completions();
   }
 
   // Refresh the touched links' monitored throughput from their members'

@@ -126,6 +126,16 @@ class Network {
     /// global max-min program on every flow-set change — the reference
     /// oracle the property tests cross-validate against.
     bool incremental = true;
+    /// Same-instant solve coalescing: begin_batch()/end_batch() defer the
+    /// per-mutation re-solve and run one union solve at batch close, and
+    /// latent flows sharing an exact activation instant activate through one
+    /// cohort event inside an internal batch. Semantically identical (zero
+    /// virtual time elapses between the deferred mutations, so the skipped
+    /// intermediate rate states transfer zero bytes — see DESIGN.md §15).
+    /// Off = every batch is a no-op and activations stay per-flow events:
+    /// the unbatched column the coalescing property tests and the bench's
+    /// solves-per-event comparison run against.
+    bool coalesce = true;
   };
 
   Network(sim::EventLoop& loop, const Topology& topo)
@@ -140,6 +150,7 @@ class Network {
         link_states_(topo.link_count(), LinkState::kUp),
         capacity_scale_(topo.link_count(), 1.0),
         link_mark_(topo.link_count(), 0),
+        batch_link_mark_(topo.link_count(), 0),
         residual_(topo.link_count(), 0.0),
         weight_scratch_(topo.link_count(), 0.0),
         uf_parent_(topo.link_count(), 0),
@@ -173,6 +184,49 @@ class Network {
     [[nodiscard]] std::size_t total() const { return hot + param + cold; }
   };
   [[nodiscard]] static StorageFootprint flow_state_footprint();
+
+  // --- batched-mutation epochs ----------------------------------------------
+  // A solve batch coalesces every flow-set mutation issued at one virtual
+  // instant into a single component discovery + max-min solve at batch
+  // close. Inside a batch, start/cancel/pause/resume/set_link_state apply
+  // their structural change immediately (indexes, the link-change log,
+  // tombstones) but defer the re-solve, accumulating the union of dirty
+  // seed links; rates read mid-batch are the pre-batch ones. Batches nest
+  // (the outermost close solves) and MUST NOT span virtual time: the
+  // zero-elapsed-time identity argument — intermediate rates transfer zero
+  // bytes, and completion events scheduled mid-batch would be superseded by
+  // the final solve — only holds at one instant, so end_batch checks the
+  // clock did not move. An empty batch (no deferred mutation) solves
+  // nothing. With Options::coalesce off both calls are no-ops.
+
+  void begin_batch();
+  void end_batch();
+
+  /// RAII batch scope: `Network::SolveBatch batch(net);` around a burst of
+  /// same-instant mutations (a collective launch, a mass cancel, a fault
+  /// epoch).
+  class SolveBatch {
+   public:
+    explicit SolveBatch(Network& net) : net_(&net) { net_->begin_batch(); }
+    ~SolveBatch() { net_->end_batch(); }
+    SolveBatch(const SolveBatch&) = delete;
+    SolveBatch& operator=(const SolveBatch&) = delete;
+
+   private:
+    Network* net_;
+  };
+
+  /// Max-min solves actually run (each allocate_component pass). Mirrored to
+  /// the metrics registry as `netsim_solves_total` when telemetry is
+  /// attached. With coalescing, a batch of N same-instant mutations pays 1.
+  [[nodiscard]] std::uint64_t solves_total() const { return solves_total_; }
+  /// Mutations whose re-solve was absorbed into a batch-close union solve
+  /// (registry name: `netsim_coalesced_flows_total`).
+  [[nodiscard]] std::uint64_t coalesced_flows_total() const {
+    return coalesced_flows_total_;
+  }
+  /// Non-empty batch closes (mean batch width = coalesced / batches).
+  [[nodiscard]] std::uint64_t batches_total() const { return batches_total_; }
 
   /// Start a flow; the path is resolved immediately (route id or ECMP).
   FlowId start_flow(FlowSpec spec);
@@ -310,7 +364,9 @@ class Network {
   /// counter samples land on the timeline when it is enabled. The utilization
   /// integral behind link_bytes() is maintained regardless (it only reads the
   /// throughput the solver already computed, so it cannot perturb the sim).
-  void set_telemetry(telemetry::Telemetry* t) { telemetry_ = t; }
+  /// Also binds the always-live `netsim_solves_total` /
+  /// `netsim_coalesced_flows_total` registry counters.
+  void set_telemetry(telemetry::Telemetry* t);
 
   /// Cumulative bytes carried by a link (allocated-rate integral up to now),
   /// for the provider's monitoring plane and telemetry snapshots.
@@ -325,11 +381,30 @@ class Network {
 
   /// Cold per-flow state: read at flow boundaries (start / completion /
   /// cancel / telemetry), never inside a solve.
+  /// Sentinel for "no completion scheduled" in FlowCold::completion_at.
+  static constexpr Time kNoCompletion = std::numeric_limits<Time>::infinity();
+
   struct FlowCold {
     FlowSpec spec;
     Time created = 0.0;  ///< start_flow time (telemetry span begin)
+    /// The instant the flow's completion is scheduled at (bit pattern of the
+    /// queued event's time), or kNoCompletion. A solve that re-derives the
+    /// flow's rate at exactly this instant treats the flow as done instead
+    /// of re-integrating its remaining bytes: `now + rem/rate` rounds, so
+    /// integrating back rarely recovers exactly zero, and without the clamp
+    /// an unrelated same-instant mutation would push the completion one ulp
+    /// past the instant the event queue already holds.
+    Time completion_at = kNoCompletion;
     sim::EventLoop::Handle completion;
-    sim::EventLoop::Handle activation;
+    sim::EventLoop::Handle activation;  ///< per-flow mode (coalesce off) only
+    /// Cohort membership (coalesce on). A flow is in at most one cohort at a
+    /// time, and the phase disambiguates what the key means: latent
+    /// (!started) = activation cohort (key = activation-instant Time bits);
+    /// started = completion cohort (key = pool index into
+    /// completion_cohorts_). The two phases never overlap, so the fields are
+    /// shared.
+    std::uint64_t cohort_key = 0;
+    bool in_cohort = false;  ///< member of an activation/completion cohort
   };
 
   /// Warm per-flow parameters: what component discovery and the solver need
@@ -404,11 +479,31 @@ class Network {
   void allocate_component();
 
   /// Flow-set change entry point: scope to `seed`'s component (or everything
-  /// in reference mode) and re-allocate. Allocation-free at steady state.
+  /// in reference mode) and re-allocate — or, inside an open batch, merge
+  /// `seed` into the pending union and defer the solve to batch close.
+  /// Allocation-free at steady state.
   void reallocate(PathView seed);
+
+  /// The undeferred body of reallocate (collect + allocate + count).
+  void solve_now(PathView seed);
 
   void complete_flow(std::uint32_t id);
   void activate_flow(std::uint32_t id);
+  /// Activate every surviving member of the cohort keyed by `key` (one
+  /// virtual instant) inside an internal batch: one solve for the burst.
+  void activate_cohort(std::uint64_t key);
+
+  /// Turn the solve's deferred completion list (pending_completions_) into
+  /// loop events: flows due at a bit-identical instant share one cohort
+  /// event, the rest get the classic per-flow event. Coalesce mode only.
+  void schedule_pending_completions();
+  /// Remove `slot` from its completion cohort, if any (pause / cancel / rate
+  /// change); a cohort whose last member leaves drops its event.
+  void leave_completion_cohort(std::uint32_t slot);
+  /// Complete every surviving member of completion cohort `idx` — in
+  /// enrollment order, inside an internal batch: one solve for the whole
+  /// same-instant completion cascade instead of one per flow.
+  void drain_completion_cohort(std::uint32_t idx);
 
   void maybe_trim_link_changes();
 
@@ -476,6 +571,63 @@ class Network {
   std::vector<std::uint32_t> comp_links_;
   std::vector<std::uint64_t> link_mark_;
   std::uint64_t epoch_ = 0;
+
+  // --- batched-mutation epochs ----------------------------------------------
+  // Deferred-solve state for an open batch. The dirty seed union is deduped
+  // through its own mark array (link_mark_/epoch_ belong to
+  // collect_component, which the batch-close solve itself consumes).
+  int batch_depth_ = 0;
+  Time batch_time_ = 0.0;           ///< outermost begin_batch instant
+  std::size_t batch_pending_ = 0;   ///< deferred mutations in the open batch
+  std::vector<LinkId> batch_seed_links_;
+  std::vector<std::uint64_t> batch_link_mark_;
+  std::uint64_t batch_epoch_ = 0;
+
+  /// Latent flows grouped by exact activation instant (the Time's bit
+  /// pattern): the first member schedules the one activation event — at the
+  /// event-loop seq its own per-flow activation would have held — and the
+  /// cohort activates every surviving member in one batch. `live` counts
+  /// members not yet cancelled, so a fully-cancelled cohort drops its event
+  /// from the loop just as per-flow cancellation would.
+  struct ActivationCohort {
+    std::vector<std::uint32_t> ids;  ///< external flow ids, in start order
+    std::size_t live = 0;
+    sim::EventLoop::Handle event;
+  };
+  std::unordered_map<std::uint64_t, ActivationCohort> activation_cohorts_;
+
+  /// Flows one solve left due to complete at one exact instant (equal Time
+  /// bit pattern — the symmetric-rate cascade), again replacing N
+  /// same-instant loop events with one. Cohorts form per solve: a cross-solve
+  /// bit collision simply yields two events at that instant, in solve order —
+  /// exactly the per-flow insertion order. Members are erased from `ids`
+  /// eagerly on leave (pause, cancel, rate change): enrollment order is the
+  /// per-flow event insertion order and must stay exact. Records live in a
+  /// high-water pool (cohort_key holds the pool index while enrolled) and the
+  /// grouping/drain scratch persists, so steady-state churn allocates
+  /// nothing.
+  struct CompletionCohort {
+    std::vector<std::uint32_t> ids;  ///< external flow ids, enrollment order
+    sim::EventLoop::Handle event;
+    bool draining = false;  ///< member list moved out; leave = flag reset only
+  };
+  std::vector<CompletionCohort> completion_cohorts_;  ///< pool, never shrunk
+  std::vector<std::uint32_t> free_cohorts_;           ///< recycled pool slots
+  struct PendingCompletion {
+    std::uint64_t bits;  ///< completion-instant Time bit pattern (group key)
+    std::uint32_t slot;
+    Time at;
+  };
+  std::vector<PendingCompletion> pending_completions_;  ///< apply-order, per solve
+  std::vector<std::uint32_t> pending_order_;            ///< grouping sort scratch
+  std::vector<std::uint32_t> drain_ids_;                ///< drain walk scratch
+
+  std::uint64_t solves_total_ = 0;
+  std::uint64_t coalesced_flows_total_ = 0;
+  std::uint64_t batches_total_ = 0;
+  telemetry::Counter* solves_counter_ = nullptr;
+  telemetry::Counter* coalesced_counter_ = nullptr;
+
   std::vector<Bandwidth> residual_;
   std::vector<double> weight_scratch_;
 
@@ -501,10 +653,19 @@ class Network {
     std::vector<std::uint32_t> unsatisfied;
     bool bg_ok = true;
     bool normal_ok = true;
+    /// Contains a seed (mutated) link. Progress integration anchors only in
+    /// dirty sub-components, so the anchor set — and therefore every
+    /// remaining-bytes bit pattern — is a pure function of the mutation
+    /// timeline, identical across incremental/reference collection and
+    /// per-event/batched solve grouping (DESIGN.md §15).
+    bool dirty = false;
   };
   std::vector<std::uint32_t> uf_parent_;
   std::vector<std::uint32_t> comp_roots_;
   std::vector<SubComp> comps_;
+  /// Seed links of the in-flight solve (set by solve_now for the duration of
+  /// allocate_component; used to mark dirty sub-components).
+  PathView solve_seed_{};
   std::vector<std::size_t> comp_cursor_bg_;
   std::vector<std::size_t> comp_cursor_normal_;
 

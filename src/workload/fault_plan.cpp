@@ -158,29 +158,41 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomOptions& options) {
 }
 
 void FaultPlan::schedule(svc::Fabric& fabric) const {
-  for (const FaultEvent& e : events_) {
-    const Time at = std::max(e.at, fabric.loop().now());
-    svc::Fabric* f = &fabric;
-    switch (e.kind) {
-      case FaultEvent::Kind::kLinkDown:
-        fabric.loop().schedule_at(at, [f, link = e.link] {
-          f->network().set_link_state(link, net::LinkState::kDown);
-        });
-        break;
-      case FaultEvent::Kind::kLinkDegrade:
-        fabric.loop().schedule_at(at, [f, link = e.link, frac = e.fraction] {
-          f->network().set_link_state(link, net::LinkState::kDegraded, frac);
-        });
-        break;
-      case FaultEvent::Kind::kLinkRestore:
-        fabric.loop().schedule_at(at, [f, link = e.link] {
-          f->network().set_link_state(link, net::LinkState::kUp);
-        });
-        break;
-      case FaultEvent::Kind::kKillApp:
-        fabric.loop().schedule_at(at, [f, app = e.app] { f->kill_app(app); });
-        break;
-    }
+  // Fault events sharing an exact timestamp (a correlated failure epoch —
+  // e.g. one switch taking several links down at once) apply through one
+  // loop event inside one solve batch, in tape order: every administrative
+  // change lands, the link-change log records each one, and the affected
+  // bottleneck components re-solve once at epoch close instead of once per
+  // event. kill_app's own batch nests under the epoch's.
+  svc::Fabric* f = &fabric;
+  std::size_t i = 0;
+  while (i < events_.size()) {
+    std::size_t j = i + 1;
+    while (j < events_.size() && events_[j].at == events_[i].at) ++j;
+    const Time at = std::max(events_[i].at, fabric.loop().now());
+    std::vector<FaultEvent> epoch(events_.begin() + static_cast<std::ptrdiff_t>(i),
+                                  events_.begin() + static_cast<std::ptrdiff_t>(j));
+    fabric.loop().schedule_at(at, [f, epoch = std::move(epoch)] {
+      net::Network::SolveBatch batch(f->network());
+      for (const FaultEvent& e : epoch) {
+        switch (e.kind) {
+          case FaultEvent::Kind::kLinkDown:
+            f->network().set_link_state(e.link, net::LinkState::kDown);
+            break;
+          case FaultEvent::Kind::kLinkDegrade:
+            f->network().set_link_state(e.link, net::LinkState::kDegraded,
+                                        e.fraction);
+            break;
+          case FaultEvent::Kind::kLinkRestore:
+            f->network().set_link_state(e.link, net::LinkState::kUp);
+            break;
+          case FaultEvent::Kind::kKillApp:
+            f->kill_app(e.app);
+            break;
+        }
+      }
+    });
+    i = j;
   }
 }
 
